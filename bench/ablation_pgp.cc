@@ -1,0 +1,169 @@
+// Ablation: ProcessingGroupParameters vs a task server (§1/§3).
+//
+// The paper rejects PGP because it provides a budget without a policy. We
+// make that concrete: the same aperiodic stream is handled either by a
+// Polling Server (capacity 4 / period 6) or by a high-priority handler
+// thread whose work is metered by an *enforced* PGP with the same budget.
+// The PGP run caps utilisation identically but admits every event eagerly;
+// its periodic neighbours see bursty interference (response-time spikes),
+// and aperiodic completions stall wherever the group budget dies.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "exp/exec_runner.h"
+#include "gen/generator.h"
+#include "rtsj/pgp.h"
+#include "rtsj/realtime_thread.h"
+#include "rtsj/vm/vm.h"
+
+namespace {
+
+using namespace tsf;
+using common::Duration;
+using common::TimePoint;
+
+struct PgpRun {
+  double mean_response = 0.0;
+  double served_ratio = 0.0;
+  double tau_max_response = 0.0;
+};
+
+// Serves the jobs in a dedicated top-priority thread metered by a PGP.
+PgpRun run_with_pgp(const model::SystemSpec& spec, bool enforce) {
+  rtsj::vm::VirtualMachine vm;
+  rtsj::ProcessingGroupParameters pgp(vm, TimePoint::origin(),
+                                      spec.server.period,
+                                      spec.server.capacity, enforce);
+  // Periodic victim task below the event thread.
+  common::Accumulator tau_responses;
+  rtsj::RealtimeThread tau(
+      vm, "tau", rtsj::PriorityParameters(20),
+      rtsj::PeriodicParameters(TimePoint::origin(), Duration::time_units(6),
+                               Duration::time_units(2)),
+      [&](rtsj::RealtimeThread& self) {
+        for (;;) {
+          const TimePoint release = TimePoint::origin() +
+                                    Duration::time_units(6) *
+                                        self.release_index();
+          self.work(Duration::time_units(2));
+          tau_responses.add((self.now() - release).to_tu());
+          self.wait_for_next_period();
+        }
+      });
+
+  // The event thread: FIFO queue, every arrival processed eagerly, all work
+  // charged to the group.
+  struct Pending {
+    TimePoint release;
+    Duration cost;
+  };
+  auto queue = std::make_shared<std::vector<Pending>>();
+  common::Accumulator responses;
+  std::size_t served = 0;
+  rtsj::RealtimeThread worker(
+      vm, "events", rtsj::PriorityParameters(30),
+      rtsj::PeriodicParameters(TimePoint::origin(), Duration::time_units(1)),
+      [&, queue](rtsj::RealtimeThread& self) {
+        for (;;) {
+          while (!queue->empty()) {
+            const Pending job = queue->front();
+            queue->erase(queue->begin());
+            self.work(job.cost);  // charged via the PGP
+            responses.add((self.now() - job.release).to_tu());
+            ++served;
+          }
+          self.wait_for_next_period();
+        }
+      });
+  worker.set_processing_group(&pgp);
+
+  std::vector<rtsj::vm::VirtualMachine::TimerHandle> arrivals;
+  for (const auto& job : spec.aperiodic_jobs) {
+    arrivals.push_back(vm.schedule_timer(
+        job.release, [queue, &job, &vm](/*kernel*/) {
+          (void)vm;
+          queue->push_back({job.release, job.cost});
+        }));
+  }
+  tau.start();
+  worker.start();
+  vm.run_until(spec.horizon);
+
+  PgpRun out;
+  out.mean_response = responses.mean();
+  out.served_ratio = spec.aperiodic_jobs.empty()
+                         ? 0.0
+                         : static_cast<double>(served) /
+                               static_cast<double>(spec.aperiodic_jobs.size());
+  out.tau_max_response = tau_responses.max();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: enforced PGP vs Polling Server ===\n"
+            << "(same budget 4tu/6tu; tau(2,6) is the periodic victim)\n\n";
+
+  gen::GeneratorParams params;
+  params.task_density = 2;
+  params.std_deviation_tu = 2;
+  params.nb_generation = 10;
+  params.policy = model::ServerPolicy::kPolling;
+  params.periodic_tasks.push_back({"tau", Duration::time_units(6),
+                                   Duration::time_units(2), Duration::zero(),
+                                   TimePoint::origin(), 20});
+
+  common::Accumulator ps_resp, ps_sr, ps_tau;
+  common::Accumulator pgp_resp, pgp_sr, pgp_tau;
+  common::Accumulator raw_tau;
+  for (const auto& spec : gen::RandomSystemGenerator(params).generate()) {
+    const auto exec = exp::run_exec(spec, exp::ideal_execution_options());
+    common::Accumulator responses;
+    std::size_t served = 0;
+    for (const auto& j : exec.jobs) {
+      if (j.served) {
+        responses.add(j.response().to_tu());
+        ++served;
+      }
+    }
+    ps_resp.add(responses.mean());
+    ps_sr.add(static_cast<double>(served) /
+              static_cast<double>(exec.jobs.size()));
+    double tau_max = 0.0;
+    for (const auto& j : exec.periodic_jobs) {
+      tau_max = std::max(tau_max, (j.completion - j.release).to_tu());
+    }
+    ps_tau.add(tau_max);
+
+    const auto enforced = run_with_pgp(spec, /*enforce=*/true);
+    pgp_resp.add(enforced.mean_response);
+    pgp_sr.add(enforced.served_ratio);
+    pgp_tau.add(enforced.tau_max_response);
+
+    const auto unenforced = run_with_pgp(spec, /*enforce=*/false);
+    raw_tau.add(unenforced.tau_max_response);
+  }
+
+  common::TextTable t;
+  t.add_row({"scheme", "mean response (tu)", "served ratio",
+             "tau worst response (tu)"});
+  t.add_row({"PollingTaskServer", common::fmt_fixed(ps_resp.mean(), 2),
+             common::fmt_fixed(ps_sr.mean(), 2),
+             common::fmt_fixed(ps_tau.mean(), 2)});
+  t.add_row({"PGP (enforced)", common::fmt_fixed(pgp_resp.mean(), 2),
+             common::fmt_fixed(pgp_sr.mean(), 2),
+             common::fmt_fixed(pgp_tau.mean(), 2)});
+  t.add_row({"PGP (no enforcement, RI behaviour)", "-", "-",
+             common::fmt_fixed(raw_tau.mean(), 2)});
+  std::cout << t.to_string()
+            << "\nReading: without enforcement (the RI the paper used) the"
+               " event thread starves the periodic task outright; with"
+               " enforcement the budget holds, but no admission policy"
+               " exists — events start and stall mid-service wherever the"
+               " group budget dies, which a task server never does.\n";
+  return 0;
+}

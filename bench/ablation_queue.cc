@@ -1,0 +1,42 @@
+// Ablation: pending-queue discipline.
+//
+// The paper attributes its execution-vs-simulation AART inversion to the
+// first-fit chooseNextEvent (§6.2.2) and proposes the list-of-lists queue
+// for O(1) online prediction (§7). This bench quantifies what each
+// discipline costs/buys on the paper's six sets (Polling Server,
+// execution mode, calibrated overheads).
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.h"
+#include "exp/tables.h"
+
+int main() {
+  using namespace tsf;
+  std::cout << "=== Ablation: pending-queue discipline (PS executions) ===\n\n";
+  common::TextTable t;
+  t.add_row({"set", "discipline", "AART", "AIR", "ASR"});
+  for (const auto& set : exp::paper_sets()) {
+    for (const auto queue : {model::QueueDiscipline::kStrictFifo,
+                             model::QueueDiscipline::kFifoFirstFit,
+                             model::QueueDiscipline::kListOfLists}) {
+      auto params =
+          exp::paper_generator_params(set, model::ServerPolicy::kPolling);
+      params.queue = queue;
+      const auto m = exp::run_set(params, exp::Mode::kExecution,
+                                  exp::paper_execution_options());
+      char key[64];
+      std::snprintf(key, sizeof key, "(%g,%g)", set.density,
+                    set.std_deviation);
+      t.add_row({key, model::to_string(queue), common::fmt_fixed(m.aart, 2),
+                 common::fmt_fixed(m.air, 2), common::fmt_fixed(m.asr, 2)});
+    }
+  }
+  std::cout << t.to_string()
+            << "\nReading: first-fit shortens AART on heterogeneous sets by"
+               " serving cheap events opportunistically; strict FIFO wastes"
+               " capacity behind oversized heads; list-of-lists trades a"
+               " little responsiveness for O(1) admission (see"
+               " online_admission).\n";
+  return 0;
+}

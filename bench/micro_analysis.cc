@@ -1,0 +1,80 @@
+// Micro: feasibility-analysis throughput — RTA iterations, the EDF demand
+// criterion, and the two §7 online equations.
+#include <benchmark/benchmark.h>
+
+#include "analysis/aperiodic.h"
+#include "analysis/edf.h"
+#include "analysis/rta.h"
+#include "gen/taskset.h"
+
+namespace {
+
+using namespace tsf;
+using common::Duration;
+
+std::vector<model::PeriodicTaskSpec> taskset(std::size_t n, double u,
+                                             std::uint64_t seed) {
+  common::Rng rng(seed);
+  gen::TaskSetParams p;
+  p.count = n;
+  p.total_utilization = u;
+  return gen::make_task_set(p, rng);
+}
+
+void BM_ResponseTimeAnalysis(benchmark::State& state) {
+  const auto tasks =
+      taskset(static_cast<std::size_t>(state.range(0)), 0.75, 7);
+  model::ServerSpec server;
+  server.policy = model::ServerPolicy::kDeferrable;
+  server.capacity = Duration::time_units(1);
+  server.period = Duration::time_units(10);
+  server.priority = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::response_times(tasks, &server));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ResponseTimeAnalysis)->Arg(5)->Arg(20)->Arg(50);
+
+void BM_EdfDemandCriterion(benchmark::State& state) {
+  auto tasks = taskset(static_cast<std::size_t>(state.range(0)), 0.9, 11);
+  for (auto& t : tasks) {
+    // Snap periods to a 10tu grid to bound the hyperperiod, then constrain
+    // deadlines to exercise the demand test (deadline = 0.8 T).
+    const std::int64_t period_tu =
+        std::max<std::int64_t>(10, t.period.count() / 10'000 * 10);
+    t.period = Duration::time_units(period_tu);
+    t.cost = common::min(t.cost, Duration::time_units(period_tu / 10));
+    t.deadline = Duration::ticks(t.period.count() * 4 / 5);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::edf_feasible_demand(tasks));
+  }
+}
+BENCHMARK(BM_EdfDemandCriterion)->Arg(4)->Arg(8);
+
+void BM_PsOnlineEquation(benchmark::State& state) {
+  analysis::PsOnlineInputs in;
+  in.capacity = Duration::time_units(4);
+  in.period = Duration::time_units(6);
+  in.t = common::TimePoint::origin() + Duration::time_units(17);
+  in.release = common::TimePoint::origin() + Duration::time_units(16);
+  in.remaining = Duration::time_units(1);
+  in.demand = Duration::time_units(23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::ps_online_response_time(in));
+  }
+}
+BENCHMARK(BM_PsOnlineEquation);
+
+void BM_ImplementationEquation5(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::implementation_response_time(
+        3, Duration::time_units(6), Duration::time_units(2),
+        Duration::time_units(1),
+        common::TimePoint::origin() + Duration::time_units(5)));
+  }
+}
+BENCHMARK(BM_ImplementationEquation5);
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Micro: end-to-end engine throughput on paper-style systems — how fast one
+// table cell (10 systems) can be evaluated on either engine.
+#include <benchmark/benchmark.h>
+
+#include "exp/exec_runner.h"
+#include "gen/generator.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace tsf;
+
+gen::GeneratorParams cell_params(double density, double sd,
+                                 model::ServerPolicy policy) {
+  gen::GeneratorParams p;
+  p.task_density = density;
+  p.std_deviation_tu = sd;
+  p.policy = policy;
+  p.nb_generation = 10;
+  return p;
+}
+
+void BM_SimulateTableCell(benchmark::State& state) {
+  const auto systems =
+      gen::RandomSystemGenerator(
+          cell_params(3, 2, model::ServerPolicy::kDeferrable))
+          .generate();
+  std::size_t jobs = 0;
+  for (auto _ : state) {
+    jobs = 0;
+    for (const auto& spec : systems) {
+      const auto r = sim::simulate(spec);
+      jobs += r.jobs.size();
+    }
+    benchmark::DoNotOptimize(jobs);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(BM_SimulateTableCell)->Unit(benchmark::kMillisecond);
+
+void BM_ExecuteTableCell(benchmark::State& state) {
+  const auto systems =
+      gen::RandomSystemGenerator(
+          cell_params(3, 2, model::ServerPolicy::kDeferrable))
+          .generate();
+  const auto options = exp::paper_execution_options();
+  std::size_t jobs = 0;
+  for (auto _ : state) {
+    jobs = 0;
+    for (const auto& spec : systems) {
+      const auto r = exp::run_exec(spec, options);
+      jobs += r.jobs.size();
+    }
+    benchmark::DoNotOptimize(jobs);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(BM_ExecuteTableCell)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatePeriodicHeavy(benchmark::State& state) {
+  // Periodic-task-dominated load: stresses the decision loop.
+  model::SystemSpec spec;
+  spec.server.policy = model::ServerPolicy::kNone;
+  for (int i = 0; i < 8; ++i) {
+    spec.periodic_tasks.push_back(
+        {"t" + std::to_string(i), common::Duration::time_units(5 + 3 * i),
+         common::Duration::time_units(1), common::Duration::zero(),
+         common::TimePoint::origin(), 10 + i});
+  }
+  spec.horizon = common::TimePoint::origin() +
+                 common::Duration::time_units(state.range(0));
+  for (auto _ : state) {
+    const auto r = sim::simulate(spec);
+    benchmark::DoNotOptimize(r.periodic_jobs.size());
+  }
+}
+BENCHMARK(BM_SimulatePeriodicHeavy)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Micro: virtual-machine engine costs — fiber handoffs, timer processing,
+// and work slicing under kernel interference.
+#include <benchmark/benchmark.h>
+
+#include "rtsj/vm/vm.h"
+
+namespace {
+
+using namespace tsf::rtsj::vm;
+using tsf::common::Duration;
+using tsf::common::TimePoint;
+
+
+// Two alternating fibers: each iteration of the pattern is two context
+// switches plus two sleep timers.
+void BM_FiberPingPong(benchmark::State& state) {
+  const std::int64_t rounds = state.range(0);
+  for (auto _ : state) {
+    VirtualMachine m;
+    auto body = [&m](std::int64_t phase) {
+      return [&m, phase] {
+        for (;;) {
+          m.work(Duration::ticks(100));
+          m.sleep_until(m.now() + Duration::ticks(100 + phase));
+        }
+      };
+    };
+    Fiber* a = m.create_fiber("a", 10, body(0));
+    Fiber* b = m.create_fiber("b", 10, body(50));
+    m.start_fiber(a);
+    m.start_fiber(b);
+    m.run_until(TimePoint::origin() + Duration::ticks(200 * rounds));
+    benchmark::DoNotOptimize(m.context_switches());
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_FiberPingPong)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+// Timer throughput: N timers fired through one run.
+void BM_TimerDrain(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    VirtualMachine m;
+    std::int64_t fired = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      m.schedule_silent(TimePoint::origin() + Duration::ticks(i + 1),
+                        [&fired] { ++fired; });
+    }
+    m.run_until(TimePoint::origin() + Duration::ticks(n + 1));
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TimerDrain)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+// A long work() sliced by periodic kernel timers: measures the engine's
+// event-slicing overhead (the hot path of every table experiment).
+void BM_WorkSlicedByTimers(benchmark::State& state) {
+  const std::int64_t slices = state.range(0);
+  for (auto _ : state) {
+    VirtualMachine m;
+    Fiber* f = m.create_fiber("w", 10, [&m, slices] {
+      m.work(Duration::ticks(10 * slices));
+    });
+    m.start_fiber(f);
+    for (std::int64_t i = 1; i < slices; ++i) {
+      m.schedule_silent(TimePoint::origin() + Duration::ticks(10 * i),
+                        [] {});
+    }
+    m.run_until(TimePoint::origin() + Duration::ticks(10 * slices + 1));
+  }
+  state.SetItemsProcessed(state.iterations() * slices);
+}
+BENCHMARK(BM_WorkSlicedByTimers)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

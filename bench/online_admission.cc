@@ -1,0 +1,128 @@
+// §7 end-to-end: O(1) online response-time prediction and admission.
+//
+// Random paper-style workloads run on a Polling Server with the
+// list-of-lists queue. Every release is predicted (equation (5)) at release
+// time; after the run the prediction error against the measured completion
+// is reported, along with what an admission controller with a relative
+// deadline would have accepted.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/response_time_predictor.h"
+#include "core/servable_async_event.h"
+#include "gen/generator.h"
+#include "rtsj/timer.h"
+#include "rtsj/vm/vm.h"
+
+int main() {
+  using namespace tsf;
+  using common::Duration;
+  std::cout << "=== §7: online prediction & admission (list-of-lists PS) ==="
+            << "\n(10 random systems, density 2, sd 2, ideal machine)\n\n";
+
+  gen::GeneratorParams params;
+  params.task_density = 2;
+  params.std_deviation_tu = 2;
+  params.nb_generation = 10;
+  params.queue = model::QueueDiscipline::kListOfLists;
+
+  common::Accumulator abs_error_tu;
+  common::Ratio exact;
+  common::Ratio admitted_6tu, admitted_12tu, met_12tu;
+  std::size_t predicted = 0, oversized = 0;
+
+  for (const auto& spec : gen::RandomSystemGenerator(params).generate()) {
+    rtsj::vm::VirtualMachine vm;
+    core::TaskServerParameters sp("PS", spec.server.capacity,
+                                  spec.server.period, spec.server.priority);
+    sp.set_queue_discipline(model::QueueDiscipline::kListOfLists);
+    core::PollingTaskServer server(vm, sp);
+    core::ResponseTimePredictor predictor(server);
+
+    struct Tracked {
+      std::string name;
+      Duration predicted;
+      bool admissible12 = false;
+    };
+    auto predictions = std::make_shared<std::vector<Tracked>>();
+
+    std::vector<std::unique_ptr<core::ServableAsyncEventHandler>> handlers;
+    std::vector<std::unique_ptr<core::ServableAsyncEvent>> events;
+    std::vector<std::unique_ptr<rtsj::OneShotTimer>> timers;
+    for (const auto& job : spec.aperiodic_jobs) {
+      handlers.push_back(std::make_unique<core::ServableAsyncEventHandler>(
+          core::ServableAsyncEventHandler::pure_work(job.name, job.cost,
+                                                     job.cost)));
+      handlers.back()->set_server(&server);
+      events.push_back(
+          std::make_unique<core::ServableAsyncEvent>(vm, job.name + ".e"));
+      events.back()->add_handler(handlers.back().get());
+      // Predict at the release instant, from kernel context, right before
+      // the fire registers the release (exactly §7's admission point).
+      auto* event = events.back().get();
+      const Duration cost = job.cost;
+      const std::string name = job.name;
+      timers.push_back(std::make_unique<rtsj::OneShotTimer>(
+          vm, job.release, event));
+      vm.schedule_silent(job.release, [&, cost, name] {
+        if (const auto p = predictor.predict(cost)) {
+          predictions->push_back(
+              {name, *p,
+               predictor.admissible(cost, Duration::time_units(12))});
+        }
+      });
+      timers.back()->start();
+    }
+    server.start();
+    vm.run_until(spec.horizon);
+
+    for (const auto& outcome : server.final_outcomes()) {
+      const auto it = std::find_if(
+          predictions->begin(), predictions->end(),
+          [&](const Tracked& t) { return t.name == outcome.name; });
+      if (it == predictions->end()) {
+        ++oversized;  // cost above capacity: predict() refused, never served
+        continue;
+      }
+      ++predicted;
+      admitted_6tu.add(it->predicted <= Duration::time_units(6));
+      admitted_12tu.add(it->admissible12);
+      if (outcome.served) {
+        const Duration err = outcome.response() > it->predicted
+                                 ? outcome.response() - it->predicted
+                                 : it->predicted - outcome.response();
+        abs_error_tu.add(err.to_tu());
+        exact.add(err.is_zero());
+        if (it->admissible12) {
+          met_12tu.add(outcome.response() <= Duration::time_units(12));
+        }
+      }
+    }
+  }
+
+  common::TextTable t;
+  t.add_row({"metric", "value"});
+  t.add_row({"releases predicted", std::to_string(predicted)});
+  t.add_row({"releases above capacity (rejected outright)",
+             std::to_string(oversized)});
+  t.add_row({"mean |prediction error| (tu)",
+             common::fmt_fixed(abs_error_tu.mean(), 3)});
+  t.add_row({"exact predictions", common::fmt_fixed(exact.value() * 100, 1) +
+                                      "%"});
+  t.add_row({"would admit (deadline 6tu)",
+             common::fmt_fixed(admitted_6tu.value() * 100, 1) + "%"});
+  t.add_row({"would admit (deadline 12tu)",
+             common::fmt_fixed(admitted_12tu.value() * 100, 1) + "%"});
+  t.add_row({"admitted@12tu that met the deadline",
+             common::fmt_fixed(met_12tu.value() * 100, 1) + "%"});
+  std::cout << t.to_string()
+            << "\nPredictions are exact for every release that is served in"
+               " the instance it was packed into; errors appear only when a"
+               " served-late event benefits from an earlier instance's"
+               " leftover room.\n";
+  return 0;
+}

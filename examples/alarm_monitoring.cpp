@@ -1,0 +1,127 @@
+// Alarm monitoring: the workload the paper's introduction motivates —
+// a hard-periodic control system that must also react to event-based
+// traffic (operator alarms) without breaking its feasibility analysis.
+//
+// Three control loops run under fixed priorities. Operator alarms arrive
+// sporadically and are served by a Deferrable Server at the top priority.
+// Before anything runs, the offline analysis (response-time analysis with
+// the DS's back-to-back interference) proves the control loops keep their
+// deadlines; the execution then confirms the bound.
+//
+// Build & run:   ./build/examples/alarm_monitoring
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "analysis/rta.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/deferrable_task_server.h"
+#include "core/servable_async_event.h"
+#include "exp/exec_runner.h"
+#include "gen/generator.h"
+
+using namespace tsf;
+using common::Duration;
+using common::TimePoint;
+
+int main() {
+  // --- the system ---
+  model::SystemSpec plant;
+  plant.name = "alarm-monitoring";
+  plant.periodic_tasks = {
+      {"attitude", Duration::time_units(10), Duration::time_units(2),
+       Duration::zero(), TimePoint::origin(), 20},
+      {"telemetry", Duration::time_units(25), Duration::time_units(5),
+       Duration::zero(), TimePoint::origin(), 15},
+      {"logging", Duration::time_units(50), Duration::time_units(8),
+       Duration::zero(), TimePoint::origin(), 10},
+  };
+  plant.server.policy = model::ServerPolicy::kDeferrable;
+  plant.server.capacity = Duration::time_units(3);
+  plant.server.period = Duration::time_units(15);
+  plant.server.priority = 30;
+  plant.horizon = TimePoint::origin() + Duration::time_units(1000);
+
+  // Sporadic alarms: ~1 per 12tu, 0.5-2.5tu of handling each.
+  common::Rng rng(2026);
+  TimePoint t = TimePoint::origin();
+  int id = 0;
+  while (true) {
+    t += Duration::from_tu(rng.uniform(4.0, 20.0));
+    if (t >= plant.horizon) break;
+    model::AperiodicJobSpec alarm;
+    alarm.name = "alarm" + std::to_string(id++);
+    alarm.release = t;
+    alarm.cost = Duration::from_tu(rng.uniform(0.5, 2.5));
+    plant.aperiodic_jobs.push_back(alarm);
+  }
+
+  // --- offline feasibility, before running anything ---
+  std::cout << "=== offline analysis (RTA, DS back-to-back interference) ==="
+            << "\n\n";
+  common::TextTable analysis_table;
+  analysis_table.add_row({"task", "C", "T", "response bound", "deadline",
+                          "verdict"});
+  for (const auto& task : plant.periodic_tasks) {
+    const auto r =
+        analysis::response_time(task, plant.periodic_tasks, &plant.server);
+    analysis_table.add_row(
+        {task.name, common::to_string(task.cost),
+         common::to_string(task.period),
+         r ? common::to_string(*r) : "unbounded",
+         common::to_string(task.effective_deadline()),
+         r && *r <= task.effective_deadline() ? "ok" : "INFEASIBLE"});
+  }
+  std::cout << analysis_table.to_string() << '\n';
+  if (!analysis::feasible(plant.periodic_tasks, &plant.server)) {
+    std::cout << "system infeasible — aborting\n";
+    return 1;
+  }
+
+  // --- execution ---
+  const auto result = exp::run_exec(plant, exp::ideal_execution_options());
+
+  common::Accumulator alarm_response;
+  std::size_t served = 0;
+  for (const auto& job : result.jobs) {
+    if (job.served) {
+      alarm_response.add(job.response().to_tu());
+      ++served;
+    }
+  }
+  common::Accumulator control_response[3];
+  bool any_miss = false;
+  for (const auto& job : result.periodic_jobs) {
+    for (std::size_t i = 0; i < plant.periodic_tasks.size(); ++i) {
+      if (job.task == plant.periodic_tasks[i].name) {
+        control_response[i].add((job.completion - job.release).to_tu());
+      }
+    }
+    any_miss |= job.deadline_missed;
+  }
+
+  std::cout << "=== execution over " << plant.horizon << " ===\n\n";
+  common::TextTable run_table;
+  run_table.add_row({"task", "jobs", "mean response", "worst response",
+                     "bound"});
+  for (std::size_t i = 0; i < plant.periodic_tasks.size(); ++i) {
+    const auto& task = plant.periodic_tasks[i];
+    const auto bound =
+        analysis::response_time(task, plant.periodic_tasks, &plant.server);
+    run_table.add_row({task.name,
+                       std::to_string(control_response[i].count()),
+                       common::fmt_fixed(control_response[i].mean(), 2) + "tu",
+                       common::fmt_fixed(control_response[i].max(), 2) + "tu",
+                       common::to_string(*bound)});
+  }
+  std::cout << run_table.to_string() << '\n';
+  std::cout << "alarms: " << served << "/" << result.jobs.size()
+            << " served, mean response "
+            << common::fmt_fixed(alarm_response.mean(), 2)
+            << "tu, worst " << common::fmt_fixed(alarm_response.max(), 2)
+            << "tu\n";
+  std::cout << "control deadlines " << (any_miss ? "MISSED" : "all met")
+            << " — as the offline analysis promised.\n";
+  return any_miss ? 1 : 0;
+}

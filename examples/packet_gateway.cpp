@@ -1,0 +1,100 @@
+// Packet gateway: bursty event-based traffic against a periodic base load —
+// which aperiodic service policy should a gateway use?
+//
+// Packets arrive in Poisson bursts; each needs 0.2-1.2tu of processing.
+// Two periodic tasks (routing table refresh, health reporting) must stay
+// schedulable no matter what. The example compares background service with
+// the Polling, Deferrable and Sporadic servers on the same trace.
+//
+// Build & run:   ./build/examples/packet_gateway
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "exp/exec_runner.h"
+#include "exp/metrics.h"
+
+using namespace tsf;
+using common::Duration;
+using common::TimePoint;
+
+namespace {
+
+std::vector<model::AperiodicJobSpec> make_burst_trace(std::uint64_t seed,
+                                                      TimePoint horizon) {
+  common::Rng rng(seed);
+  std::vector<model::AperiodicJobSpec> trace;
+  TimePoint t = TimePoint::origin();
+  int id = 0;
+  while (true) {
+    // Bursts every ~20tu; 1-6 packets per burst, back to back.
+    t += Duration::from_tu(rng.uniform(8.0, 32.0));
+    if (t >= horizon) break;
+    const std::uint64_t burst = 1 + rng.uniform_u64(6);
+    TimePoint p = t;
+    for (std::uint64_t i = 0; i < burst && p < horizon; ++i) {
+      model::AperiodicJobSpec pkt;
+      pkt.name = "pkt" + std::to_string(id++);
+      pkt.release = p;
+      pkt.cost = Duration::from_tu(rng.uniform(0.2, 1.2));
+      trace.push_back(pkt);
+      p += Duration::from_tu(rng.uniform(0.0, 0.5));
+    }
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const auto& a, const auto& b) { return a.release < b.release; });
+  return trace;
+}
+
+}  // namespace
+
+int main() {
+  const TimePoint horizon = TimePoint::origin() + Duration::time_units(2000);
+
+  model::SystemSpec gateway;
+  gateway.name = "packet-gateway";
+  gateway.periodic_tasks = {
+      {"route-refresh", Duration::time_units(20), Duration::time_units(6),
+       Duration::zero(), TimePoint::origin(), 20},
+      {"health-report", Duration::time_units(50), Duration::time_units(10),
+       Duration::zero(), TimePoint::origin(), 15},
+  };
+  gateway.aperiodic_jobs = make_burst_trace(42, horizon);
+  gateway.horizon = horizon;
+
+  std::cout << "=== packet gateway: " << gateway.aperiodic_jobs.size()
+            << " packets, periodic load "
+            << common::fmt_fixed(gateway.periodic_utilization() * 100, 0)
+            << "% ===\n\n";
+
+  common::TextTable t;
+  t.add_row({"policy", "served", "mean (tu)", "p90 (tu)", "worst (tu)"});
+  for (const auto policy :
+       {model::ServerPolicy::kBackground, model::ServerPolicy::kPolling,
+        model::ServerPolicy::kDeferrable, model::ServerPolicy::kSporadic}) {
+    auto spec = gateway;
+    spec.server.policy = policy;
+    spec.server.capacity = Duration::time_units(4);
+    spec.server.period = Duration::time_units(10);
+    spec.server.priority =
+        policy == model::ServerPolicy::kBackground ? 1 : 30;
+    std::vector<model::RunResult> runs;
+    runs.push_back(exp::run_exec(spec, exp::ideal_execution_options()));
+    const auto d = exp::compute_response_distribution(runs);
+    t.add_row({model::to_string(policy),
+               std::to_string(d.samples) + "/" +
+                   std::to_string(runs.front().jobs.size()),
+               common::fmt_fixed(d.mean_tu, 2),
+               common::fmt_fixed(d.p90_tu, 2),
+               common::fmt_fixed(d.max_tu, 2)});
+  }
+  std::cout << t.to_string()
+            << "\nThe budgeted servers keep packet latency bounded while the"
+               " routing tasks keep their priorities; background service"
+               " rides the idle gaps and its tail explodes whenever a burst"
+               " lands on a busy period.\n";
+  return 0;
+}

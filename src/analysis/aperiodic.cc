@@ -1,0 +1,35 @@
+#include "analysis/aperiodic.h"
+
+#include "common/diag.h"
+
+namespace tsf::analysis {
+
+Duration ps_online_response_time(const PsOnlineInputs& in) {
+  TSF_ASSERT(in.capacity > Duration::zero(), "capacity must be positive");
+  TSF_ASSERT(in.demand >= Duration::zero(), "negative demand");
+  TSF_ASSERT(in.remaining >= Duration::zero() && in.remaining <= in.capacity,
+             "remaining capacity out of range");
+  if (in.demand <= in.remaining) {
+    // Served entirely within the current instance (eq. 1, first case).
+    return (in.t + in.demand) - in.release;
+  }
+  const std::int64_t ts = in.period.count();
+  const Duration overflow = in.demand - in.remaining;
+  const std::int64_t fk = overflow.count() / in.capacity.count();   // eq. (2)
+  const std::int64_t gk = (in.t.ticks() + ts - 1) / ts;             // eq. (3)
+  const Duration rk = overflow - in.capacity * fk;                  // eq. (4)
+  // eq. (1), second case: (F_k + G_k) Ts + R_k - r_a.
+  return Duration::ticks((fk + gk) * ts) + rk - (in.release -
+                                                 common::TimePoint::origin());
+}
+
+Duration implementation_response_time(std::int64_t instance_index,
+                                      Duration server_period,
+                                      Duration cumulative_before,
+                                      Duration own_cost, TimePoint release) {
+  const common::TimePoint served_from =
+      common::TimePoint::origin() + server_period * instance_index;
+  return (served_from + cumulative_before + own_cost) - release;
+}
+
+}  // namespace tsf::analysis

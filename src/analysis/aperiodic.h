@@ -1,0 +1,44 @@
+// On-line aperiodic response-time equations — paper §7.
+//
+// Equation (1)-(4): the textbook Polling Server (resumable service, FIFO by
+// deadline, server at the highest priority). At time t, for a task J_a
+// released at r_a, with Cape(t, d_a) the total pending demand with deadline
+// at or before d_a (including J_a itself), cs(t) the remaining capacity of
+// the current instance, Cs/Ts the server parameters:
+//
+//   R_a = t + Cape - r_a                       if Cape <= cs(t)
+//   R_a = (F_k + G_k) Ts + R_k - r_a           otherwise, with
+//         F_k = floor((Cape - cs) / Cs)            full instances needed
+//         G_k = ceil(t / Ts)                       index of the next instance
+//         R_k = Cape - cs - F_k * Cs               service in the last one
+//
+// Equation (5): the *implemented* (non-resumable) server with the
+// list-of-lists queue: R_a = (I_a * Ts + Cp_a + C_a) - r_a.
+#pragma once
+
+#include "common/time.h"
+
+namespace tsf::analysis {
+
+using common::Duration;
+using common::TimePoint;
+
+struct PsOnlineInputs {
+  TimePoint t;           // current time (= analysis instant)
+  TimePoint release;     // r_a
+  Duration demand;       // Cape(t, d_a), including the task's own cost
+  Duration remaining;    // cs(t), remaining capacity of the current instance
+  Duration capacity;     // Cs
+  Duration period;       // Ts
+};
+
+// Equations (1)-(4).
+Duration ps_online_response_time(const PsOnlineInputs& in);
+
+// Equation (5).
+Duration implementation_response_time(std::int64_t instance_index,
+                                      Duration server_period,
+                                      Duration cumulative_before,
+                                      Duration own_cost, TimePoint release);
+
+}  // namespace tsf::analysis

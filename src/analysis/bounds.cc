@@ -1,0 +1,26 @@
+#include "analysis/bounds.h"
+
+#include <cmath>
+
+#include "common/diag.h"
+
+namespace tsf::analysis {
+
+double liu_layland_bound(std::size_t n) {
+  TSF_ASSERT(n > 0, "bound needs at least one task");
+  const double nn = static_cast<double>(n);
+  return nn * (std::pow(2.0, 1.0 / nn) - 1.0);
+}
+
+double deferrable_server_periodic_bound(double server_utilization) {
+  TSF_ASSERT(server_utilization >= 0.0 && server_utilization <= 1.0,
+             "server utilisation must be in [0,1]");
+  return std::log((server_utilization + 2.0) /
+                  (2.0 * server_utilization + 1.0));
+}
+
+double polling_server_periodic_bound(std::size_t n_periodic) {
+  return liu_layland_bound(n_periodic + 1);
+}
+
+}  // namespace tsf::analysis

@@ -1,0 +1,20 @@
+// Classic utilisation bounds for rate-monotonic scheduling with servers.
+#pragma once
+
+#include <cstddef>
+
+namespace tsf::analysis {
+
+// Liu & Layland: n(2^{1/n} - 1). A periodic set of n tasks is RM-feasible
+// when its utilisation is below this bound (sufficient, not necessary).
+double liu_layland_bound(std::size_t n);
+
+// Lehoczky/Sha/Strosnider: with a Deferrable Server of utilisation Us at the
+// highest priority, the periodic tasks (n -> infinity) are RM-feasible while
+// their utilisation stays below ln((Us + 2) / (2 Us + 1)).
+double deferrable_server_periodic_bound(double server_utilization);
+
+// A Polling Server counts as one more periodic task: LL bound for n+1.
+double polling_server_periodic_bound(std::size_t n_periodic);
+
+}  // namespace tsf::analysis

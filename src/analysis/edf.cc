@@ -1,0 +1,51 @@
+#include "analysis/edf.h"
+
+#include <algorithm>
+
+#include "analysis/rta.h"
+#include "common/diag.h"
+
+namespace tsf::analysis {
+
+using common::Duration;
+
+double utilization(const std::vector<model::PeriodicTaskSpec>& tasks) {
+  double u = 0.0;
+  for (const auto& t : tasks) u += t.cost.to_tu() / t.period.to_tu();
+  return u;
+}
+
+bool edf_feasible_implicit(const std::vector<model::PeriodicTaskSpec>& tasks) {
+  return utilization(tasks) <= 1.0 + 1e-12;
+}
+
+bool edf_feasible_demand(const std::vector<model::PeriodicTaskSpec>& tasks) {
+  if (tasks.empty()) return true;
+  if (utilization(tasks) > 1.0 + 1e-12) return false;
+  const Duration limit = hyperperiod(tasks);
+  TSF_ASSERT(!limit.is_infinite(), "hyperperiod overflow in demand test");
+
+  // Check points: every absolute deadline in (0, hyperperiod].
+  std::vector<std::int64_t> points;
+  for (const auto& t : tasks) {
+    const std::int64_t d = t.effective_deadline().count();
+    for (std::int64_t at = d; at <= limit.count(); at += t.period.count()) {
+      points.push_back(at);
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  for (const std::int64_t d : points) {
+    std::int64_t demand = 0;
+    for (const auto& t : tasks) {
+      const std::int64_t di = t.effective_deadline().count();
+      if (d < di) continue;
+      demand += ((d - di) / t.period.count() + 1) * t.cost.count();
+    }
+    if (demand > d) return false;
+  }
+  return true;
+}
+
+}  // namespace tsf::analysis

@@ -1,0 +1,23 @@
+// EDF feasibility: utilisation test (implicit deadlines) and the
+// processor-demand criterion (constrained deadlines), matching the RTSS
+// simulator's EDF policy.
+#pragma once
+
+#include <vector>
+
+#include "model/spec.h"
+
+namespace tsf::analysis {
+
+// Sum of cost/period.
+double utilization(const std::vector<model::PeriodicTaskSpec>& tasks);
+
+// Exact for implicit-deadline EDF: feasible iff U <= 1.
+bool edf_feasible_implicit(const std::vector<model::PeriodicTaskSpec>& tasks);
+
+// Processor-demand criterion: for every absolute deadline d up to the
+// hyperperiod, sum_i max(0, floor((d - D_i)/T_i) + 1) * C_i <= d.
+// Exact for synchronous constrained-deadline sets.
+bool edf_feasible_demand(const std::vector<model::PeriodicTaskSpec>& tasks);
+
+}  // namespace tsf::analysis

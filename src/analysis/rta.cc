@@ -1,0 +1,97 @@
+#include "analysis/rta.h"
+
+#include <numeric>
+
+#include "common/diag.h"
+
+namespace tsf::analysis {
+
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+Duration server_interference(const model::ServerSpec& server,
+                             Duration window) {
+  if (window <= Duration::zero()) return Duration::zero();
+  switch (server.policy) {
+    case model::ServerPolicy::kNone:
+    case model::ServerPolicy::kBackground:
+      // Background execution never interferes with periodic tasks.
+      return Duration::zero();
+    case model::ServerPolicy::kPolling:
+    case model::ServerPolicy::kSporadic:
+      // Plain periodic interference (PS by §2.1; SS by Sprunt et al.).
+      return server.capacity *
+             ceil_div(window.count(), server.period.count());
+    case model::ServerPolicy::kDeferrable: {
+      // Back-to-back: periodic with jitter T - C.
+      const Duration jitter = server.period - server.capacity;
+      return server.capacity *
+             ceil_div((window + jitter).count(), server.period.count());
+    }
+  }
+  TSF_PANIC("unknown server policy");
+}
+
+std::optional<Duration> response_time(
+    const model::PeriodicTaskSpec& task,
+    const std::vector<model::PeriodicTaskSpec>& tasks,
+    const model::ServerSpec* server) {
+  const Duration deadline = task.effective_deadline();
+  Duration r = task.cost;
+  for (;;) {
+    Duration next = task.cost;
+    for (const auto& other : tasks) {
+      if (&other == &task || other.priority <= task.priority) continue;
+      next += other.cost * ceil_div(r.count(), other.period.count());
+    }
+    if (server != nullptr && server->priority > task.priority) {
+      next += server_interference(*server, r);
+    }
+    if (next == r) return r;
+    if (next > deadline) return std::nullopt;
+    r = next;
+  }
+}
+
+std::vector<std::optional<Duration>> response_times(
+    const std::vector<model::PeriodicTaskSpec>& tasks,
+    const model::ServerSpec* server) {
+  std::vector<std::optional<Duration>> out;
+  out.reserve(tasks.size());
+  for (const auto& t : tasks) out.push_back(response_time(t, tasks, server));
+  return out;
+}
+
+bool feasible(const std::vector<model::PeriodicTaskSpec>& tasks,
+              const model::ServerSpec* server) {
+  for (const auto& t : tasks) {
+    if (!response_time(t, tasks, server)) return false;
+  }
+  return true;
+}
+
+Duration hyperperiod(const std::vector<model::PeriodicTaskSpec>& tasks,
+                     const model::ServerSpec* server) {
+  std::int64_t l = 1;
+  auto fold = [&l](std::int64_t p) {
+    const std::int64_t g = std::gcd(l, p);
+    const std::int64_t candidate = l / g;
+    if (candidate > Duration::infinite().count() / p) {
+      l = Duration::infinite().count();
+    } else {
+      l = candidate * p;
+    }
+  };
+  for (const auto& t : tasks) fold(t.period.count());
+  if (server != nullptr && server->period > Duration::zero()) {
+    fold(server->period.count());
+  }
+  return common::min(Duration::ticks(l), Duration::infinite());
+}
+
+}  // namespace tsf::analysis

@@ -1,0 +1,46 @@
+// Offline feasibility: fixed-priority response-time analysis with task
+// servers.
+//
+// The Polling Server "can be included in the feasibility analysis like any
+// periodic task" (§2.1); the Deferrable Server requires the modified
+// analysis of Strosnider/Lehoczky/Sha (§2.2): its deferred execution lets it
+// hit lower-priority tasks back-to-back, modelled as release jitter T - C.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "model/spec.h"
+
+namespace tsf::analysis {
+
+using common::Duration;
+
+// Worst-case response time of `task` under preemptive fixed priorities,
+// given all tasks (only strictly-higher-priority ones interfere) and an
+// optional server. nullopt if the iteration exceeds the task's deadline
+// (the task is infeasible).
+std::optional<Duration> response_time(
+    const model::PeriodicTaskSpec& task,
+    const std::vector<model::PeriodicTaskSpec>& tasks,
+    const model::ServerSpec* server = nullptr);
+
+// Response times for every task; entry is nullopt where infeasible.
+std::vector<std::optional<Duration>> response_times(
+    const std::vector<model::PeriodicTaskSpec>& tasks,
+    const model::ServerSpec* server = nullptr);
+
+// True iff every task meets its deadline under the analysis above.
+bool feasible(const std::vector<model::PeriodicTaskSpec>& tasks,
+              const model::ServerSpec* server = nullptr);
+
+// Interference of the server on a window (ceil-based; back-to-back for the
+// Deferrable Server). Exposed for tests and the bench harness.
+Duration server_interference(const model::ServerSpec& server, Duration window);
+
+// Least common multiple of all task periods (and the server period when
+// given); saturates at Duration::infinite() on overflow.
+Duration hyperperiod(const std::vector<model::PeriodicTaskSpec>& tasks,
+                     const model::ServerSpec* server = nullptr);
+
+}  // namespace tsf::analysis

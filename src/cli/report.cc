@@ -1,0 +1,99 @@
+#include "cli/report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/table.h"
+#include "common/trace.h"
+#include "exp/metrics.h"
+#include "sim/simulator.h"
+
+namespace tsf::cli {
+
+namespace {
+
+using common::Duration;
+
+void render_run(std::ostream& os, const CliConfig& config,
+                const std::string& label, const model::RunResult& result) {
+  os << "--- " << label << " ---\n";
+  common::TextTable jobs;
+  jobs.add_row({"job", "release", "cost", "outcome", "completion",
+                "response"});
+  for (const auto& job : result.jobs) {
+    jobs.add_row(
+        {job.name, common::to_string(job.release),
+         common::to_string(job.cost),
+         job.served ? "served" : (job.interrupted ? "interrupted" : "unserved"),
+         job.served ? common::to_string(job.completion) : "-",
+         job.served ? common::to_string(job.response()) : "-"});
+  }
+  os << jobs.to_string();
+
+  const auto metrics = exp::compute_run_metrics(result);
+  os << "mean response " << common::fmt_fixed(metrics.mean_response_tu, 2)
+     << "tu, served " << metrics.served << "/" << metrics.released
+     << ", interrupted " << metrics.interrupted << "\n";
+
+  std::size_t misses = 0;
+  for (const auto& p : result.periodic_jobs) misses += p.deadline_missed;
+  if (!result.periodic_jobs.empty()) {
+    os << "periodic jobs: " << result.periodic_jobs.size()
+       << " completions, " << misses << " deadline misses\n";
+  }
+
+  if (config.gantt) {
+    std::vector<std::string> rows;
+    for (const auto& job : config.spec.aperiodic_jobs) rows.push_back(job.name);
+    for (const auto& task : config.spec.periodic_tasks) {
+      rows.push_back(task.name);
+    }
+    common::GanttOptions options;
+    options.end = config.spec.horizon;
+    const auto span = config.spec.horizon - common::TimePoint::origin();
+    options.cell = common::max(Duration::ticks(span.count() / 72),
+                               Duration::ticks(250));
+    os << render_gantt(result.timeline, rows, options);
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+std::string run_and_report(const CliConfig& config) {
+  std::ostringstream os;
+  os << "system: " << config.spec.periodic_tasks.size() << " periodic task(s), "
+     << config.spec.aperiodic_jobs.size() << " aperiodic job(s), "
+     << model::to_string(config.spec.server.policy) << " server "
+     << common::to_string(config.spec.server.capacity) << "/"
+     << common::to_string(config.spec.server.period) << ", horizon "
+     << common::to_string(config.spec.horizon) << "\n\n";
+
+  if (config.mode == RunMode::kSim || config.mode == RunMode::kBoth) {
+    render_run(os, config, "simulation (theoretical policies)",
+               sim::simulate(config.spec));
+  }
+  if (config.mode == RunMode::kExec || config.mode == RunMode::kBoth) {
+    const auto result = exp::run_exec(config.spec, config.exec_options);
+    render_run(os, config, "execution (RTSJ-style runtime)", result);
+    if (!config.vcd_path.empty()) {
+      std::vector<std::string> rows;
+      for (const auto& job : config.spec.aperiodic_jobs) {
+        rows.push_back(job.name);
+      }
+      for (const auto& task : config.spec.periodic_tasks) {
+        rows.push_back(task.name);
+      }
+      std::ofstream vcd(config.vcd_path);
+      if (vcd) {
+        vcd << common::to_vcd(result.timeline, rows);
+        os << "execution trace written to " << config.vcd_path << " (VCD)\n";
+      } else {
+        os << "error: cannot write " << config.vcd_path << '\n';
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace tsf::cli

@@ -1,0 +1,15 @@
+// Run + report rendering for the tsf_run tool (kept in the library so the
+// output format is testable).
+#pragma once
+
+#include <string>
+
+#include "cli/spec_file.h"
+
+namespace tsf::cli {
+
+// Runs the configured system on the requested engine(s) and renders a full
+// report: per-job outcomes, AART/AIR/ASR, optional Gantt charts.
+std::string run_and_report(const CliConfig& config);
+
+}  // namespace tsf::cli

@@ -1,0 +1,305 @@
+#include "cli/spec_file.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace tsf::cli {
+
+namespace {
+
+using common::Duration;
+using common::TimePoint;
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+// Strips a trailing "# comment".
+std::string strip_comment(const std::string& s) {
+  const auto hash = s.find('#');
+  return hash == std::string::npos ? s : s.substr(0, hash);
+}
+
+struct Parser {
+  ParseOutcome out;
+  // current section
+  enum class Section { kNone, kServer, kTask, kJob, kRun } section =
+      Section::kNone;
+  model::PeriodicTaskSpec* task = nullptr;
+  model::AperiodicJobSpec* job = nullptr;
+  bool saw_horizon = false;
+
+  void error(int line, const std::string& message) {
+    out.errors.push_back("line " + std::to_string(line) + ": " + message);
+  }
+
+  bool parse_double(int line, const std::string& value, double* dst) {
+    const std::string v = trim(value);
+    const char* first = v.data();
+    const char* last = v.data() + v.size();
+    const auto result = std::from_chars(first, last, *dst);
+    if (result.ec != std::errc{} || result.ptr != last) {
+      error(line, "expected a number, got '" + v + "'");
+      return false;
+    }
+    return true;
+  }
+
+  bool parse_duration(int line, const std::string& value, Duration* dst) {
+    double tu = 0.0;
+    if (!parse_double(line, value, &tu)) return false;
+    if (tu < 0.0) {
+      error(line, "durations must be non-negative");
+      return false;
+    }
+    *dst = Duration::from_tu(tu);
+    return true;
+  }
+
+  bool parse_int(int line, const std::string& value, int* dst) {
+    double x = 0.0;
+    if (!parse_double(line, value, &x)) return false;
+    *dst = static_cast<int>(x);
+    return true;
+  }
+
+  void open_section(int line, const std::string& header) {
+    task = nullptr;
+    job = nullptr;
+    std::istringstream iss(header);
+    std::string kind, name;
+    iss >> kind;
+    std::getline(iss, name);
+    name = trim(name);
+    if (kind == "server") {
+      section = Section::kServer;
+    } else if (kind == "run") {
+      section = Section::kRun;
+    } else if (kind == "task") {
+      if (name.empty()) {
+        error(line, "[task] needs a name: [task tau1]");
+        section = Section::kNone;
+        return;
+      }
+      section = Section::kTask;
+      out.config.spec.periodic_tasks.emplace_back();
+      task = &out.config.spec.periodic_tasks.back();
+      task->name = name;
+    } else if (kind == "job") {
+      if (name.empty()) {
+        error(line, "[job] needs a name: [job h1]");
+        section = Section::kNone;
+        return;
+      }
+      section = Section::kJob;
+      out.config.spec.aperiodic_jobs.emplace_back();
+      job = &out.config.spec.aperiodic_jobs.back();
+      job->name = name;
+    } else {
+      error(line, "unknown section '" + kind + "'");
+      section = Section::kNone;
+    }
+  }
+
+  void server_key(int line, const std::string& key, const std::string& value) {
+    auto& server = out.config.spec.server;
+    if (key == "policy") {
+      if (value == "none") {
+        server.policy = model::ServerPolicy::kNone;
+      } else if (value == "background") {
+        server.policy = model::ServerPolicy::kBackground;
+      } else if (value == "polling") {
+        server.policy = model::ServerPolicy::kPolling;
+      } else if (value == "deferrable") {
+        server.policy = model::ServerPolicy::kDeferrable;
+      } else if (value == "sporadic") {
+        server.policy = model::ServerPolicy::kSporadic;
+      } else {
+        error(line, "unknown policy '" + value + "'");
+      }
+    } else if (key == "capacity") {
+      parse_duration(line, value, &server.capacity);
+    } else if (key == "period") {
+      parse_duration(line, value, &server.period);
+    } else if (key == "priority") {
+      parse_int(line, value, &server.priority);
+    } else if (key == "margin") {
+      parse_duration(line, value, &server.admission_margin);
+    } else if (key == "strict") {
+      server.strict_capacity = (value == "yes" || value == "true");
+    } else if (key == "queue") {
+      if (value == "fifo") {
+        server.queue = model::QueueDiscipline::kStrictFifo;
+      } else if (value == "first-fit") {
+        server.queue = model::QueueDiscipline::kFifoFirstFit;
+      } else if (value == "list-of-lists") {
+        server.queue = model::QueueDiscipline::kListOfLists;
+      } else {
+        error(line, "unknown queue discipline '" + value + "'");
+      }
+    } else {
+      error(line, "unknown server key '" + key + "'");
+    }
+  }
+
+  void task_key(int line, const std::string& key, const std::string& value) {
+    if (key == "period") {
+      parse_duration(line, value, &task->period);
+    } else if (key == "cost") {
+      parse_duration(line, value, &task->cost);
+    } else if (key == "deadline") {
+      parse_duration(line, value, &task->deadline);
+    } else if (key == "priority") {
+      parse_int(line, value, &task->priority);
+    } else if (key == "start") {
+      Duration offset;
+      if (parse_duration(line, value, &offset)) {
+        task->start = TimePoint::origin() + offset;
+      }
+    } else {
+      error(line, "unknown task key '" + key + "'");
+    }
+  }
+
+  void job_key(int line, const std::string& key, const std::string& value) {
+    if (key == "release") {
+      Duration offset;
+      if (parse_duration(line, value, &offset)) {
+        job->release = TimePoint::origin() + offset;
+      }
+    } else if (key == "cost") {
+      parse_duration(line, value, &job->cost);
+    } else if (key == "declared") {
+      parse_duration(line, value, &job->declared_cost);
+    } else if (key == "deadline") {
+      parse_duration(line, value, &job->relative_deadline);
+    } else if (key == "value") {
+      parse_double(line, value, &job->value);
+    } else {
+      error(line, "unknown job key '" + key + "'");
+    }
+  }
+
+  void run_key(int line, const std::string& key, const std::string& value) {
+    if (key == "horizon") {
+      Duration h;
+      if (parse_duration(line, value, &h)) {
+        out.config.spec.horizon = TimePoint::origin() + h;
+        saw_horizon = true;
+      }
+    } else if (key == "mode") {
+      if (value == "sim") {
+        out.config.mode = RunMode::kSim;
+      } else if (value == "exec") {
+        out.config.mode = RunMode::kExec;
+      } else if (value == "both") {
+        out.config.mode = RunMode::kBoth;
+      } else {
+        error(line, "unknown mode '" + value + "'");
+      }
+    } else if (key == "overheads") {
+      if (value == "ideal") {
+        out.config.exec_options = exp::ideal_execution_options();
+      } else if (value == "paper") {
+        out.config.exec_options = exp::paper_execution_options();
+      } else {
+        error(line, "unknown overheads profile '" + value + "'");
+      }
+    } else if (key == "gantt") {
+      out.config.gantt = (value == "yes" || value == "true");
+    } else {
+      error(line, "unknown run key '" + key + "'");
+    }
+  }
+
+  void key_value(int line, const std::string& key, const std::string& value) {
+    switch (section) {
+      case Section::kServer:
+        server_key(line, key, value);
+        break;
+      case Section::kTask:
+        task_key(line, key, value);
+        break;
+      case Section::kJob:
+        job_key(line, key, value);
+        break;
+      case Section::kRun:
+        run_key(line, key, value);
+        break;
+      case Section::kNone:
+        error(line, "key outside of any section");
+        break;
+    }
+  }
+
+  void finish() {
+    if (!saw_horizon) {
+      out.errors.push_back("missing [run] horizon");
+    }
+    const auto& server = out.config.spec.server;
+    if (server.policy != model::ServerPolicy::kNone &&
+        (server.capacity.is_zero() || server.period.is_zero())) {
+      out.errors.push_back("server needs a positive capacity and period");
+    }
+    for (const auto& t : out.config.spec.periodic_tasks) {
+      if (t.period.is_zero() || t.cost.is_zero()) {
+        out.errors.push_back("task '" + t.name +
+                             "' needs a positive period and cost");
+      }
+    }
+    for (const auto& j : out.config.spec.aperiodic_jobs) {
+      if (j.cost.is_zero()) {
+        out.errors.push_back("job '" + j.name + "' needs a positive cost");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ParseOutcome parse_spec(const std::string& content) {
+  Parser parser;
+  std::istringstream stream(content);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    const std::string line = trim(strip_comment(raw));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        parser.error(line_no, "unterminated section header");
+        continue;
+      }
+      parser.open_section(line_no, line.substr(1, line.size() - 2));
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      parser.error(line_no, "expected 'key = value'");
+      continue;
+    }
+    parser.key_value(line_no, trim(line.substr(0, eq)),
+                     trim(line.substr(eq + 1)));
+  }
+  parser.finish();
+  return std::move(parser.out);
+}
+
+ParseOutcome load_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ParseOutcome out;
+    out.errors.push_back("cannot open '" + path + "'");
+    return out;
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  return parse_spec(content.str());
+}
+
+}  // namespace tsf::cli

@@ -1,0 +1,64 @@
+// Text spec files for the tsf_run tool.
+//
+// A small INI-style format describing one system: the server, periodic
+// tasks, aperiodic jobs and run options. Times are in paper time units
+// (fractions allowed; resolution 0.001 tu). Example:
+//
+//     [server]
+//     policy   = polling          # none|background|polling|deferrable|sporadic
+//     capacity = 3
+//     period   = 6
+//     priority = 30
+//     queue    = first-fit        # fifo|first-fit|list-of-lists
+//
+//     [task tau1]
+//     period   = 6
+//     cost     = 2
+//     priority = 20
+//
+//     [job h1]
+//     release  = 2
+//     cost     = 2
+//     declared = 2                # optional, defaults to cost
+//
+//     [run]
+//     horizon  = 18
+//     mode     = both             # sim|exec|both
+//     overheads = ideal           # ideal|paper
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/exec_runner.h"
+#include "exp/tables.h"
+#include "model/spec.h"
+
+namespace tsf::cli {
+
+enum class RunMode { kSim, kExec, kBoth };
+
+struct CliConfig {
+  model::SystemSpec spec;
+  RunMode mode = RunMode::kBoth;
+  exp::ExecOptions exec_options;  // ideal by default
+  bool gantt = true;
+  // When non-empty, the execution timeline is also written as a value
+  // change dump (one wire per task/job) for waveform viewers.
+  std::string vcd_path;
+};
+
+struct ParseOutcome {
+  CliConfig config;
+  std::vector<std::string> errors;  // empty on success
+  bool ok() const { return errors.empty(); }
+};
+
+// Parses the spec-file text. All errors are collected (with line numbers),
+// not just the first.
+ParseOutcome parse_spec(const std::string& content);
+
+// Reads and parses a file; a read failure becomes a parse error.
+ParseOutcome load_spec_file(const std::string& path);
+
+}  // namespace tsf::cli

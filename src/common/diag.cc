@@ -1,0 +1,14 @@
+#include "common/diag.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace tsf::common {
+
+void panic(const char* file, int line, const std::string& message) {
+  std::cerr << "[tsf panic] " << file << ":" << line << ": " << message
+            << std::endl;
+  std::abort();
+}
+
+}  // namespace tsf::common

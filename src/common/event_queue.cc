@@ -1,0 +1,41 @@
+#include "common/event_queue.h"
+
+#include "common/diag.h"
+
+namespace tsf::common {
+
+EventQueue::Handle EventQueue::schedule(TimePoint at, Callback cb) {
+  auto entry = std::make_shared<Entry>();
+  entry->at = at;
+  entry->seq = next_seq_++;
+  entry->cb = std::move(cb);
+  heap_.push(entry);
+  ++scheduled_count_;
+  return Handle(entry);
+}
+
+void EventQueue::purge() {
+  while (!heap_.empty() && heap_.top()->cancelled) heap_.pop();
+}
+
+bool EventQueue::empty() {
+  purge();
+  return heap_.empty();
+}
+
+TimePoint EventQueue::next_time() {
+  purge();
+  return heap_.empty() ? TimePoint::never() : heap_.top()->at;
+}
+
+void EventQueue::pop_and_run() {
+  purge();
+  TSF_ASSERT(!heap_.empty(), "pop_and_run on empty event queue");
+  auto entry = heap_.top();
+  heap_.pop();
+  entry->fired = true;
+  // The callback may schedule or cancel events; entry is already detached.
+  entry->cb();
+}
+
+}  // namespace tsf::common

@@ -1,0 +1,85 @@
+// A cancellable, deterministic event queue.
+//
+// Both engines (the discrete-event simulator and the RTSJ-style VM) pop timed
+// callbacks from one of these. Ordering is total and deterministic: events
+// fire by (time, insertion sequence), so two events scheduled for the same
+// instant fire in the order they were scheduled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace tsf::common {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Handles allow O(1) logical cancellation (lazy removal from the heap).
+  class Handle {
+   public:
+    Handle() = default;
+    // Cancelling an already-fired or empty handle is a no-op.
+    void cancel() {
+      if (auto e = entry_.lock()) e->cancelled = true;
+    }
+    bool active() const {
+      auto e = entry_.lock();
+      return e && !e->cancelled && !e->fired;
+    }
+
+   private:
+    friend class EventQueue;
+    struct Entry;
+    explicit Handle(std::weak_ptr<Entry> e) : entry_(std::move(e)) {}
+    std::weak_ptr<Entry> entry_;
+  };
+
+  Handle schedule(TimePoint at, Callback cb);
+
+  // True when no live (non-cancelled) events remain.
+  bool empty();
+
+  // Time of the earliest live event; TimePoint::never() when empty.
+  TimePoint next_time();
+
+  // Pops the earliest live event and runs its callback. Must not be called
+  // on an empty queue.
+  void pop_and_run();
+
+  std::size_t scheduled_count() const { return scheduled_count_; }
+
+ private:
+  struct Handle::Entry {
+    TimePoint at;
+    std::uint64_t seq = 0;
+    Callback cb;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  using Entry = Handle::Entry;
+
+  struct Later {
+    bool operator()(const std::shared_ptr<Entry>& a,
+                    const std::shared_ptr<Entry>& b) const {
+      if (a->at != b->at) return a->at > b->at;
+      return a->seq > b->seq;
+    }
+  };
+
+  // Discards cancelled entries from the top of the heap.
+  void purge();
+
+  std::priority_queue<std::shared_ptr<Entry>,
+                      std::vector<std::shared_ptr<Entry>>, Later>
+      heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t scheduled_count_ = 0;
+};
+
+}  // namespace tsf::common

@@ -1,0 +1,69 @@
+// Deterministic, self-contained random number generation.
+//
+// The paper's evaluation (§6.1) fixes a seed "in order to generate the same
+// systems on multiple platforms". std:: distributions are not guaranteed to
+// produce identical streams across standard library implementations, so we
+// carry our own generator (xoshiro256**, seeded through SplitMix64) and our
+// own distribution transforms. Given a seed, every stream in this repository
+// is identical on every platform.
+#pragma once
+
+#include <cstdint>
+
+namespace tsf::common {
+
+// Used to expand a single user seed into generator state (Blackman & Vigna's
+// recommended seeding procedure for the xoshiro family).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** 1.0 — fast, high-quality, and trivially reimplementable, which
+// is exactly what a reproducibility-focused generator needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  // Uniform real in [0, 1) with 53 bits of randomness.
+  double next_double();
+
+  // Uniform integer in [0, bound). bound must be > 0. Uses rejection
+  // sampling, so the result is exactly uniform.
+  std::uint64_t uniform_u64(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+
+  // Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Normal deviate (Box–Muller; caches the spare deviate).
+  double normal(double mean, double stddev);
+
+  // Poisson deviate. Knuth's product method for small lambda, normal
+  // approximation above 64 (well beyond anything the paper's workloads use).
+  std::uint64_t poisson(double lambda);
+
+  // Derives an independent, deterministic sub-stream (e.g. one per generated
+  // system) without correlating with the parent stream.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace tsf::common

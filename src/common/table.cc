@@ -1,0 +1,46 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace tsf::common {
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream oss;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) oss << "  ";
+      oss << std::left << std::setw(static_cast<int>(widths[i])) << row[i];
+    }
+    oss << '\n';
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        total += widths[i] + (i > 0 ? 2 : 0);
+      }
+      oss << std::string(total, '-') << '\n';
+    }
+  }
+  return oss.str();
+}
+
+std::string fmt_fixed(double x, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << x;
+  return oss.str();
+}
+
+}  // namespace tsf::common

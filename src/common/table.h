@@ -1,0 +1,24 @@
+// Fixed-width text tables, used by the bench harnesses to print
+// paper-style result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tsf::common {
+
+class TextTable {
+ public:
+  // The first row added is treated as the header.
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-point decimal rendering ("12.34").
+std::string fmt_fixed(double x, int precision);
+
+}  // namespace tsf::common

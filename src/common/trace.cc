@@ -1,0 +1,217 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/diag.h"
+
+namespace tsf::common {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kRelease:
+      return "release";
+    case TraceKind::kStart:
+      return "start";
+    case TraceKind::kPreempt:
+      return "preempt";
+    case TraceKind::kResume:
+      return "resume";
+    case TraceKind::kComplete:
+      return "complete";
+    case TraceKind::kAbort:
+      return "abort";
+    case TraceKind::kReplenish:
+      return "replenish";
+    case TraceKind::kCapacity:
+      return "capacity";
+    case TraceKind::kFire:
+      return "fire";
+    case TraceKind::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+void Timeline::record(TimePoint at, TraceKind kind, std::string who,
+                      std::int64_t value, std::string note) {
+  records_.push_back(
+      TraceRecord{at, kind, std::move(who), value, std::move(note)});
+}
+
+std::vector<Interval> Timeline::busy_intervals(const std::string& who) const {
+  std::vector<Interval> out;
+  bool open = false;
+  TimePoint begin;
+  for (const auto& r : records_) {
+    if (r.who != who) continue;
+    switch (r.kind) {
+      case TraceKind::kStart:
+      case TraceKind::kResume:
+        TSF_ASSERT(!open, "entity " << who << " started twice at " << r.at);
+        open = true;
+        begin = r.at;
+        break;
+      case TraceKind::kPreempt:
+      case TraceKind::kComplete:
+      case TraceKind::kAbort:
+        if (open) {
+          open = false;
+          if (r.at > begin) out.push_back(Interval{begin, r.at});
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<TimePoint> Timeline::marks(const std::string& who,
+                                       TraceKind kind) const {
+  std::vector<TimePoint> out;
+  for (const auto& r : records_) {
+    if (r.who == who && r.kind == kind) out.push_back(r.at);
+  }
+  return out;
+}
+
+std::vector<std::string> Timeline::entities() const {
+  std::vector<std::string> out;
+  for (const auto& r : records_) {
+    if (std::find(out.begin(), out.end(), r.who) == out.end()) {
+      out.push_back(r.who);
+    }
+  }
+  return out;
+}
+
+std::string Timeline::to_csv() const {
+  std::ostringstream oss;
+  oss << "ticks,kind,who,value,note\n";
+  for (const auto& r : records_) {
+    oss << r.at.ticks() << ',' << to_string(r.kind) << ',' << r.who << ','
+        << r.value << ',' << r.note << '\n';
+  }
+  return oss.str();
+}
+
+std::string to_vcd(const Timeline& timeline,
+                   const std::vector<std::string>& rows) {
+  TSF_ASSERT(rows.size() < 94, "too many VCD signals for 1-char identifiers");
+  std::ostringstream oss;
+  oss << "$timescale 1us $end\n$scope module tsf $end\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::string name = rows[i];
+    for (auto& c : name) {
+      if (c == ' ') c = '_';
+    }
+    oss << "$var wire 1 " << static_cast<char>('!' + i) << ' ' << name
+        << " $end\n";
+  }
+  oss << "$upscope $end\n$enddefinitions $end\n";
+
+  // Gather transitions: (time, signal, level).
+  struct Edge {
+    std::int64_t at;
+    std::size_t signal;
+    bool level;
+  };
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (const auto& iv : timeline.busy_intervals(rows[i])) {
+      edges.push_back({iv.begin.ticks(), i, true});
+      edges.push_back({iv.end.ticks(), i, false});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.signal != b.signal) return a.signal < b.signal;
+    return a.level < b.level;  // falling edge before rising at the same time
+  });
+
+  oss << "#0\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    oss << '0' << static_cast<char>('!' + i) << '\n';
+  }
+  std::int64_t current = 0;
+  for (const auto& e : edges) {
+    if (e.at != current) {
+      current = e.at;
+      oss << '#' << current << '\n';
+    }
+    oss << (e.level ? '1' : '0') << static_cast<char>('!' + e.signal) << '\n';
+  }
+  return oss.str();
+}
+
+std::string render_gantt(const Timeline& timeline,
+                         const std::vector<std::string>& rows,
+                         const GanttOptions& options) {
+  TSF_ASSERT(options.cell.count() > 0, "gantt cell must be positive");
+  TSF_ASSERT(options.end > options.begin, "gantt window must be non-empty");
+  const std::int64_t cells =
+      ((options.end - options.begin).count() + options.cell.count() - 1) /
+      options.cell.count();
+
+  std::size_t label_width = 4;
+  for (const auto& name : rows) label_width = std::max(label_width, name.size());
+  label_width += 2;
+
+  std::ostringstream oss;
+
+  // Time ruler: one label every 5 cells, in time units.
+  oss << std::string(label_width, ' ');
+  for (std::int64_t c = 0; c < cells; ++c) {
+    if (c % 5 == 0) {
+      const double tu = (options.begin + options.cell * c).to_tu();
+      std::ostringstream lbl;
+      lbl << tu;
+      std::string s = lbl.str();
+      oss << s;
+      // Skip the cells the label covered (minus one; loop increments).
+      std::int64_t skip = static_cast<std::int64_t>(s.size()) - 1;
+      c += skip;
+      for (std::int64_t k = 0; k < skip; ++k) {
+        if ((c - skip + k + 1) % 5 == 0) break;  // never overlap next label
+      }
+    } else {
+      oss << ' ';
+    }
+  }
+  oss << '\n';
+
+  for (const auto& name : rows) {
+    const auto intervals = timeline.busy_intervals(name);
+    const auto releases = timeline.marks(name, TraceKind::kRelease);
+
+    std::string row(static_cast<std::size_t>(cells), '.');
+    for (const auto& iv : intervals) {
+      const std::int64_t from =
+          std::max<std::int64_t>(0, (iv.begin - options.begin).count() /
+                                        options.cell.count());
+      // End is exclusive; a window that merely touches a cell boundary does
+      // not occupy the next cell.
+      const std::int64_t to = std::min<std::int64_t>(
+          cells, ((iv.end - options.begin).count() + options.cell.count() - 1) /
+                     options.cell.count());
+      for (std::int64_t c = from; c < to; ++c) {
+        row[static_cast<std::size_t>(c)] = '#';
+      }
+    }
+    if (options.show_releases) {
+      for (const auto at : releases) {
+        const std::int64_t c = (at - options.begin).count() / options.cell.count();
+        if (c >= 0 && c < cells) {
+          auto& ch = row[static_cast<std::size_t>(c)];
+          ch = (ch == '#') ? '@' : '^';
+        }
+      }
+    }
+
+    oss << name << std::string(label_width - name.size(), ' ') << row << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace tsf::common

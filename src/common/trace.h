@@ -1,0 +1,93 @@
+// Execution tracing shared by both engines.
+//
+// The simulator and the RTSJ-style VM emit the same record stream, which
+// gives us one Gantt renderer for the paper's figures and one interval
+// extractor for tests that assert exact execution windows (e.g. "h2 runs in
+// [12,14) in scenario 2").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace tsf::common {
+
+enum class TraceKind {
+  kRelease,    // job/event released (arrival)
+  kStart,      // entity begins executing on the processor
+  kPreempt,    // entity loses the processor, will resume later
+  kResume,     // entity regains the processor
+  kComplete,   // entity finished its current job
+  kAbort,      // entity's current job was abandoned (e.g. AIE interruption)
+  kReplenish,  // server capacity replenished (value = new capacity, ticks)
+  kCapacity,   // server capacity changed (value = remaining capacity, ticks)
+  kFire,       // async event fired
+  kNote,       // free-form annotation
+};
+
+const char* to_string(TraceKind kind);
+
+struct TraceRecord {
+  TimePoint at;
+  TraceKind kind;
+  std::string who;
+  std::int64_t value = 0;
+  std::string note;
+};
+
+// A contiguous window during which an entity held the processor.
+struct Interval {
+  TimePoint begin;
+  TimePoint end;
+  bool operator==(const Interval&) const = default;
+};
+
+class Timeline {
+ public:
+  void record(TimePoint at, TraceKind kind, std::string who,
+              std::int64_t value = 0, std::string note = {});
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  // Stitches kStart/kResume..kPreempt/kComplete/kAbort into busy windows for
+  // one entity. Zero-length windows are dropped.
+  std::vector<Interval> busy_intervals(const std::string& who) const;
+
+  // All instants at which `kind` was recorded for `who`.
+  std::vector<TimePoint> marks(const std::string& who, TraceKind kind) const;
+
+  // Distinct entity names in order of first appearance.
+  std::vector<std::string> entities() const;
+
+  // One record per line, "t kind who value note" — for debugging and CSV.
+  std::string to_csv() const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+// Renders an ASCII Gantt chart of the busy intervals, one row per entity,
+// in the style of the paper's figures 2-4.
+struct GanttOptions {
+  // Virtual time per character cell.
+  Duration cell = Duration::ticks(500);  // half a paper time unit
+  TimePoint begin = TimePoint::origin();
+  TimePoint end = TimePoint::at_ticks(60 * Duration::kTicksPerTimeUnit);
+  bool show_releases = true;  // '^' marks under each row
+};
+
+std::string render_gantt(const Timeline& timeline,
+                         const std::vector<std::string>& rows,
+                         const GanttOptions& options = {});
+
+// Value-change-dump export (GTKWave & friends): one 1-bit wire per entity,
+// high while the entity holds the processor. Timescale: 1 tick = 1 us
+// (nominal; virtual time has no physical unit). Entities in `rows`; pass
+// timeline.entities() for everything.
+std::string to_vcd(const Timeline& timeline,
+                   const std::vector<std::string>& rows);
+
+}  // namespace tsf::common

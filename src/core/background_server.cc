@@ -1,0 +1,37 @@
+#include "core/background_server.h"
+
+namespace tsf::core {
+
+BackgroundServer::BackgroundServer(rtsj::vm::VirtualMachine& machine,
+                                   TaskServerParameters params)
+    : TaskServer(machine, std::move(params)),
+      wake_up_(machine, params_.name() + ".wakeUp"),
+      wake_handler_(
+          machine, params_.name(),
+          rtsj::PriorityParameters(priority()),
+          [this](rtsj::AsyncEventHandler&) { serve(); }) {
+  wake_up_.add_handler(&wake_handler_);
+}
+
+void BackgroundServer::start() {
+  // Nothing to arm: a background server is purely event-driven.
+  remaining_ = params_.capacity();
+}
+
+void BackgroundServer::on_release(const Request& request) {
+  (void)request;
+  if (!serving_) wake_up_.fire();
+}
+
+void BackgroundServer::serve() {
+  serving_ = true;
+  const FitsFn everything = [](rtsj::RelativeTime) { return true; };
+  while (auto request = queue_->pop_fitting(everything)) {
+    // Unbounded budget: background execution is never interrupted, it is
+    // merely preempted by every other task in the system.
+    dispatch(*request, rtsj::RelativeTime::infinite());
+  }
+  serving_ = false;
+}
+
+}  // namespace tsf::core

@@ -1,0 +1,39 @@
+// BackgroundServer — the baseline the paper's §2 opens with: "The easiest
+// way to achieve this is to schedule all non-periodic tasks at a lower
+// priority. If it is very simple to implement, it does not offer satisfying
+// response times for non-periodic tasks, especially if the periodic traffic
+// is important."
+//
+// No capacity, no budget, no interruption: pending handlers run whenever no
+// higher-priority (periodic) work wants the processor. Construct it with the
+// lowest priority in the system.
+#pragma once
+
+#include "core/task_server.h"
+#include "rtsj/async_event.h"
+
+namespace tsf::core {
+
+class BackgroundServer : public TaskServer {
+ public:
+  BackgroundServer(rtsj::vm::VirtualMachine& machine,
+                   TaskServerParameters params);
+
+  void start() override;
+
+  // Runs below everything else, so it interferes with nothing.
+  rtsj::RelativeTime interference(rtsj::RelativeTime window) const override {
+    (void)window;
+    return rtsj::RelativeTime::zero();
+  }
+
+ private:
+  void on_release(const Request& request) override;
+  void serve();
+
+  rtsj::AsyncEvent wake_up_;
+  rtsj::AsyncEventHandler wake_handler_;
+  bool serving_ = false;
+};
+
+}  // namespace tsf::core

@@ -1,0 +1,109 @@
+#include "core/deferrable_task_server.h"
+
+namespace tsf::core {
+
+DeferrableTaskServer::DeferrableTaskServer(rtsj::vm::VirtualMachine& machine,
+                                           TaskServerParameters params)
+    : TaskServer(machine, std::move(params)),
+      wake_up_(machine, params_.name() + ".wakeUp"),
+      wake_handler_(
+          machine, params_.name(),
+          rtsj::PriorityParameters(priority()),
+          [this](rtsj::AsyncEventHandler&) { serve(); }),
+      last_replenish_(params_.start()),
+      next_replenish_(params_.start() + params_.period()) {
+  wake_up_.add_handler(&wake_handler_);
+}
+
+void DeferrableTaskServer::start() {
+  remaining_ = params_.capacity();
+  ++activations_;
+  arm_replenish_timer(next_replenish_);
+}
+
+void DeferrableTaskServer::arm_replenish_timer(rtsj::AbsoluteTime at) {
+  // A kernel timer, so each replenishment pays the timer-fire overhead just
+  // like the real implementation's periodic timer.
+  vm_.schedule_timer(at, [this] { on_replenish(); });
+}
+
+void DeferrableTaskServer::on_replenish() {
+  // Full replenishment every period (§2.2: "It recovers its capacity every
+  // period").
+  remaining_ = params_.capacity();
+  last_replenish_ = vm_.now();
+  next_replenish_ = vm_.now() + params_.period();
+  ++activations_;
+  vm_.timeline().record(vm_.now(), common::TraceKind::kReplenish,
+                        params_.name(), remaining_.count());
+  queue_->begin_instance();
+  arm_replenish_timer(next_replenish_);
+  if (!serving_ && !queue_->empty()) wake_up_.fire();
+}
+
+void DeferrableTaskServer::on_release(const Request& request) {
+  (void)request;
+  if (!serving_) wake_up_.fire();
+}
+
+void DeferrableTaskServer::serve() {
+  serving_ = true;
+  if (!params_.poll_overhead().is_zero()) vm_.work(params_.poll_overhead());
+  for (;;) {
+    const rtsj::AbsoluteTime now = vm_.now();
+    // §4.2's chooseNextEvent: an event fits if it fits the remaining
+    // capacity, or if its execution would span the next replenishment, in
+    // which case the budget is remaining + full capacity.
+    const auto budget_for = [&](rtsj::RelativeTime cost) {
+      return (now + cost > next_replenish_)
+                 ? remaining_ + params_.capacity()
+                 : remaining_;
+    };
+    const FitsFn fits = [&](rtsj::RelativeTime cost) {
+      // §7's interruption-avoidance margin (zero by default).
+      const rtsj::RelativeTime padded = cost + params_.admission_margin();
+      if (padded <= remaining_) return true;
+      // "activated as soon as an aperiodic event occurs (if it has enough
+      // capacity)": with nothing left, the server is simply not eligible
+      // until the replenishment.
+      if (remaining_.is_zero()) return false;
+      if (padded > budget_for(cost)) return false;
+      if (params_.strict_capacity() && next_replenish_ - now > remaining_) {
+        return false;
+      }
+      return true;
+    };
+    auto request = queue_->pop_fitting(fits);
+    if (!request) break;
+
+    const rtsj::RelativeTime budget = budget_for(request->handler->cost());
+    const rtsj::AbsoluteTime t0 = vm_.now();
+    const DispatchResult r = dispatch(*request, budget);
+    // Wall-clock capacity accounting across a possible replenishment: only
+    // consumption after the most recent replenishment matters.
+    if (last_replenish_ > t0) {
+      remaining_ = common::max(
+          params_.capacity() - (vm_.now() - last_replenish_),
+          rtsj::RelativeTime::zero());
+    } else {
+      remaining_ =
+          common::max(remaining_ - r.elapsed, rtsj::RelativeTime::zero());
+    }
+    vm_.timeline().record(vm_.now(), common::TraceKind::kCapacity,
+                          params_.name(), remaining_.count());
+  }
+  serving_ = false;
+}
+
+rtsj::RelativeTime DeferrableTaskServer::interference(
+    rtsj::RelativeTime window) const {
+  if (window <= rtsj::RelativeTime::zero()) return rtsj::RelativeTime::zero();
+  // Periodic task with jitter J = T - C: ceil((w + J) / T) * C.
+  const rtsj::RelativeTime jitter = params_.period() - params_.capacity();
+  const std::int64_t releases =
+      ((window + jitter).count() + params_.period().count() - 1) /
+      params_.period().count();
+  return params_.capacity() * releases;
+}
+
+}  // namespace tsf::core

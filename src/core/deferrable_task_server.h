@@ -1,0 +1,52 @@
+// DeferrableTaskServer — paper §4.2.
+//
+// "Unlike the PS, the DS can serve an aperiodic task at any time as it has
+// enough capacity. So the run() method can no longer be delegated to a
+// periodic real-time thread. Instead, it is delegated to an AEH bound to a
+// specific AE we call wakeUp. Each time an aperiodic event occurs, if the
+// server is not already running, this event is fired. Moreover, we add a
+// periodic timer which fires wakeUp if the server is not already running."
+//
+// Boundary-spanning rule (verbatim from §4.2): chooseNextEvent() compares
+// the current date with the next period — if now + cost crosses the next
+// replenishment, the Timed budget becomes remaining + full capacity. The
+// `strict_capacity` parameter additionally requires the span until the
+// boundary to fit in the remaining capacity (see DESIGN.md §5.4).
+#pragma once
+
+#include "core/servable_async_event.h"
+#include "core/task_server.h"
+#include "rtsj/async_event.h"
+
+namespace tsf::core {
+
+class DeferrableTaskServer : public TaskServer {
+ public:
+  DeferrableTaskServer(rtsj::vm::VirtualMachine& machine,
+                       TaskServerParameters params);
+
+  void start() override;
+
+  rtsj::AbsoluteTime next_replenish() const { return next_replenish_; }
+  bool serving() const { return serving_; }
+
+  // Deferred execution makes the DS worse than a periodic task for the
+  // periodic-task analysis: back-to-back interference, modelled as a
+  // periodic task with release jitter T - C (Strosnider et al., the
+  // "modified feasibility analysis" of §2.2).
+  rtsj::RelativeTime interference(rtsj::RelativeTime window) const override;
+
+ private:
+  void on_release(const Request& request) override;
+  void serve();
+  void arm_replenish_timer(rtsj::AbsoluteTime at);
+  void on_replenish();
+
+  rtsj::AsyncEvent wake_up_;
+  rtsj::AsyncEventHandler wake_handler_;
+  bool serving_ = false;
+  rtsj::AbsoluteTime last_replenish_;
+  rtsj::AbsoluteTime next_replenish_;
+};
+
+}  // namespace tsf::core

@@ -1,0 +1,141 @@
+#include "core/pending_queue.h"
+
+#include <algorithm>
+
+#include "common/diag.h"
+#include "core/servable_async_event_handler.h"
+
+namespace tsf::core {
+
+namespace {
+rtsj::RelativeTime declared(const Request& r) {
+  return r.handler->cost();
+}
+}  // namespace
+
+std::unique_ptr<PendingQueue> PendingQueue::make(
+    model::QueueDiscipline discipline, rtsj::RelativeTime capacity) {
+  switch (discipline) {
+    case model::QueueDiscipline::kStrictFifo:
+      return std::make_unique<StrictFifoQueue>();
+    case model::QueueDiscipline::kFifoFirstFit:
+      return std::make_unique<FifoFirstFitQueue>();
+    case model::QueueDiscipline::kListOfLists:
+      return std::make_unique<ListOfListsQueue>(capacity);
+  }
+  TSF_PANIC("unknown queue discipline");
+}
+
+std::optional<Request> StrictFifoQueue::pop_fitting(const FitsFn& fits) {
+  if (q_.empty() || !fits(declared(q_.front()))) return std::nullopt;
+  Request r = std::move(q_.front());
+  q_.pop_front();
+  return r;
+}
+
+std::vector<Request> StrictFifoQueue::drain() {
+  std::vector<Request> out(q_.begin(), q_.end());
+  q_.clear();
+  return out;
+}
+
+std::optional<Request> FifoFirstFitQueue::pop_fitting(const FitsFn& fits) {
+  for (auto it = q_.begin(); it != q_.end(); ++it) {
+    if (fits(declared(*it))) {
+      Request r = std::move(*it);
+      q_.erase(it);
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Request> FifoFirstFitQueue::drain() {
+  std::vector<Request> out(q_.begin(), q_.end());
+  q_.clear();
+  return out;
+}
+
+ListOfListsQueue::ListOfListsQueue(rtsj::RelativeTime capacity)
+    : capacity_(capacity) {
+  TSF_ASSERT(capacity_ > rtsj::RelativeTime::zero(),
+             "list-of-lists queue needs a positive capacity");
+}
+
+void ListOfListsQueue::append(Request r) {
+  // O(1): only the last open instance is considered, so registration cost
+  // does not grow with the backlog and FIFO order is never violated.
+  const rtsj::RelativeTime c = declared(r);
+  if (c > capacity_) {
+    unservable_.push_back(std::move(r));
+    return;
+  }
+  if (buckets_.empty() || buckets_.back().load + c > capacity_) {
+    buckets_.emplace_back();
+  }
+  buckets_.back().load += c;
+  buckets_.back().items.push_back(std::move(r));
+}
+
+void ListOfListsQueue::push(Request r) { append(std::move(r)); }
+
+std::optional<Request> ListOfListsQueue::pop_fitting(const FitsFn& fits) {
+  if (active_.empty() || !fits(declared(active_.front()))) return std::nullopt;
+  Request r = std::move(active_.front());
+  active_.pop_front();
+  return r;
+}
+
+bool ListOfListsQueue::empty() const {
+  // Unservable requests are deliberately excluded: they must not make an
+  // event-driven server wake up for work it can never dispatch.
+  return active_.empty() && buckets_.empty();
+}
+
+std::size_t ListOfListsQueue::size() const {
+  std::size_t n = active_.size() + unservable_.size();
+  for (const auto& b : buckets_) n += b.items.size();
+  return n;
+}
+
+std::vector<Request> ListOfListsQueue::drain() {
+  std::vector<Request> out(active_.begin(), active_.end());
+  active_.clear();
+  for (auto& b : buckets_) {
+    out.insert(out.end(), b.items.begin(), b.items.end());
+  }
+  buckets_.clear();
+  out.insert(out.end(), unservable_.begin(), unservable_.end());
+  unservable_.clear();
+  return out;
+}
+
+void ListOfListsQueue::begin_instance() {
+  // Leftovers of the previous instance (possible only under overhead or
+  // under-declared costs) are re-registered like fresh releases.
+  std::deque<Request> leftovers;
+  leftovers.swap(active_);
+  for (auto& r : leftovers) append(std::move(r));
+  if (!buckets_.empty()) {
+    active_ = std::move(buckets_.front().items);
+    buckets_.pop_front();
+  }
+}
+
+ListOfListsQueue::Placement ListOfListsQueue::placement_for(
+    rtsj::RelativeTime declared_cost) const {
+  // O(1): a new release can only land in the last open instance or a fresh
+  // one (mirrors append()).
+  Placement p;
+  if (!buckets_.empty() &&
+      buckets_.back().load + declared_cost <= capacity_) {
+    p.instance_offset = static_cast<std::int64_t>(buckets_.size()) - 1;
+    p.cumulative_before = buckets_.back().load;
+    return p;
+  }
+  p.instance_offset = static_cast<std::int64_t>(buckets_.size());
+  p.cumulative_before = rtsj::RelativeTime::zero();
+  return p;
+}
+
+}  // namespace tsf::core

@@ -1,0 +1,132 @@
+// Pending-event queues for task servers.
+//
+// The paper uses a FIFO list whose chooseNextEvent() returns "the first
+// handler in the list which has a cost lower than the remaining capacity"
+// (§4.1) — our kFifoFirstFit. kStrictFifo is the head-blocking variant the
+// theoretical servers use, and kListOfLists is the §7 proposal: handlers are
+// packed into per-server-instance buckets so that the response time of a new
+// release is computable in constant time (equation (5)).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "model/spec.h"
+#include "rtsj/time.h"
+
+namespace tsf::core {
+
+class ServableAsyncEventHandler;
+
+// One release of a servable event bound to a handler.
+struct Request {
+  ServableAsyncEventHandler* handler = nullptr;
+  rtsj::AbsoluteTime release;
+  std::uint64_t seq = 0;  // global release order
+};
+
+// Predicate deciding whether a request with the given declared cost can be
+// dispatched right now (the servers encode their capacity rules here).
+using FitsFn = std::function<bool(rtsj::RelativeTime declared_cost)>;
+
+class PendingQueue {
+ public:
+  virtual ~PendingQueue() = default;
+
+  virtual void push(Request r) = 0;
+  // Removes and returns the next dispatchable request, or nullopt when no
+  // queued request satisfies `fits`.
+  virtual std::optional<Request> pop_fitting(const FitsFn& fits) = 0;
+  virtual bool empty() const = 0;
+  virtual std::size_t size() const = 0;
+  // Removes and returns everything still pending (end-of-run accounting).
+  virtual std::vector<Request> drain() = 0;
+  // Called by instance-based servers at each activation; only the
+  // list-of-lists queue reacts (it rotates to the next instance bucket).
+  virtual void begin_instance() {}
+
+  static std::unique_ptr<PendingQueue> make(model::QueueDiscipline discipline,
+                                            rtsj::RelativeTime capacity);
+};
+
+// Serve strictly in release order; an oversized head blocks everything.
+class StrictFifoQueue : public PendingQueue {
+ public:
+  void push(Request r) override { q_.push_back(std::move(r)); }
+  std::optional<Request> pop_fitting(const FitsFn& fits) override;
+  bool empty() const override { return q_.empty(); }
+  std::size_t size() const override { return q_.size(); }
+  std::vector<Request> drain() override;
+
+ private:
+  std::deque<Request> q_;
+};
+
+// The paper's chooseNextEvent(): first request (in release order) that fits.
+class FifoFirstFitQueue : public PendingQueue {
+ public:
+  void push(Request r) override { q_.push_back(std::move(r)); }
+  std::optional<Request> pop_fitting(const FitsFn& fits) override;
+  bool empty() const override { return q_.empty(); }
+  std::size_t size() const override { return q_.size(); }
+  std::vector<Request> drain() override;
+
+ private:
+  std::deque<Request> q_;
+};
+
+// §7: a list of lists of handlers, each inner list holding at most one
+// server instance worth of declared cost, plus the parallel list of
+// cumulative costs. Releases append to the last open instance (or open a
+// new one), so registration and the placement query are O(1) — the paper's
+// constant-time response-time claim — and global FIFO order is preserved
+// (a later release never jumps into an earlier instance). The bucket index
+// and the cumulative cost before a request give its response time via
+// equation (5) (see ResponseTimePredictor).
+class ListOfListsQueue : public PendingQueue {
+ public:
+  explicit ListOfListsQueue(rtsj::RelativeTime capacity);
+
+  void push(Request r) override;
+  // Serves only the active instance's list (detached at begin_instance).
+  std::optional<Request> pop_fitting(const FitsFn& fits) override;
+  bool empty() const override;
+  std::size_t size() const override;
+  std::vector<Request> drain() override;
+  // Rotates: unserved leftovers of the active list are re-registered, then
+  // the first future bucket becomes the active list.
+  void begin_instance() override;
+
+  // --- the §7 prediction interface ---
+  // Where would a request with this declared cost land, were it released
+  // now? Returns {instances_from_next_activation, cumulative_cost_before}.
+  struct Placement {
+    std::int64_t instance_offset = 0;
+    rtsj::RelativeTime cumulative_before = rtsj::RelativeTime::zero();
+  };
+  Placement placement_for(rtsj::RelativeTime declared_cost) const;
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  struct Bucket {
+    std::deque<Request> items;
+    rtsj::RelativeTime load = rtsj::RelativeTime::zero();
+  };
+
+  void append(Request r);
+
+  rtsj::RelativeTime capacity_;
+  std::deque<Request> active_;  // the instance currently being served
+  std::deque<Bucket> buckets_;  // future instances, in order
+  // Requests whose declared cost exceeds the capacity violate the
+  // framework's §4 constraint and can never be served; they are parked here
+  // (reported by size()/drain()) instead of wasting a whole instance.
+  std::vector<Request> unservable_;
+};
+
+}  // namespace tsf::core

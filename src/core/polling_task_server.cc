@@ -1,0 +1,52 @@
+#include "core/polling_task_server.h"
+
+namespace tsf::core {
+
+PollingTaskServer::PollingTaskServer(rtsj::vm::VirtualMachine& machine,
+                                     TaskServerParameters params)
+    : TaskServer(machine, std::move(params)),
+      thread_(machine, params_.name(), rtsj::PriorityParameters(priority()),
+              rtsj::PeriodicParameters(params_.start(), params_.period(),
+                                       params_.capacity()),
+              [this](rtsj::RealtimeThread& t) { run(t); }) {}
+
+void PollingTaskServer::start() { thread_.start(); }
+
+void PollingTaskServer::on_release(const Request& request) {
+  // Polling: nothing happens until the next periodic activation.
+  (void)request;
+}
+
+void PollingTaskServer::run(rtsj::RealtimeThread& thread) {
+  for (;;) {
+    // ---- periodic activation: full capacity ----
+    ++activations_;
+    ++next_activation_;
+    remaining_ = params_.capacity();
+    vm_.timeline().record(vm_.now(), common::TraceKind::kReplenish,
+                          params_.name(), remaining_.count());
+    if (!params_.poll_overhead().is_zero()) vm_.work(params_.poll_overhead());
+    queue_->begin_instance();
+
+    // §7's interruption-avoidance margin keeps headroom between the
+    // declared cost and the budget (zero by default).
+    const FitsFn fits = [this](rtsj::RelativeTime declared_cost) {
+      return declared_cost + params_.admission_margin() <= remaining_;
+    };
+    while (auto request = queue_->pop_fitting(fits)) {
+      // The Timed budget is the remaining capacity: the handler may overrun
+      // its declared cost up to the capacity's slack before the AIE fires.
+      const DispatchResult r = dispatch(*request, remaining_);
+      remaining_ = common::max(remaining_ - r.elapsed,
+                               rtsj::RelativeTime::zero());
+      vm_.timeline().record(vm_.now(), common::TraceKind::kCapacity,
+                            params_.name(), remaining_.count());
+    }
+    // Polling policy: whatever capacity is left is lost until the next
+    // activation.
+    remaining_ = rtsj::RelativeTime::zero();
+    thread.wait_for_next_period();
+  }
+}
+
+}  // namespace tsf::core

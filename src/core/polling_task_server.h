@@ -1,0 +1,48 @@
+// PollingTaskServer — paper §4.1.
+//
+// "Our class PollingTaskServer encapsulates a RealtimeThread with
+// PeriodicParameters. ... At each periodic activation, a method
+// chooseNextEvent() is called. ... While the chosen event is not null, it is
+// executed (with the method doInterruptible() of Timed), the capacity is
+// decreased and the chooseNextEvent() method is called again."
+//
+// Implementation constraints reproduced from the paper:
+//  - a handler is dispatched only if its declared cost fits the remaining
+//    capacity (Java threads cannot be suspended/resumed);
+//  - the Timed budget is the whole remaining capacity, so a handler gets
+//    whatever slack the capacity still holds before being interrupted
+//    (scenario 3 / §6.2.2);
+//  - unspent capacity is lost as soon as no pending event fits (polling).
+#pragma once
+
+#include <optional>
+
+#include "core/task_server.h"
+#include "rtsj/realtime_thread.h"
+
+namespace tsf::core {
+
+class PollingTaskServer : public TaskServer {
+ public:
+  PollingTaskServer(rtsj::vm::VirtualMachine& machine,
+                    TaskServerParameters params);
+
+  void start() override;
+
+  rtsj::RealtimeThread& thread() { return thread_; }
+  // Index of the next activation (for the §7 response-time predictor).
+  std::int64_t next_activation_index() const { return next_activation_; }
+  rtsj::AbsoluteTime activation_time(std::int64_t index) const {
+    return params_.start() + params_.period() * index;
+  }
+  const PendingQueue& queue() const { return *queue_; }
+
+ private:
+  void on_release(const Request& request) override;
+  void run(rtsj::RealtimeThread& thread);
+
+  rtsj::RealtimeThread thread_;
+  std::int64_t next_activation_ = 0;
+};
+
+}  // namespace tsf::core

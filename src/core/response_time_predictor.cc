@@ -1,0 +1,37 @@
+#include "core/response_time_predictor.h"
+
+#include "common/diag.h"
+
+namespace tsf::core {
+
+ResponseTimePredictor::ResponseTimePredictor(const PollingTaskServer& server)
+    : server_(server),
+      queue_(*[&]() -> const ListOfListsQueue* {
+        const auto* q =
+            dynamic_cast<const ListOfListsQueue*>(&server.queue());
+        TSF_ASSERT(q != nullptr,
+                   "ResponseTimePredictor requires the list-of-lists queue");
+        return q;
+      }()) {}
+
+std::optional<rtsj::RelativeTime> ResponseTimePredictor::predict(
+    rtsj::RelativeTime declared_cost) const {
+  if (declared_cost > server_.params().capacity()) return std::nullopt;
+  const auto placement = queue_.placement_for(declared_cost);
+  // Bucket 0 is served at the next activation.
+  const std::int64_t instance =
+      server_.next_activation_index() + placement.instance_offset;
+  const rtsj::AbsoluteTime served_from = server_.activation_time(instance);
+  const rtsj::AbsoluteTime completion =
+      served_from + placement.cumulative_before + declared_cost;
+  return completion - server_.machine().now();
+}
+
+bool ResponseTimePredictor::admissible(
+    rtsj::RelativeTime declared_cost,
+    rtsj::RelativeTime relative_deadline) const {
+  const auto r = predict(declared_cost);
+  return r.has_value() && *r <= relative_deadline;
+}
+
+}  // namespace tsf::core

@@ -1,0 +1,42 @@
+// On-line response-time prediction and admission — paper §7, equation (5).
+//
+// With the list-of-lists pending queue, the position a new release would
+// take is a (bucket index, cumulative-cost-before) pair available in O(1)
+// amortised time, and the implemented Polling Server's response time is
+//
+//     Ra = (Ia * Ts + Cpa + Ca) - ra                         (eq. 5)
+//
+// where Ia is the absolute index of the serving instance, Cpa the cumulative
+// cost of earlier handlers in the same instance, Ca the declared cost and ra
+// the release instant. This enables constant-time admission control — and
+// cancellation of releases that cannot meet their deadline.
+#pragma once
+
+#include <optional>
+
+#include "core/polling_task_server.h"
+
+namespace tsf::core {
+
+class ResponseTimePredictor {
+ public:
+  // The server must use QueueDiscipline::kListOfLists; the predictor reads
+  // the queue's placement structures without modifying them.
+  explicit ResponseTimePredictor(const PollingTaskServer& server);
+
+  // Response time of a request with the given declared cost, were it
+  // released at the current virtual time. nullopt if the cost exceeds the
+  // server capacity (never servable, §4's first constraint).
+  std::optional<rtsj::RelativeTime> predict(
+      rtsj::RelativeTime declared_cost) const;
+
+  // Constant-time admission test against a relative deadline.
+  bool admissible(rtsj::RelativeTime declared_cost,
+                  rtsj::RelativeTime relative_deadline) const;
+
+ private:
+  const PollingTaskServer& server_;
+  const ListOfListsQueue& queue_;
+};
+
+}  // namespace tsf::core

@@ -1,0 +1,33 @@
+#include "core/servable_async_event.h"
+
+#include <algorithm>
+
+#include "common/diag.h"
+#include "core/task_server.h"
+
+namespace tsf::core {
+
+void ServableAsyncEvent::add_handler(ServableAsyncEventHandler* handler) {
+  TSF_ASSERT(handler != nullptr, "null servable handler added to " << name());
+  if (std::find(servable_handlers_.begin(), servable_handlers_.end(),
+                handler) == servable_handlers_.end()) {
+    servable_handlers_.push_back(handler);
+  }
+}
+
+void ServableAsyncEvent::remove_handler(ServableAsyncEventHandler* handler) {
+  auto it = std::find(servable_handlers_.begin(), servable_handlers_.end(),
+                      handler);
+  if (it != servable_handlers_.end()) servable_handlers_.erase(it);
+}
+
+void ServableAsyncEvent::fire() {
+  rtsj::AsyncEvent::fire();  // plain handlers + the kFire trace record
+  for (ServableAsyncEventHandler* h : servable_handlers_) {
+    TSF_ASSERT(h->server() != nullptr,
+               "servable handler " << h->name() << " has no task server");
+    h->server()->servable_event_released(h);
+  }
+}
+
+}  // namespace tsf::core

@@ -1,0 +1,31 @@
+// ServableAsyncEvent (SAE) — paper §3.
+//
+// "This AsyncEvent subclass represents a servable event. Like a normal AE,
+// a SAE can be bound to one or several standard handlers ... We overload
+// [addHandler] with the method addHandler(ServableAsyncEventHandler) and we
+// redefine the method fire()": firing releases the plain AsyncEventHandlers
+// as usual *and* registers each bound SAEH with its task server.
+#pragma once
+
+#include <vector>
+
+#include "core/servable_async_event_handler.h"
+#include "rtsj/async_event.h"
+
+namespace tsf::core {
+
+class ServableAsyncEvent : public rtsj::AsyncEvent {
+ public:
+  using rtsj::AsyncEvent::AsyncEvent;
+
+  using rtsj::AsyncEvent::add_handler;  // keep the AEH overload visible
+  void add_handler(ServableAsyncEventHandler* handler);
+  void remove_handler(ServableAsyncEventHandler* handler);
+
+  void fire() override;
+
+ private:
+  std::vector<ServableAsyncEventHandler*> servable_handlers_;
+};
+
+}  // namespace tsf::core

@@ -1,0 +1,41 @@
+// SporadicTaskServer — the Sporadic Server policy (Sprunt, Sha & Lehoczky
+// 1989), cited in the paper's §2 survey. Extension beyond the paper's two
+// implemented policies.
+//
+// Event-driven like the Deferrable Server, but replenishment is *amount
+// based*: capacity consumed from the start of a service burst is returned
+// one period after that burst began. This removes the DS's back-to-back
+// effect, so the SS counts as a plain periodic task in the feasibility
+// analysis while matching the DS's responsiveness.
+//
+// Simplification (documented): replenishments are scheduled per dispatch
+// (amount = wall-clock time consumed by that dispatch, at dispatch start +
+// period) rather than per busy interval. This is the common textbook
+// simplification; it is never more aggressive than the exact SS rule.
+#pragma once
+
+#include "core/task_server.h"
+#include "rtsj/async_event.h"
+
+namespace tsf::core {
+
+class SporadicTaskServer : public TaskServer {
+ public:
+  SporadicTaskServer(rtsj::vm::VirtualMachine& machine,
+                     TaskServerParameters params);
+
+  void start() override;
+
+  std::uint64_t replenishment_count() const { return replenishments_; }
+
+ private:
+  void on_release(const Request& request) override;
+  void serve();
+
+  rtsj::AsyncEvent wake_up_;
+  rtsj::AsyncEventHandler wake_handler_;
+  bool serving_ = false;
+  std::uint64_t replenishments_ = 0;
+};
+
+}  // namespace tsf::core

@@ -1,0 +1,111 @@
+// TaskServer — the abstract server of the paper's framework (§3).
+//
+// "This abstract class represents a task server. It implements Schedulable
+// and extends Scheduler. It is a schedulable object since it is in fact a
+// periodic real-time thread and it is a scheduler since it has to schedule
+// SAEHs. It has a method servableEventReleased() which ... is called by the
+// AE fire() method."
+//
+// Concrete policies (PollingTaskServer, DeferrableTaskServer, and the
+// extension servers) differ in *when* they serve and *how* capacity is
+// replenished; the shared machinery here covers the pending queue, the
+// Timed-bounded dispatch with wall-clock capacity accounting, per-request
+// outcome records, and the feasibility interface (including the paper's
+// getInterference() proposal).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pending_queue.h"
+#include "core/servable_async_event_handler.h"
+#include "core/task_server_parameters.h"
+#include "model/spec.h"
+#include "rtsj/schedulable.h"
+#include "rtsj/vm/vm.h"
+
+namespace tsf::core {
+
+class TaskServer : public rtsj::Schedulable, public rtsj::Scheduler {
+ public:
+  TaskServer(rtsj::vm::VirtualMachine& machine, TaskServerParameters params);
+  ~TaskServer() override = default;
+
+  // Begins the server's activity (thread / timers). Call before run_until.
+  virtual void start() = 0;
+
+  // Called by ServableAsyncEvent::fire() for each bound servable handler.
+  void servable_event_released(ServableAsyncEventHandler* handler);
+
+  const TaskServerParameters& params() const { return params_; }
+  rtsj::RelativeTime remaining_capacity() const { return remaining_; }
+  std::size_t pending_count() const { return queue_->size(); }
+
+  // --- statistics / experiment extraction ---
+  std::uint64_t released_count() const { return released_; }
+  std::uint64_t served_count() const { return served_; }
+  std::uint64_t interrupted_count() const { return interrupted_; }
+  std::uint64_t activation_count() const { return activations_; }
+  std::uint64_t dispatch_count() const { return dispatches_; }
+  // Outcomes of all completed (served or interrupted) requests so far.
+  const std::vector<model::JobOutcome>& outcomes() const { return outcomes_; }
+  // outcomes() plus everything still pending, marked unserved. Destructive
+  // on the queue; call once, after the run.
+  std::vector<model::JobOutcome> final_outcomes();
+
+  // --- Schedulable ---
+  const std::string& name() const override { return params_.name(); }
+  int priority() const override { return params_.priority(); }
+  const rtsj::ReleaseParameters* release_parameters() const override {
+    return &params_;
+  }
+  rtsj::RelativeTime deadline() const override { return params_.period(); }
+  rtsj::RelativeTime cost() const override { return params_.capacity(); }
+  // Default: periodic-task interference ceil(w/T)*C (exact for the Polling
+  // Server, which "can be included in the feasibility analysis like any
+  // periodic task", §2.1). Deferred policies override with their modified
+  // bound — the point of the paper's getInterference() proposal.
+  rtsj::RelativeTime interference(rtsj::RelativeTime window) const override;
+  double utilization() const override {
+    return params_.capacity().to_tu() / params_.period().to_tu();
+  }
+
+  // --- Scheduler --- (the server schedules its SAEHs; the queue is the
+  // policy, so the server-as-scheduler is feasible iff its own analysis
+  // holds, delegated to the owning PriorityScheduler in practice.)
+  bool is_feasible() const override { return true; }
+
+  rtsj::vm::VirtualMachine& machine() { return vm_; }
+  const rtsj::vm::VirtualMachine& machine() const { return vm_; }
+
+ protected:
+  struct DispatchResult {
+    rtsj::RelativeTime elapsed = rtsj::RelativeTime::zero();
+    bool served = false;
+  };
+
+  // Runs one request under Timed(budget) in the calling fiber (the server's
+  // own thread), measuring elapsed wall-clock virtual time exactly the way
+  // the paper's implementation does. Records the outcome.
+  DispatchResult dispatch(const Request& request, rtsj::RelativeTime budget);
+
+  // Policy hook invoked on every release (after queueing). The Polling
+  // Server ignores it; event-driven servers wake up.
+  virtual void on_release(const Request& request) = 0;
+
+  rtsj::vm::VirtualMachine& vm_;
+  TaskServerParameters params_;
+  std::unique_ptr<PendingQueue> queue_;
+  rtsj::RelativeTime remaining_ = rtsj::RelativeTime::zero();
+  std::uint64_t released_ = 0;
+  std::uint64_t served_ = 0;
+  std::uint64_t interrupted_ = 0;
+  std::uint64_t activations_ = 0;
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::vector<model::JobOutcome> outcomes_;
+};
+
+}  // namespace tsf::core

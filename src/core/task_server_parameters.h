@@ -1,0 +1,82 @@
+// TaskServerParameters — "a subclass of ReleaseParameters to construct a
+// TaskServer" (paper §3, Figure 1).
+#pragma once
+
+#include <string>
+
+#include "model/spec.h"
+#include "rtsj/params.h"
+#include "rtsj/time.h"
+
+namespace tsf::core {
+
+class TaskServerParameters : public rtsj::ReleaseParameters {
+ public:
+  TaskServerParameters(std::string name, rtsj::RelativeTime capacity,
+                       rtsj::RelativeTime period, int priority)
+      : rtsj::ReleaseParameters(capacity, period),
+        name_(std::move(name)),
+        period_(period),
+        priority_(priority) {}
+
+  const std::string& name() const { return name_; }
+  rtsj::RelativeTime capacity() const { return cost(); }
+  rtsj::RelativeTime period() const { return period_; }
+  int priority() const { return priority_; }
+
+  rtsj::AbsoluteTime start() const { return start_; }
+  TaskServerParameters& set_start(rtsj::AbsoluteTime s) {
+    start_ = s;
+    return *this;
+  }
+
+  model::QueueDiscipline queue_discipline() const { return queue_; }
+  TaskServerParameters& set_queue_discipline(model::QueueDiscipline q) {
+    queue_ = q;
+    return *this;
+  }
+
+  // §4.2: tightens the Deferrable Server's boundary-spanning budget rule.
+  bool strict_capacity() const { return strict_capacity_; }
+  TaskServerParameters& set_strict_capacity(bool v) {
+    strict_capacity_ = v;
+    return *this;
+  }
+
+  // §7's proposed interruption-avoidance: "We can avoid some interruptions
+  // in delaying the execution of events handlers with a cost too close of
+  // the remaining capacity." A handler is dispatched only when its declared
+  // cost plus this margin fits the budget, leaving headroom for overhead
+  // and execution-time jitter. Zero reproduces the paper's implementation.
+  rtsj::RelativeTime admission_margin() const { return admission_margin_; }
+  TaskServerParameters& set_admission_margin(rtsj::RelativeTime m) {
+    admission_margin_ = m;
+    return *this;
+  }
+
+  // Framework bookkeeping cost charged (at server priority) once per
+  // activation and once per handler dispatch. Zero models an ideal runtime.
+  rtsj::RelativeTime poll_overhead() const { return poll_overhead_; }
+  rtsj::RelativeTime dispatch_overhead() const { return dispatch_overhead_; }
+  TaskServerParameters& set_poll_overhead(rtsj::RelativeTime d) {
+    poll_overhead_ = d;
+    return *this;
+  }
+  TaskServerParameters& set_dispatch_overhead(rtsj::RelativeTime d) {
+    dispatch_overhead_ = d;
+    return *this;
+  }
+
+ private:
+  std::string name_;
+  rtsj::RelativeTime period_;
+  int priority_;
+  rtsj::AbsoluteTime start_ = rtsj::AbsoluteTime::origin();
+  model::QueueDiscipline queue_ = model::QueueDiscipline::kFifoFirstFit;
+  bool strict_capacity_ = false;
+  rtsj::RelativeTime admission_margin_ = rtsj::RelativeTime::zero();
+  rtsj::RelativeTime poll_overhead_ = rtsj::RelativeTime::zero();
+  rtsj::RelativeTime dispatch_overhead_ = rtsj::RelativeTime::zero();
+};
+
+}  // namespace tsf::core

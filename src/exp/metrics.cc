@@ -1,0 +1,77 @@
+#include "exp/metrics.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace tsf::exp {
+
+RunMetrics compute_run_metrics(const model::RunResult& run) {
+  RunMetrics m;
+  common::Accumulator responses;
+  for (const auto& job : run.jobs) {
+    ++m.released;
+    if (job.served) {
+      ++m.served;
+      responses.add(job.response().to_tu());
+    }
+    if (job.interrupted) ++m.interrupted;
+  }
+  m.mean_response_tu = responses.mean();
+  if (m.released > 0) {
+    m.interrupted_ratio = static_cast<double>(m.interrupted) /
+                          static_cast<double>(m.released);
+    m.served_ratio =
+        static_cast<double>(m.served) / static_cast<double>(m.released);
+  }
+  return m;
+}
+
+SetMetrics compute_set_metrics(const std::vector<model::RunResult>& runs) {
+  SetMetrics set;
+  common::Accumulator aart, air, asr;
+  for (const auto& run : runs) {
+    const RunMetrics m = compute_run_metrics(run);
+    ++set.systems;
+    set.total_jobs += m.released;
+    if (m.served > 0) aart.add(m.mean_response_tu);
+    if (m.released > 0) {
+      air.add(m.interrupted_ratio);
+      asr.add(m.served_ratio);
+    }
+  }
+  set.aart = aart.mean();
+  set.air = air.mean();
+  set.asr = asr.mean();
+  return set;
+}
+
+ResponseDistribution compute_response_distribution(
+    const std::vector<model::RunResult>& runs) {
+  std::vector<double> responses;
+  for (const auto& run : runs) {
+    for (const auto& job : run.jobs) {
+      if (job.served) responses.push_back(job.response().to_tu());
+    }
+  }
+  ResponseDistribution d;
+  d.samples = responses.size();
+  if (responses.empty()) return d;
+  std::sort(responses.begin(), responses.end());
+  double sum = 0.0;
+  for (double r : responses) sum += r;
+  d.mean_tu = sum / static_cast<double>(responses.size());
+  const auto at = [&](double p) {
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(responses.size() - 1));
+    return responses[idx];
+  };
+  d.p50_tu = at(0.50);
+  d.p90_tu = at(0.90);
+  d.p99_tu = at(0.99);
+  d.max_tu = responses.back();
+  return d;
+}
+
+}  // namespace tsf::exp

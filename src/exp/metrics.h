@@ -1,0 +1,57 @@
+// The paper's §6.1 metrics over a set of runs:
+//
+//   "We measure the average response time of aperiodics, the
+//    interrupted-aperiodics ratio and the served-aperiodics ratio for each
+//    execution and simulation. Then we compute for each set the average of
+//    the average-response-times (AART), the average of the
+//    interrupted-aperiodics ratios (AIR) and the average of the
+//    served-aperiodics ratios (ASR)."
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/run_result.h"
+
+namespace tsf::exp {
+
+struct RunMetrics {
+  double mean_response_tu = 0.0;  // over served jobs only
+  double interrupted_ratio = 0.0;
+  double served_ratio = 0.0;
+  std::size_t released = 0;
+  std::size_t served = 0;
+  std::size_t interrupted = 0;
+};
+
+struct SetMetrics {
+  double aart = 0.0;
+  double air = 0.0;
+  double asr = 0.0;
+  std::size_t systems = 0;
+  std::size_t total_jobs = 0;
+};
+
+RunMetrics compute_run_metrics(const model::RunResult& run);
+
+// Averages the per-system metrics. Systems that served nothing contribute
+// to AIR/ASR but are excluded from the AART average (their mean response is
+// undefined).
+SetMetrics compute_set_metrics(const std::vector<model::RunResult>& runs);
+
+// Response-time distribution over the served jobs of one or more runs —
+// tail behaviour the paper's AART hides (used by the gateway example and
+// the policy ablation).
+struct ResponseDistribution {
+  std::size_t samples = 0;
+  double mean_tu = 0.0;
+  double p50_tu = 0.0;
+  double p90_tu = 0.0;
+  double p99_tu = 0.0;
+  double max_tu = 0.0;
+};
+
+ResponseDistribution compute_response_distribution(
+    const std::vector<model::RunResult>& runs);
+
+}  // namespace tsf::exp

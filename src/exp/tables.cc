@@ -1,0 +1,90 @@
+#include "exp/tables.h"
+
+#include <sstream>
+
+#include "common/table.h"
+#include "sim/simulator.h"
+
+namespace tsf::exp {
+
+const char* to_string(Mode mode) {
+  return mode == Mode::kSimulation ? "simulation" : "execution";
+}
+
+std::array<PaperSet, 6> paper_sets() {
+  return {PaperSet{1, 0}, PaperSet{2, 0}, PaperSet{3, 0},
+          PaperSet{1, 2}, PaperSet{2, 2}, PaperSet{3, 2}};
+}
+
+gen::GeneratorParams paper_generator_params(const PaperSet& set,
+                                            model::ServerPolicy policy) {
+  gen::GeneratorParams p;
+  p.task_density = set.density;
+  p.average_cost_tu = 3.0;
+  p.std_deviation_tu = set.std_deviation;
+  p.server_capacity = common::Duration::time_units(4);
+  p.server_period = common::Duration::time_units(6);
+  p.nb_generation = 10;
+  p.seed = 1983;
+  p.horizon_periods = 10;
+  p.policy = policy;
+  return p;
+}
+
+SetMetrics run_set(const gen::GeneratorParams& params, Mode mode,
+                   const ExecOptions& exec_options) {
+  gen::RandomSystemGenerator generator(params);
+  std::vector<model::RunResult> runs;
+  for (const auto& spec : generator.generate()) {
+    runs.push_back(mode == Mode::kSimulation ? sim::simulate(spec)
+                                             : run_exec(spec, exec_options));
+  }
+  return compute_set_metrics(runs);
+}
+
+PaperTable run_paper_table(model::ServerPolicy policy, Mode mode,
+                           const ExecOptions& exec_options) {
+  PaperTable table;
+  std::ostringstream title;
+  title << "Measures on " << model::to_string(policy) << " server "
+        << to_string(mode) << "s";
+  table.title = title.str();
+  const auto sets = paper_sets();
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    table.cells[i] =
+        run_set(paper_generator_params(sets[i], policy), mode, exec_options);
+  }
+  return table;
+}
+
+std::string format_paper_table(const PaperTable& table) {
+  const auto sets = paper_sets();
+  std::ostringstream oss;
+  oss << table.title << '\n';
+  for (int bank = 0; bank < 2; ++bank) {
+    common::TextTable t;
+    std::vector<std::string> header = {""};
+    for (int c = 0; c < 3; ++c) {
+      const auto& s = sets[static_cast<std::size_t>(bank * 3 + c)];
+      std::ostringstream h;
+      h << '(' << s.density << ", " << s.std_deviation << ')';
+      header.push_back(h.str());
+    }
+    t.add_row(header);
+    std::vector<std::string> aart = {"AART"}, air = {"AIR"}, asr = {"ASR"};
+    for (int c = 0; c < 3; ++c) {
+      const auto& m = table.cells[static_cast<std::size_t>(bank * 3 + c)];
+      aart.push_back(common::fmt_fixed(m.aart, 2));
+      air.push_back(common::fmt_fixed(m.air, 2));
+      asr.push_back(common::fmt_fixed(m.asr, 2));
+    }
+    t.add_row(aart);
+    t.add_row(air);
+    t.add_row(asr);
+    oss << t.to_string();
+    if (bank == 0) oss << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace tsf::exp

@@ -1,0 +1,52 @@
+// Reproduction driver for the paper's Tables 2-5: six parameter sets
+// (taskDensity, stdDeviation) in {1,2,3} x {0,2}, ten systems each,
+// seed 1983, ten server periods — under one policy and one mode.
+#pragma once
+
+#include <array>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/exec_runner.h"
+#include "exp/metrics.h"
+#include "gen/generator.h"
+#include "model/spec.h"
+
+namespace tsf::exp {
+
+enum class Mode {
+  kSimulation,  // tsf::sim — the theoretical policies
+  kExecution,   // tsf::rtsj + tsf::core — the implemented policies
+};
+
+const char* to_string(Mode mode);
+
+struct PaperSet {
+  double density = 1.0;
+  double std_deviation = 0.0;
+};
+
+// The paper's six sets, in table order: (1,0) (2,0) (3,0) (1,2) (2,2) (3,2).
+std::array<PaperSet, 6> paper_sets();
+
+// GeneratorParams for one set, with the paper's fixed parameters
+// (averageCost 3, capacity 4, period 6, nbGeneration 10, seed 1983).
+gen::GeneratorParams paper_generator_params(const PaperSet& set,
+                                            model::ServerPolicy policy);
+
+// Runs one set and computes its metrics.
+SetMetrics run_set(const gen::GeneratorParams& params, Mode mode,
+                   const ExecOptions& exec_options = {});
+
+// Runs all six sets and renders the table in the paper's layout (AART/AIR/
+// ASR rows; two banks of three columns).
+struct PaperTable {
+  std::string title;
+  std::array<SetMetrics, 6> cells;
+};
+PaperTable run_paper_table(model::ServerPolicy policy, Mode mode,
+                           const ExecOptions& exec_options = {});
+std::string format_paper_table(const PaperTable& table);
+
+}  // namespace tsf::exp

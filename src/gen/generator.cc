@@ -1,0 +1,80 @@
+#include "gen/generator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/diag.h"
+
+namespace tsf::gen {
+
+using common::Duration;
+using common::TimePoint;
+
+RandomSystemGenerator::RandomSystemGenerator(GeneratorParams params)
+    : params_(std::move(params)) {
+  TSF_ASSERT(params_.task_density >= 0.0, "negative task density");
+  TSF_ASSERT(params_.server_capacity > Duration::zero() &&
+                 params_.server_period >= params_.server_capacity,
+             "invalid server parameters");
+  TSF_ASSERT(params_.horizon_periods > 0, "horizon must be positive");
+}
+
+model::SystemSpec RandomSystemGenerator::generate_one(common::Rng& rng,
+                                                      std::size_t index) const {
+  model::SystemSpec spec;
+  spec.name = "sys" + std::to_string(index);
+  spec.periodic_tasks = params_.periodic_tasks;
+
+  spec.server.policy = params_.policy;
+  spec.server.capacity = params_.server_capacity;
+  spec.server.period = params_.server_period;
+  spec.server.priority = params_.server_priority;
+  spec.server.queue = params_.queue;
+
+  spec.horizon =
+      TimePoint::origin() + params_.server_period * params_.horizon_periods;
+
+  std::size_t job_id = 0;
+  for (int k = 0; k < params_.horizon_periods; ++k) {
+    const TimePoint window_start =
+        TimePoint::origin() + params_.server_period * k;
+    const std::uint64_t count = rng.poisson(params_.task_density);
+    for (std::uint64_t j = 0; j < count; ++j) {
+      model::AperiodicJobSpec job;
+      job.name = "a" + std::to_string(job_id++);
+      const std::int64_t offset = rng.uniform_i64(
+          0, params_.server_period.count() - 1);
+      job.release = window_start + Duration::ticks(offset);
+      Duration cost = Duration::from_tu(
+          rng.normal(params_.average_cost_tu, params_.std_deviation_tu));
+      if (params_.reproduce_cost_floor && cost < params_.cost_floor) {
+        cost = params_.cost_floor;
+      }
+      TSF_ASSERT(cost > Duration::zero(), "generated non-positive cost");
+      job.cost = cost;
+      spec.aperiodic_jobs.push_back(std::move(job));
+    }
+  }
+  // Releases in time order (stable: generation order breaks ties).
+  std::stable_sort(spec.aperiodic_jobs.begin(), spec.aperiodic_jobs.end(),
+                   [](const model::AperiodicJobSpec& a,
+                      const model::AperiodicJobSpec& b) {
+                     return a.release < b.release;
+                   });
+  return spec;
+}
+
+std::vector<model::SystemSpec> RandomSystemGenerator::generate() const {
+  std::vector<model::SystemSpec> out;
+  out.reserve(params_.nb_generation);
+  common::Rng master(params_.seed);
+  for (std::size_t i = 0; i < params_.nb_generation; ++i) {
+    // One independent sub-stream per system: system i is identical no
+    // matter how many systems are generated before or after it.
+    common::Rng sub = master.split();
+    out.push_back(generate_one(sub, i));
+  }
+  return out;
+}
+
+}  // namespace tsf::gen

@@ -1,0 +1,62 @@
+#include "gen/taskset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/diag.h"
+
+namespace tsf::gen {
+
+using common::Duration;
+
+std::vector<double> uunifast(std::size_t n, double total_u,
+                             common::Rng& rng) {
+  TSF_ASSERT(n > 0, "uunifast needs at least one task");
+  TSF_ASSERT(total_u > 0.0, "uunifast needs positive utilisation");
+  std::vector<double> u(n);
+  double sum = total_u;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double next =
+        sum * std::pow(rng.next_double(),
+                       1.0 / static_cast<double>(n - 1 - i));
+    u[i] = sum - next;
+    sum = next;
+  }
+  u[n - 1] = sum;
+  return u;
+}
+
+std::vector<model::PeriodicTaskSpec> make_task_set(const TaskSetParams& params,
+                                                   common::Rng& rng) {
+  const auto utils = uunifast(params.count, params.total_utilization, rng);
+  std::vector<model::PeriodicTaskSpec> tasks;
+  tasks.reserve(params.count);
+  const double log_min = std::log(params.period_min.to_tu());
+  const double log_max = std::log(params.period_max.to_tu());
+  for (std::size_t i = 0; i < params.count; ++i) {
+    model::PeriodicTaskSpec t;
+    t.name = "tau" + std::to_string(i);
+    const double period_tu =
+        std::exp(rng.uniform(log_min, log_max));
+    t.period = Duration::time_units(
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(period_tu)));
+    t.cost = common::max(Duration::ticks(1),
+                         Duration::from_tu(utils[i] * t.period.to_tu()));
+    tasks.push_back(std::move(t));
+  }
+  // Rate-monotonic priorities: shorter period, higher priority.
+  std::vector<std::size_t> order(tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return tasks[a].period > tasks[b].period;
+                   });
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    tasks[order[rank]].priority =
+        params.lowest_priority + static_cast<int>(rank);
+  }
+  return tasks;
+}
+
+}  // namespace tsf::gen

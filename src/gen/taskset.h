@@ -1,0 +1,32 @@
+// Periodic task-set generation for the extension benches: UUniFast
+// utilisations (Bini & Buttazzo) with log-uniform periods and rate-monotonic
+// priorities.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "model/spec.h"
+
+namespace tsf::gen {
+
+// n utilisations summing exactly to total_u, uniformly distributed over the
+// simplex (UUniFast).
+std::vector<double> uunifast(std::size_t n, double total_u, common::Rng& rng);
+
+struct TaskSetParams {
+  std::size_t count = 4;
+  double total_utilization = 0.5;
+  // Periods drawn log-uniformly from [min, max] and rounded to whole tu.
+  common::Duration period_min = common::Duration::time_units(10);
+  common::Duration period_max = common::Duration::time_units(100);
+  // Priorities assigned rate-monotonically within [lowest, lowest+count).
+  int lowest_priority = 1;
+};
+
+// A periodic task set with utilisations from UUniFast. Costs are rounded to
+// ticks; tasks whose rounded cost is zero get one tick.
+std::vector<model::PeriodicTaskSpec> make_task_set(const TaskSetParams& params,
+                                                   common::Rng& rng);
+
+}  // namespace tsf::gen

@@ -1,0 +1,21 @@
+// The result of running one SystemSpec on one engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/trace.h"
+#include "model/spec.h"
+
+namespace tsf::model {
+
+struct RunResult {
+  std::vector<JobOutcome> jobs;
+  std::vector<PeriodicOutcome> periodic_jobs;
+  common::Timeline timeline;
+  // Engine bookkeeping, for the micro benches and sanity tests.
+  std::uint64_t server_activations = 0;
+  std::uint64_t server_dispatches = 0;
+};
+
+}  // namespace tsf::model

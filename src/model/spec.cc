@@ -1,0 +1,45 @@
+#include "model/spec.h"
+
+namespace tsf::model {
+
+const char* to_string(ServerPolicy p) {
+  switch (p) {
+    case ServerPolicy::kNone:
+      return "none";
+    case ServerPolicy::kBackground:
+      return "background";
+    case ServerPolicy::kPolling:
+      return "polling";
+    case ServerPolicy::kDeferrable:
+      return "deferrable";
+    case ServerPolicy::kSporadic:
+      return "sporadic";
+  }
+  return "?";
+}
+
+const char* to_string(QueueDiscipline q) {
+  switch (q) {
+    case QueueDiscipline::kStrictFifo:
+      return "strict-fifo";
+    case QueueDiscipline::kFifoFirstFit:
+      return "fifo-first-fit";
+    case QueueDiscipline::kListOfLists:
+      return "list-of-lists";
+  }
+  return "?";
+}
+
+const char* to_string(SchedulingPolicy s) {
+  switch (s) {
+    case SchedulingPolicy::kFixedPriority:
+      return "fixed-priority";
+    case SchedulingPolicy::kEdf:
+      return "edf";
+    case SchedulingPolicy::kDOver:
+      return "d-over";
+  }
+  return "?";
+}
+
+}  // namespace tsf::model

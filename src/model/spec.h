@@ -1,0 +1,144 @@
+// Policy-neutral system specifications.
+//
+// A SystemSpec describes a workload: periodic tasks, one task server, and a
+// set of aperiodic jobs with release times. The same spec is lowered to
+// either engine — the theoretical discrete-event simulator (tsf::sim) or the
+// RTSJ-style virtual machine (tsf::rtsj + tsf::core) — which is what makes
+// the paper's simulation-vs-execution comparison meaningful: both sides run
+// exactly the same workload.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace tsf::model {
+
+using common::Duration;
+using common::TimePoint;
+
+// Aperiodic service policies (paper §2).
+enum class ServerPolicy {
+  kNone,        // no aperiodic service at all
+  kBackground,  // serve aperiodics at the lowest priority (§2's baseline)
+  kPolling,     // Polling Server (§2.1, §4.1)
+  kDeferrable,  // Deferrable Server (§2.2, §4.2)
+  kSporadic,    // Sporadic Server (cited in §2; extension)
+};
+
+// Pending-queue disciplines for the implemented servers (§4.1, §7).
+enum class QueueDiscipline {
+  kStrictFifo,    // serve strictly in FIFO order; head blocks the queue
+  kFifoFirstFit,  // paper's chooseNextEvent: first event that fits capacity
+  kListOfLists,   // §7's structure: per-instance buckets, O(1) prediction
+};
+
+// Scheduling policies of the RTSS simulator (§5).
+enum class SchedulingPolicy {
+  kFixedPriority,
+  kEdf,
+  kDOver,
+};
+
+const char* to_string(ServerPolicy p);
+const char* to_string(QueueDiscipline q);
+const char* to_string(SchedulingPolicy s);
+
+struct PeriodicTaskSpec {
+  std::string name;
+  Duration period;
+  Duration cost;
+  // Relative deadline; zero means "deadline == period".
+  Duration deadline = Duration::zero();
+  TimePoint start = TimePoint::origin();
+  // Fixed priority; larger values are higher priority.
+  int priority = 0;
+
+  Duration effective_deadline() const {
+    return deadline.is_zero() ? period : deadline;
+  }
+};
+
+struct AperiodicJobSpec {
+  std::string name;
+  TimePoint release;
+  // True execution demand of the handler body.
+  Duration cost;
+  // The cost *declared* to the server (admission uses this; the paper's
+  // scenario 3 deliberately under-declares). Zero means "same as cost".
+  Duration declared_cost = Duration::zero();
+  // Optional relative deadline, used by the EDF / D-OVER simulator policies
+  // and by online admission; zero means "none".
+  Duration relative_deadline = Duration::zero();
+  // Value for D-OVER's overload decisions; zero means "value == cost".
+  double value = 0.0;
+
+  Duration effective_declared_cost() const {
+    return declared_cost.is_zero() ? cost : declared_cost;
+  }
+  double effective_value() const {
+    return value == 0.0 ? cost.to_tu() : value;
+  }
+};
+
+struct ServerSpec {
+  ServerPolicy policy = ServerPolicy::kPolling;
+  Duration capacity = Duration::zero();
+  Duration period = Duration::zero();
+  int priority = 0;
+  QueueDiscipline queue = QueueDiscipline::kFifoFirstFit;
+  // Tightens the Deferrable Server's boundary-spanning budget rule (§4.2):
+  // when true, an event may only span a replenishment if the time left until
+  // the replenishment fits in the remaining capacity.
+  bool strict_capacity = false;
+  // §7's interruption-avoidance margin: dispatch only when declared cost +
+  // margin fits the budget (execution engine only; the theoretical servers
+  // never interrupt).
+  Duration admission_margin = Duration::zero();
+
+  double utilization() const {
+    return period.is_zero() ? 0.0 : capacity.to_tu() / period.to_tu();
+  }
+};
+
+struct SystemSpec {
+  std::string name;
+  std::vector<PeriodicTaskSpec> periodic_tasks;
+  ServerSpec server;
+  std::vector<AperiodicJobSpec> aperiodic_jobs;
+  TimePoint horizon = TimePoint::never();
+
+  double periodic_utilization() const {
+    double u = 0.0;
+    for (const auto& t : periodic_tasks) u += t.cost.to_tu() / t.period.to_tu();
+    return u;
+  }
+};
+
+// The fate of one aperiodic job in one run (either engine).
+struct JobOutcome {
+  std::string name;
+  TimePoint release;
+  Duration cost = Duration::zero();
+  bool served = false;       // completed before the horizon
+  bool interrupted = false;  // abandoned (AIE / capacity overrun); exec only
+  TimePoint start = TimePoint::never();
+  TimePoint completion = TimePoint::never();
+
+  Duration response() const {
+    return served ? completion - release : Duration::infinite();
+  }
+};
+
+// The fate of one periodic job (used by tests and the analysis cross-checks).
+struct PeriodicOutcome {
+  std::string task;
+  TimePoint release;
+  TimePoint completion = TimePoint::never();
+  bool deadline_missed = false;
+};
+
+}  // namespace tsf::model

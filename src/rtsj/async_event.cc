@@ -1,0 +1,75 @@
+#include "rtsj/async_event.h"
+
+#include <algorithm>
+
+#include "common/diag.h"
+
+namespace tsf::rtsj {
+
+AsyncEventHandler::AsyncEventHandler(vm::VirtualMachine& machine,
+                                     std::string name,
+                                     PriorityParameters scheduling,
+                                     Action action,
+                                     AperiodicParameters release)
+    : vm_(machine),
+      name_(std::move(name)),
+      scheduling_(scheduling),
+      release_(release),
+      action_(std::move(action)) {
+  fiber_ = vm_.create_fiber(name_, scheduling_.priority(), [this] {
+    for (;;) {
+      if (fire_count_ == 0) {
+        vm_.block();
+        continue;
+      }
+      --fire_count_;
+      handle_async_event();
+      ++handled_;
+    }
+  });
+}
+
+void AsyncEventHandler::handle_async_event() {
+  if (action_) action_(*this);
+}
+
+void AsyncEventHandler::release() {
+  ++fire_count_;
+  if (!fiber_started_) {
+    fiber_started_ = true;
+    vm_.start_fiber(fiber_);
+  } else {
+    vm_.unblock(fiber_);
+  }
+}
+
+RelativeTime AsyncEventHandler::interference(RelativeTime window) const {
+  (void)window;
+  return RelativeTime::infinite();
+}
+
+AsyncEvent::AsyncEvent(vm::VirtualMachine& machine, std::string name)
+    : vm_(machine), name_(std::move(name)) {}
+
+void AsyncEvent::add_handler(AsyncEventHandler* handler) {
+  TSF_ASSERT(handler != nullptr, "null handler added to " << name_);
+  if (!handled_by(handler)) handlers_.push_back(handler);
+}
+
+void AsyncEvent::remove_handler(AsyncEventHandler* handler) {
+  auto it = std::find(handlers_.begin(), handlers_.end(), handler);
+  if (it != handlers_.end()) handlers_.erase(it);
+}
+
+bool AsyncEvent::handled_by(const AsyncEventHandler* handler) const {
+  return std::find(handlers_.begin(), handlers_.end(), handler) !=
+         handlers_.end();
+}
+
+void AsyncEvent::fire() {
+  ++fires_;
+  vm_.timeline().record(vm_.now(), common::TraceKind::kFire, name_);
+  for (AsyncEventHandler* h : handlers_) h->release();
+}
+
+}  // namespace tsf::rtsj

@@ -1,0 +1,18 @@
+// RTSJ Clock facade over the virtual machine's clock.
+#pragma once
+
+#include "rtsj/time.h"
+#include "rtsj/vm/vm.h"
+
+namespace tsf::rtsj {
+
+class Clock {
+ public:
+  explicit Clock(vm::VirtualMachine& machine) : vm_(machine) {}
+  AbsoluteTime get_time() const { return vm_.now(); }
+
+ private:
+  vm::VirtualMachine& vm_;
+};
+
+}  // namespace tsf::rtsj

@@ -1,0 +1,81 @@
+// RTSJ scheduling and release parameters.
+//
+// These mirror the RTSJ classes the paper's framework builds on (Figure 1):
+// SchedulingParameters/PriorityParameters, and the ReleaseParameters
+// hierarchy. TaskServerParameters (the paper's extension) lives in
+// core/task_server_parameters.h and derives from ReleaseParameters here.
+#pragma once
+
+#include "rtsj/time.h"
+
+namespace tsf::rtsj {
+
+class SchedulingParameters {
+ public:
+  virtual ~SchedulingParameters() = default;
+};
+
+// Fixed priority; larger values are more important (RTSJ convention).
+class PriorityParameters : public SchedulingParameters {
+ public:
+  explicit PriorityParameters(int priority) : priority_(priority) {}
+  int priority() const { return priority_; }
+
+ private:
+  int priority_;
+};
+
+class ReleaseParameters {
+ public:
+  ReleaseParameters() = default;
+  ReleaseParameters(RelativeTime cost, RelativeTime deadline)
+      : cost_(cost), deadline_(deadline) {}
+  virtual ~ReleaseParameters() = default;
+
+  RelativeTime cost() const { return cost_; }
+  RelativeTime deadline() const { return deadline_; }
+  void set_cost(RelativeTime c) { cost_ = c; }
+  void set_deadline(RelativeTime d) { deadline_ = d; }
+
+ private:
+  RelativeTime cost_ = RelativeTime::zero();
+  RelativeTime deadline_ = RelativeTime::zero();
+};
+
+class PeriodicParameters : public ReleaseParameters {
+ public:
+  PeriodicParameters(AbsoluteTime start, RelativeTime period,
+                     RelativeTime cost = RelativeTime::zero(),
+                     RelativeTime deadline = RelativeTime::zero())
+      : ReleaseParameters(cost, deadline), start_(start), period_(period) {}
+
+  AbsoluteTime start() const { return start_; }
+  RelativeTime period() const { return period_; }
+  RelativeTime effective_deadline() const {
+    return deadline().is_zero() ? period_ : deadline();
+  }
+
+ private:
+  AbsoluteTime start_;
+  RelativeTime period_;
+};
+
+class AperiodicParameters : public ReleaseParameters {
+ public:
+  using ReleaseParameters::ReleaseParameters;
+};
+
+class SporadicParameters : public AperiodicParameters {
+ public:
+  SporadicParameters(RelativeTime min_interarrival, RelativeTime cost,
+                     RelativeTime deadline = RelativeTime::zero())
+      : AperiodicParameters(cost, deadline),
+        min_interarrival_(min_interarrival) {}
+
+  RelativeTime min_interarrival() const { return min_interarrival_; }
+
+ private:
+  RelativeTime min_interarrival_;
+};
+
+}  // namespace tsf::rtsj

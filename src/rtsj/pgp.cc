@@ -1,0 +1,52 @@
+#include "rtsj/pgp.h"
+
+#include "common/diag.h"
+
+namespace tsf::rtsj {
+
+ProcessingGroupParameters::ProcessingGroupParameters(
+    vm::VirtualMachine& machine, AbsoluteTime start, RelativeTime period,
+    RelativeTime cost, bool enforce)
+    : ReleaseParameters(cost, period),
+      vm_(machine),
+      period_(period),
+      enforce_(enforce),
+      budget_(cost) {
+  TSF_ASSERT(period_ > RelativeTime::zero(), "PGP needs a positive period");
+  TSF_ASSERT(cost >= RelativeTime::zero(), "PGP needs a non-negative cost");
+  arm_replenish(start + period_);
+}
+
+void ProcessingGroupParameters::arm_replenish(AbsoluteTime at) {
+  vm_.schedule_silent(at, [this, at] {
+    budget_ = cost();
+    ++replenishments_;
+    for (vm::Fiber* f : stalled_) vm_.unblock(f);
+    stalled_.clear();
+    arm_replenish(at + period_);
+  });
+}
+
+void ProcessingGroupParameters::charged_work(vm::VirtualMachine& machine,
+                                             RelativeTime d) {
+  TSF_ASSERT(&machine == &vm_, "PGP used across virtual machines");
+  RelativeTime left = d;
+  while (left > RelativeTime::zero()) {
+    if (budget_.is_zero() && enforce_) {
+      // Budget exhausted: stall until the next replenishment.
+      stalled_.push_back(vm_.current());
+      vm_.block();
+      continue;
+    }
+    const RelativeTime chunk =
+        enforce_ ? common::min(left, budget_) : left;
+    vm_.work(chunk);
+    // Charged as pure service time; preemption while working does not
+    // consume the group's budget (PGP meters CPU, unlike Timed).
+    charged_ += chunk;
+    if (enforce_) budget_ -= chunk;
+    left -= chunk;
+  }
+}
+
+}  // namespace tsf::rtsj

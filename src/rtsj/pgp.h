@@ -1,0 +1,54 @@
+// ProcessingGroupParameters — the RTSJ facility the paper rejects (§1, §3).
+//
+// A PGP assigns a periodically replenished CPU budget to a *group* of
+// schedulables. The paper's critique: no policy governs how the budget is
+// spent, no schedulability analysis exists for it, and cost enforcement is
+// optional (and absent in the Reference Implementation they used, making PGP
+// "useless"). We implement PGP *with* enforcement so the ablation bench can
+// demonstrate the critique empirically: PGP caps utilisation but, unlike a
+// task server, provides neither ordering nor admission, so response times
+// degrade unpredictably.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtsj/params.h"
+#include "rtsj/time.h"
+#include "rtsj/vm/vm.h"
+
+namespace tsf::rtsj {
+
+class ProcessingGroupParameters : public ReleaseParameters {
+ public:
+  // cost = the group budget per period. When `enforce` is false the group
+  // only accounts (the RI behaviour the paper observed).
+  ProcessingGroupParameters(vm::VirtualMachine& machine, AbsoluteTime start,
+                            RelativeTime period, RelativeTime cost,
+                            bool enforce);
+
+  RelativeTime period() const { return period_; }
+  bool enforcing() const { return enforce_; }
+  RelativeTime available() const { return budget_; }
+  std::uint64_t replenish_count() const { return replenishments_; }
+  // Total CPU charged against the group since construction.
+  RelativeTime total_charged() const { return charged_; }
+
+  // Performs `d` units of work on behalf of the calling fiber, charging the
+  // group. With enforcement on, the fiber stalls (blocks) whenever the
+  // budget is exhausted and resumes after the next replenishment.
+  void charged_work(vm::VirtualMachine& machine, RelativeTime d);
+
+ private:
+  void arm_replenish(AbsoluteTime at);
+
+  vm::VirtualMachine& vm_;
+  RelativeTime period_;
+  bool enforce_;
+  RelativeTime budget_;
+  RelativeTime charged_ = RelativeTime::zero();
+  std::uint64_t replenishments_ = 0;
+  std::vector<vm::Fiber*> stalled_;
+};
+
+}  // namespace tsf::rtsj

@@ -1,0 +1,80 @@
+#include "rtsj/realtime_thread.h"
+
+#include <algorithm>
+
+#include "common/diag.h"
+#include "rtsj/async_event.h"
+#include "rtsj/pgp.h"
+
+namespace tsf::rtsj {
+
+RealtimeThread::RealtimeThread(vm::VirtualMachine& machine, std::string name,
+                               PriorityParameters scheduling,
+                               PeriodicParameters release, Logic logic)
+    : vm_(machine),
+      name_(std::move(name)),
+      scheduling_(scheduling),
+      release_(release),
+      logic_(std::move(logic)) {
+  TSF_ASSERT(release_.period() > RelativeTime::zero(),
+             "thread " << name_ << " needs a positive period");
+  fiber_ = vm_.create_fiber(name_, scheduling_.priority(), [this] {
+    if (release_.start() > vm_.now()) vm_.sleep_until(release_.start());
+    if (logic_) logic_(*this);
+  });
+}
+
+void RealtimeThread::start() { vm_.start_fiber(fiber_); }
+
+void RealtimeThread::work(RelativeTime d) {
+  if (group_ != nullptr) {
+    group_->charged_work(vm_, d);
+  } else {
+    vm_.work(d);
+  }
+  consumed_this_release_ += d;
+  // Cost overrun: the job consumed more service than its declared cost.
+  if (overrun_handler_ != nullptr && !overrun_fired_this_release_ &&
+      !release_.cost().is_zero() &&
+      consumed_this_release_ > release_.cost()) {
+    overrun_fired_this_release_ = true;
+    ++cost_overruns_;
+    overrun_handler_->release();
+  }
+}
+
+bool RealtimeThread::wait_for_next_period() {
+  // Deadline check happens at job completion, i.e. here.
+  const AbsoluteTime released_at =
+      release_.start() + release_.period() * release_index_;
+  if (vm_.now() - released_at > release_.effective_deadline()) {
+    ++deadline_misses_;
+    if (miss_handler_ != nullptr) miss_handler_->release();
+  }
+  consumed_this_release_ = RelativeTime::zero();
+  overrun_fired_this_release_ = false;
+  // Next release: the first boundary at or after now that is beyond the
+  // current release. Finishing exactly on a boundary is on time — the new
+  // period begins at that very instant (a 100%-utilisation server must not
+  // skip activations).
+  const std::int64_t prev_index = release_index_;
+  const RelativeTime since_start = vm_.now() - release_.start();
+  const std::int64_t k_now =
+      (since_start.count() + release_.period().count() - 1) /
+      release_.period().count();
+  release_index_ = std::max(prev_index + 1, k_now);
+  const bool on_time = release_index_ == prev_index + 1;
+  overruns_ += static_cast<std::uint64_t>(release_index_ - (prev_index + 1));
+  vm_.sleep_until(release_.start() + release_.period() * release_index_);
+  return on_time;
+}
+
+RelativeTime RealtimeThread::interference(RelativeTime window) const {
+  if (window <= RelativeTime::zero()) return RelativeTime::zero();
+  const std::int64_t releases =
+      (window.count() + release_.period().count() - 1) /
+      release_.period().count();
+  return release_.cost() * releases;
+}
+
+}  // namespace tsf::rtsj

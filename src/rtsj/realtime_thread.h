@@ -1,0 +1,100 @@
+// RealtimeThread: a periodic schedulable entity on the virtual machine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "rtsj/params.h"
+#include "rtsj/schedulable.h"
+#include "rtsj/time.h"
+#include "rtsj/vm/vm.h"
+
+namespace tsf::rtsj {
+
+class ProcessingGroupParameters;
+class AsyncEventHandler;
+
+// A periodic real-time thread. The logic callback is the thread body; it
+// runs on a VM fiber and typically loops { work(cost);
+// wait_for_next_period(); }. Execution does not begin before
+// PeriodicParameters::start().
+class RealtimeThread : public Schedulable {
+ public:
+  using Logic = std::function<void(RealtimeThread&)>;
+
+  RealtimeThread(vm::VirtualMachine& machine, std::string name,
+                 PriorityParameters scheduling, PeriodicParameters release,
+                 Logic logic);
+
+  // Makes the thread ready (it parks until start() time on its own).
+  void start();
+
+  // --- calls for use inside the thread body ---
+
+  // Consume CPU service; honours the thread's processing group budget when
+  // one is attached (see ProcessingGroupParameters).
+  void work(RelativeTime d);
+  // Blocks until the next period boundary. Returns false when the boundary
+  // had already passed (an overrun release, RTSJ's deadline-miss signal).
+  bool wait_for_next_period();
+  AbsoluteTime now() const { return vm_.now(); }
+  // Index of the current release, starting at 0 for the first.
+  std::int64_t release_index() const { return release_index_; }
+
+  vm::VirtualMachine& machine() { return vm_; }
+  vm::Fiber* fiber() { return fiber_; }
+
+  void set_processing_group(ProcessingGroupParameters* group) {
+    group_ = group;
+  }
+
+  // RTSJ ReleaseParameters attachments: fired (released) when a job
+  // completes after its deadline / consumes more than its declared cost.
+  // Both are optional and fire at most once per release.
+  void set_deadline_miss_handler(AsyncEventHandler* handler) {
+    miss_handler_ = handler;
+  }
+  void set_cost_overrun_handler(AsyncEventHandler* handler) {
+    overrun_handler_ = handler;
+  }
+
+  std::uint64_t overrun_count() const { return overruns_; }
+  std::uint64_t deadline_miss_count() const { return deadline_misses_; }
+  std::uint64_t cost_overrun_count() const { return cost_overruns_; }
+
+  // --- Schedulable ---
+  const std::string& name() const override { return name_; }
+  int priority() const override { return scheduling_.priority(); }
+  const ReleaseParameters* release_parameters() const override {
+    return &release_;
+  }
+  RelativeTime deadline() const override {
+    return release_.effective_deadline();
+  }
+  RelativeTime cost() const override { return release_.cost(); }
+  // Periodic interference: ceil(window / T) releases of cost C.
+  RelativeTime interference(RelativeTime window) const override;
+  double utilization() const override {
+    return release_.cost().to_tu() / release_.period().to_tu();
+  }
+
+ private:
+  vm::VirtualMachine& vm_;
+  std::string name_;
+  PriorityParameters scheduling_;
+  PeriodicParameters release_;
+  Logic logic_;
+  vm::Fiber* fiber_ = nullptr;
+  std::int64_t release_index_ = 0;
+  std::uint64_t overruns_ = 0;
+  ProcessingGroupParameters* group_ = nullptr;
+  AsyncEventHandler* miss_handler_ = nullptr;
+  AsyncEventHandler* overrun_handler_ = nullptr;
+  RelativeTime consumed_this_release_ = RelativeTime::zero();
+  bool overrun_fired_this_release_ = false;
+  std::uint64_t deadline_misses_ = 0;
+  std::uint64_t cost_overruns_ = 0;
+};
+
+}  // namespace tsf::rtsj

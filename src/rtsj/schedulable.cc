@@ -1,0 +1,48 @@
+#include "rtsj/schedulable.h"
+
+#include <algorithm>
+
+#include "common/diag.h"
+
+namespace tsf::rtsj {
+
+void Scheduler::add_to_feasibility(const Schedulable* s) {
+  if (std::find(set_.begin(), set_.end(), s) == set_.end()) set_.push_back(s);
+}
+
+bool Scheduler::remove_from_feasibility(const Schedulable* s) {
+  auto it = std::find(set_.begin(), set_.end(), s);
+  if (it == set_.end()) return false;
+  set_.erase(it);
+  return true;
+}
+
+RelativeTime PriorityScheduler::response_time(const Schedulable* s) const {
+  const RelativeTime cost = s->cost();
+  if (cost.is_zero()) return RelativeTime::zero();
+  const RelativeTime bound = s->deadline().is_zero()
+                                 ? RelativeTime::time_units(1'000'000)
+                                 : s->deadline();
+  RelativeTime r = cost;
+  for (;;) {
+    RelativeTime next = cost;
+    for (const Schedulable* other : feasibility_set()) {
+      if (other == s || other->priority() <= s->priority()) continue;
+      next += other->interference(r);
+    }
+    if (next == r) return r;
+    if (next > bound) return RelativeTime::infinite();
+    r = next;
+  }
+}
+
+bool PriorityScheduler::is_feasible() const {
+  for (const Schedulable* s : feasibility_set()) {
+    const RelativeTime d = s->deadline();
+    if (d.is_zero()) continue;  // no deadline: nothing to check
+    if (response_time(s) > d) return false;
+  }
+  return true;
+}
+
+}  // namespace tsf::rtsj

@@ -1,0 +1,77 @@
+// Schedulable / Scheduler, including the paper's §3 proposal.
+//
+// The paper argues that RTSJ's centralised feasibility API is insufficient:
+// "each schedulable object should have a getInterference() method, which
+// would be called by the Scheduler feasibility methods". We implement that
+// proposal: every Schedulable reports its worst-case CPU demand over a
+// window, and the scheduler's response-time analysis is written against that
+// interface — which is what lets a DeferrableTaskServer plug its modified
+// (back-to-back) interference into an otherwise unchanged analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtsj/params.h"
+#include "rtsj/time.h"
+
+namespace tsf::rtsj {
+
+class Schedulable {
+ public:
+  virtual ~Schedulable() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual int priority() const = 0;
+  virtual const ReleaseParameters* release_parameters() const = 0;
+
+  // Deadline used by feasibility analysis (period for deadline-on-request
+  // periodic entities).
+  virtual RelativeTime deadline() const = 0;
+
+  // Worst-case cost of one release.
+  virtual RelativeTime cost() const = 0;
+
+  // Worst-case CPU demand this schedulable can place on lower-priority work
+  // within any window of the given length (the paper's getInterference()).
+  virtual RelativeTime interference(RelativeTime window) const = 0;
+
+  // Long-run processor utilisation.
+  virtual double utilization() const = 0;
+};
+
+// Feasibility-set management (RTSJ's addToFeasibility protocol).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  void add_to_feasibility(const Schedulable* s);
+  bool remove_from_feasibility(const Schedulable* s);
+  const std::vector<const Schedulable*>& feasibility_set() const {
+    return set_;
+  }
+
+  virtual bool is_feasible() const = 0;
+
+ private:
+  std::vector<const Schedulable*> set_;
+};
+
+// Preemptive fixed-priority scheduler (the RTSJ base scheduler). Feasibility
+// here is response-time analysis over the interference interface; the
+// closed-form tests live in tsf::analysis.
+class PriorityScheduler : public Scheduler {
+ public:
+  static constexpr int kMinPriority = 1;
+  static constexpr int kMaxPriority = 39;
+
+  // Exact test for each member: iterate R = C + sum_{hp} interference(R)
+  // over the strictly-higher-priority members, succeed if R <= deadline.
+  bool is_feasible() const override;
+
+  // Response time of member `s` against the current feasibility set;
+  // RelativeTime::infinite() if the iteration diverges past the deadline.
+  RelativeTime response_time(const Schedulable* s) const;
+};
+
+}  // namespace tsf::rtsj

@@ -1,0 +1,15 @@
+// RTSJ time vocabulary.
+//
+// RTSJ's HighResolutionTime hierarchy (RelativeTime / AbsoluteTime) maps
+// directly onto the repository-wide integer tick types; we alias rather than
+// wrap so the whole codebase shares one arithmetic.
+#pragma once
+
+#include "common/time.h"
+
+namespace tsf::rtsj {
+
+using RelativeTime = common::Duration;
+using AbsoluteTime = common::TimePoint;
+
+}  // namespace tsf::rtsj

@@ -1,0 +1,40 @@
+#include "rtsj/timer.h"
+
+#include "common/diag.h"
+
+namespace tsf::rtsj {
+
+Timer::Timer(vm::VirtualMachine& machine, AsyncEvent* event)
+    : vm_(machine), event_(event) {
+  TSF_ASSERT(event_ != nullptr, "timer needs an event");
+}
+
+Timer::~Timer() { handle_.cancel(); }
+
+void Timer::stop() { handle_.cancel(); }
+
+OneShotTimer::OneShotTimer(vm::VirtualMachine& machine, AbsoluteTime at,
+                           AsyncEvent* event)
+    : Timer(machine, event), at_(at) {}
+
+void OneShotTimer::start() {
+  handle_ = vm_.schedule_timer(at_, [this] { event_->fire(); });
+}
+
+PeriodicTimer::PeriodicTimer(vm::VirtualMachine& machine, AbsoluteTime start,
+                             RelativeTime interval, AsyncEvent* event)
+    : Timer(machine, event), start_(start), interval_(interval) {
+  TSF_ASSERT(interval_ > RelativeTime::zero(),
+             "periodic timer needs a positive interval");
+}
+
+void PeriodicTimer::start() { arm(start_); }
+
+void PeriodicTimer::arm(AbsoluteTime at) {
+  handle_ = vm_.schedule_timer(at, [this, at] {
+    event_->fire();
+    arm(at + interval_);
+  });
+}
+
+}  // namespace tsf::rtsj

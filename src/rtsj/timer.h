@@ -1,0 +1,58 @@
+// RTSJ timers: kernel-level alarms bound to an AsyncEvent.
+//
+// Timers fire in kernel context and — when the VM's OverheadModel says so —
+// consume CPU at effectively-infinite priority. This is the "timers charged
+// to fire the asynchronous events" interference source the paper's §7
+// identifies as the main cause of its interrupted-task ratio.
+#pragma once
+
+#include "rtsj/async_event.h"
+#include "rtsj/time.h"
+#include "rtsj/vm/vm.h"
+
+namespace tsf::rtsj {
+
+class Timer {
+ public:
+  Timer(vm::VirtualMachine& machine, AsyncEvent* event);
+  virtual ~Timer();
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  virtual void start() = 0;
+  // Stops the timer; a stopped timer never fires again until restarted.
+  virtual void stop();
+  bool active() const { return handle_.active(); }
+
+ protected:
+  vm::VirtualMachine& vm_;
+  AsyncEvent* event_;
+  vm::VirtualMachine::TimerHandle handle_;
+};
+
+// Fires the bound event once, at an absolute instant.
+class OneShotTimer : public Timer {
+ public:
+  OneShotTimer(vm::VirtualMachine& machine, AbsoluteTime at,
+               AsyncEvent* event);
+  void start() override;
+
+ private:
+  AbsoluteTime at_;
+};
+
+// Fires the bound event at start, start+interval, start+2*interval, ...
+class PeriodicTimer : public Timer {
+ public:
+  PeriodicTimer(vm::VirtualMachine& machine, AbsoluteTime start,
+                RelativeTime interval, AsyncEvent* event);
+  void start() override;
+
+ private:
+  void arm(AbsoluteTime at);
+
+  AbsoluteTime start_;
+  RelativeTime interval_;
+};
+
+}  // namespace tsf::rtsj

@@ -1,0 +1,292 @@
+#include "rtsj/vm/vm.h"
+
+#include <algorithm>
+
+#include "common/diag.h"
+
+namespace tsf::rtsj::vm {
+
+VirtualMachine::VirtualMachine(OverheadModel overhead) : overhead_(overhead) {}
+
+VirtualMachine::~VirtualMachine() {
+  shutting_down_ = true;
+  // Wake every parked fiber one at a time; each throws FiberShutdown from its
+  // park point, unwinds, and exits without handing the baton to anyone.
+  for (auto& f : fibers_) {
+    if (f->thread_.joinable()) {
+      if (!f->finished()) f->sem_.release();
+      f->thread_.join();
+    }
+  }
+}
+
+Fiber* VirtualMachine::create_fiber(std::string name, int priority,
+                                    Fiber::Body body) {
+  fibers_.push_back(std::unique_ptr<Fiber>(
+      new Fiber(this, std::move(name), priority, std::move(body))));
+  return fibers_.back().get();
+}
+
+void VirtualMachine::start_fiber(Fiber* fiber) {
+  TSF_ASSERT(fiber->state_ == Fiber::State::kNew,
+             "fiber " << fiber->name_ << " started twice");
+  fiber->thread_ = std::thread([this, fiber] { fiber_main(fiber); });
+  make_ready(fiber);
+}
+
+void VirtualMachine::fiber_main(Fiber* self) {
+  self->sem_.acquire();  // wait for the first grant
+  if (!shutting_down_) {
+    try {
+      self->body_();
+    } catch (const FiberShutdown&) {
+      // normal teardown path
+    } catch (...) {
+      if (!pending_error_) pending_error_ = std::current_exception();
+    }
+  }
+  self->state_ = Fiber::State::kFinished;
+  if (shutting_down_) return;  // the destructor owns the baton now
+  close_trace(self);
+  yield_to_scheduler(self);  // returns immediately for finished fibers
+}
+
+VirtualMachine::TimerHandle VirtualMachine::schedule_timer(
+    TimePoint at, std::function<void()> fn) {
+  TSF_ASSERT(at >= now_, "timer scheduled in the past: " << at << " < "
+                                                         << now_);
+  return timers_.schedule(at, [this, fn = std::move(fn)] {
+    if (!overhead_.timer_fire.is_zero()) add_overhead(overhead_.timer_fire);
+    fn();
+  });
+}
+
+VirtualMachine::TimerHandle VirtualMachine::schedule_silent(
+    TimePoint at, std::function<void()> fn) {
+  TSF_ASSERT(at >= now_, "timer scheduled in the past: " << at << " < "
+                                                         << now_);
+  return timers_.schedule(at, std::move(fn));
+}
+
+void VirtualMachine::run_until(TimePoint horizon) {
+  TSF_ASSERT(current_ == nullptr, "run_until called from inside a fiber");
+  TSF_ASSERT(horizon >= now_, "horizon " << horizon << " is in the past");
+  horizon_ = horizon;
+  for (;;) {
+    maybe_rethrow();
+    process_due_timers();
+    Fiber* next = pick_ready();
+    if (next != nullptr && now_ < horizon_) {
+      grant(next);
+      main_sem_.acquire();  // baton comes back when no fiber can run
+      continue;
+    }
+    if (now_ >= horizon_) break;
+    const TimePoint t = timers_.next_time();
+    if (t.is_never() || t > horizon_) {
+      advance_to(horizon_);
+      break;
+    }
+    advance_to(t);
+  }
+  maybe_rethrow();
+}
+
+void VirtualMachine::work(Duration d) {
+  Fiber* self = current_;
+  TSF_ASSERT(self != nullptr, "work() called from outside a fiber");
+  if (shutting_down_) return;
+  TSF_ASSERT(!d.is_negative(), "negative work " << d);
+  Duration remaining = d;
+  for (;;) {
+    if (self->interrupt_pending_ && self->interruptible_depth_ > 0) {
+      self->interrupt_pending_ = false;
+      throw AsyncInterrupt{};
+    }
+    if (Fiber* top = pick_ready();
+        top != nullptr && top->priority_ > self->priority_) {
+      // Preempted: go back to the ready set keeping our remaining demand.
+      self->state_ = Fiber::State::kReady;
+      close_trace(self);
+      make_ready(self);
+      yield_to_scheduler(self);
+      continue;
+    }
+    if (remaining.is_zero()) return;
+
+    const TimePoint progress_from = common::max(now_, overhead_until_);
+    const TimePoint completion = progress_from + remaining;
+    const TimePoint next_timer = timers_.next_time();
+
+    if (common::min(completion, next_timer) > horizon_) {
+      // Freeze at the horizon: bank the service earned on the way there,
+      // stay ready, and let run_until() return. A later run_until resumes.
+      if (horizon_ > progress_from) remaining -= (horizon_ - progress_from);
+      advance_to(horizon_);
+      self->state_ = Fiber::State::kReady;
+      close_trace(self);
+      make_ready(self);
+      yield_to_scheduler(self);
+      continue;
+    }
+    if (next_timer < completion) {
+      if (next_timer > progress_from) remaining -= (next_timer - progress_from);
+      advance_to(next_timer);
+      process_due_timers();
+      continue;
+    }
+    // No kernel activity strictly before completion: finish. A timer due at
+    // exactly the completion instant fires at the next scheduling point, so
+    // a handler whose demand exactly fits its Timed budget completes.
+    advance_to(completion);
+    remaining = Duration::zero();
+  }
+}
+
+void VirtualMachine::sleep_until(TimePoint t) {
+  Fiber* self = current_;
+  TSF_ASSERT(self != nullptr, "sleep_until called from outside a fiber");
+  if (shutting_down_) return;
+  if (t <= now_) return;
+  self->state_ = Fiber::State::kSleeping;
+  schedule_silent(t, [this, self] {
+    if (self->state_ == Fiber::State::kSleeping) {
+      if (!overhead_.release.is_zero()) add_overhead(overhead_.release);
+      make_ready(self);
+    }
+  });
+  close_trace(self);
+  yield_to_scheduler(self);
+}
+
+void VirtualMachine::block() {
+  Fiber* self = current_;
+  TSF_ASSERT(self != nullptr, "block called from outside a fiber");
+  if (shutting_down_) return;
+  self->state_ = Fiber::State::kBlocked;
+  close_trace(self);
+  yield_to_scheduler(self);
+}
+
+void VirtualMachine::unblock(Fiber* fiber) {
+  if (fiber->state_ == Fiber::State::kBlocked) make_ready(fiber);
+}
+
+void VirtualMachine::set_label(std::string label) {
+  Fiber* self = current_;
+  TSF_ASSERT(self != nullptr, "set_label called from outside a fiber");
+  if (label == self->label_) return;
+  close_trace(self);
+  self->label_ = std::move(label);
+  open_trace(self);
+}
+
+void VirtualMachine::post_interrupt(Fiber* fiber) {
+  fiber->interrupt_pending_ = true;
+}
+
+void VirtualMachine::clear_interrupt(Fiber* fiber) {
+  fiber->interrupt_pending_ = false;
+}
+
+void VirtualMachine::enter_interruptible(Fiber* fiber) {
+  TSF_ASSERT(fiber != nullptr, "not in a fiber");
+  ++fiber->interruptible_depth_;
+}
+
+void VirtualMachine::exit_interruptible(Fiber* fiber) {
+  // Tolerate teardown: a fiber frozen inside a Timed section unwinds its
+  // RAII guards while the VM shuts down.
+  if (shutting_down_) return;
+  TSF_ASSERT(fiber != nullptr && fiber->interruptible_depth_ > 0,
+             "unbalanced exit_interruptible");
+  --fiber->interruptible_depth_;
+}
+
+// ---- internals ----
+
+void VirtualMachine::advance_to(TimePoint t) {
+  TSF_ASSERT(t >= now_, "time went backwards: " << t << " < " << now_);
+  now_ = t;
+}
+
+void VirtualMachine::add_overhead(Duration d) {
+  overhead_until_ = common::max(overhead_until_, now_) + d;
+}
+
+void VirtualMachine::process_due_timers() {
+  while (!timers_.empty() && timers_.next_time() <= now_) {
+    timers_.pop_and_run();
+  }
+}
+
+Fiber* VirtualMachine::pick_ready() const {
+  Fiber* best = nullptr;
+  for (Fiber* f : ready_) {
+    if (best == nullptr || f->priority_ > best->priority_ ||
+        (f->priority_ == best->priority_ && f->ready_seq_ < best->ready_seq_)) {
+      best = f;
+    }
+  }
+  return best;
+}
+
+void VirtualMachine::remove_from_ready(Fiber* fiber) {
+  auto it = std::find(ready_.begin(), ready_.end(), fiber);
+  TSF_ASSERT(it != ready_.end(), "fiber " << fiber->name_ << " not ready");
+  ready_.erase(it);
+}
+
+void VirtualMachine::make_ready(Fiber* fiber) {
+  fiber->state_ = Fiber::State::kReady;
+  fiber->ready_seq_ = next_ready_seq_++;
+  ready_.push_back(fiber);
+}
+
+void VirtualMachine::grant(Fiber* fiber) {
+  remove_from_ready(fiber);
+  fiber->state_ = Fiber::State::kRunning;
+  current_ = fiber;
+  ++context_switches_;
+  if (!overhead_.context_switch.is_zero()) {
+    add_overhead(overhead_.context_switch);
+  }
+  open_trace(fiber);
+  fiber->sem_.release();
+}
+
+void VirtualMachine::yield_to_scheduler(Fiber* self) {
+  Fiber* next = (now_ < horizon_) ? pick_ready() : nullptr;
+  if (next != nullptr) {
+    grant(next);
+  } else {
+    current_ = nullptr;
+    main_sem_.release();
+  }
+  if (self->state_ == Fiber::State::kFinished) return;
+  self->sem_.acquire();
+  if (shutting_down_) throw FiberShutdown{};
+  TSF_ASSERT(current_ == self, "woke without the baton: " << self->name_);
+}
+
+void VirtualMachine::open_trace(Fiber* fiber) {
+  TSF_ASSERT(!fiber->trace_open_, "trace already open for " << fiber->name_);
+  timeline_.record(now_, common::TraceKind::kResume, fiber->label_);
+  fiber->trace_open_ = true;
+}
+
+void VirtualMachine::close_trace(Fiber* fiber) {
+  if (!fiber->trace_open_) return;
+  timeline_.record(now_, common::TraceKind::kPreempt, fiber->label_);
+  fiber->trace_open_ = false;
+}
+
+void VirtualMachine::maybe_rethrow() {
+  if (pending_error_) {
+    auto e = pending_error_;
+    pending_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace tsf::rtsj::vm

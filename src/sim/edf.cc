@@ -1,0 +1,108 @@
+#include "sim/edf.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/diag.h"
+
+namespace tsf::sim {
+
+using common::Duration;
+using common::TimePoint;
+
+double total_value(const std::vector<DynJob>& jobs) {
+  double v = 0.0;
+  for (const auto& j : jobs) v += j.effective_value();
+  return v;
+}
+
+DynResult simulate_edf(std::vector<DynJob> jobs, const EdfOptions& options) {
+  struct Live {
+    std::size_t index;
+    Duration remaining;
+  };
+
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return jobs[a].release < jobs[b].release;
+                   });
+
+  DynResult result;
+  result.outcomes.resize(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    result.outcomes[i].name = jobs[i].name;
+  }
+
+  std::vector<Live> ready;
+  std::size_t next = 0;
+  TimePoint now = TimePoint::origin();
+
+  auto earliest_deadline = [&]() -> std::size_t {
+    std::size_t best = ready.size();
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      if (best == ready.size() ||
+          jobs[ready[i].index].deadline < jobs[ready[best].index].deadline) {
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  while (next < order.size() || !ready.empty()) {
+    // Admit everything released by now.
+    while (next < order.size() && jobs[order[next]].release <= now) {
+      ready.push_back(Live{order[next], jobs[order[next]].cost});
+      ++next;
+    }
+    if (ready.empty()) {
+      TSF_ASSERT(next < order.size(), "EDF ran out of work unexpectedly");
+      now = jobs[order[next]].release;
+      continue;
+    }
+    const std::size_t r = earliest_deadline();
+    Live& run = ready[r];
+    const DynJob& job = jobs[run.index];
+
+    // Next decision point: completion, next arrival, or (firm) the running
+    // job's deadline.
+    TimePoint t = now + run.remaining;
+    if (next < order.size()) t = common::min(t, jobs[order[next]].release);
+    if (options.firm) t = common::min(t, job.deadline);
+
+    run.remaining -= (t - now);
+    now = t;
+
+    if (run.remaining.is_zero()) {
+      auto& out = result.outcomes[run.index];
+      out.completed = true;
+      out.completion = now;
+      if (now <= job.deadline) {
+        out.value_obtained = job.effective_value();
+        result.total_value += out.value_obtained;
+      } else {
+        ++result.missed;
+      }
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(r));
+    } else if (options.firm && now >= job.deadline) {
+      result.outcomes[run.index].abandoned = true;
+      ++result.missed;
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(r));
+    }
+    // Firm mode: drop any ready job whose deadline passed while it waited.
+    if (options.firm) {
+      for (std::size_t i = ready.size(); i-- > 0;) {
+        if (ready[i].remaining > Duration::zero() &&
+            now >= jobs[ready[i].index].deadline) {
+          result.outcomes[ready[i].index].abandoned = true;
+          ++result.missed;
+          ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tsf::sim

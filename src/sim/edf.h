@@ -1,0 +1,21 @@
+// Preemptive EDF over a finite job set (an RTSS policy).
+#pragma once
+
+#include <vector>
+
+#include "sim/job.h"
+
+namespace tsf::sim {
+
+struct EdfOptions {
+  // Firm deadlines: a job that reaches its deadline unfinished is abandoned
+  // immediately (it obtains no value). With false, jobs run to completion
+  // and the miss is only recorded — the classic soft-deadline EDF.
+  bool firm = false;
+};
+
+// Simulates the job set to completion (or to the last deadline, for firm
+// sets) and reports per-job outcomes, accrued value and misses.
+DynResult simulate_edf(std::vector<DynJob> jobs, const EdfOptions& options = {});
+
+}  // namespace tsf::sim

@@ -1,0 +1,45 @@
+// Job model for the dynamic-priority policies (EDF, D-OVER) of the RTSS
+// simulator (§5: "three scheduling policies are implemented: Preemptive
+// Fixed Priority, EDF and D-OVER").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace tsf::sim {
+
+// A one-shot job with a firm deadline and a value (the D-OVER currency; for
+// EDF the value is informational).
+struct DynJob {
+  std::string name;
+  common::TimePoint release;
+  common::Duration cost;
+  common::TimePoint deadline;  // absolute
+  double value = 0.0;          // defaults to cost in tu when <= 0
+
+  double effective_value() const {
+    return value > 0.0 ? value : cost.to_tu();
+  }
+};
+
+struct DynOutcome {
+  std::string name;
+  bool completed = false;
+  bool abandoned = false;  // D-OVER gave up on it (or firm deadline passed)
+  common::TimePoint completion = common::TimePoint::never();
+  double value_obtained = 0.0;
+};
+
+struct DynResult {
+  std::vector<DynOutcome> outcomes;
+  double total_value = 0.0;
+  std::size_t missed = 0;  // jobs not completed by their deadline
+};
+
+// Sum of values of all jobs (the clairvoyant upper bound when the set is
+// feasible).
+double total_value(const std::vector<DynJob>& jobs);
+
+}  // namespace tsf::sim

@@ -1,0 +1,96 @@
+// RTSS re-creation, part 1: the preemptive fixed-priority engine with
+// *theoretical* Polling / Deferrable servers (paper §5).
+//
+// "The simulated policies are the ones described in literature: this is not
+// a simulation of our implementations. Moreover, it does not take into
+// account the servers overhead, nor the execution overhead."
+//
+// Differences from the tsf::core implementation, by design:
+//  - aperiodic service is resumable: a job can be suspended when capacity
+//    runs out and resumed at the next replenishment (scenario 2's footnote);
+//  - the queue is strict FIFO;
+//  - capacity is consumed only by actual service — there is no overhead and
+//    no Timed interruption, so the interrupted ratio is structurally zero.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "model/run_result.h"
+#include "model/spec.h"
+
+namespace tsf::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(model::SystemSpec spec);
+
+  // Runs to spec.horizon and extracts per-job outcomes and the trace.
+  model::RunResult run();
+
+ private:
+  struct PeriodicJob {
+    std::size_t task = 0;  // index into spec_.periodic_tasks
+    common::TimePoint release;
+    common::Duration remaining;
+  };
+  struct AperiodicJob {
+    std::size_t index = 0;  // index into spec_.aperiodic_jobs
+    common::TimePoint release;
+    common::Duration remaining;
+    bool started = false;
+    common::TimePoint start;
+  };
+
+  // Who holds the processor at `now_`: nobody, a periodic job, or the
+  // server (serving the head aperiodic job).
+  enum class Runner { kIdle, kPeriodic, kServer };
+
+  void process_arrivals();
+  void process_replenishment();
+  // Highest-priority ready periodic job, if any (priority, then FIFO).
+  PeriodicJob* top_periodic();
+  bool server_eligible() const;
+  common::TimePoint next_static_event() const;
+  void switch_runner(Runner next, const std::string& label);
+  void complete_aperiodic_head();
+
+  model::SystemSpec spec_;
+  common::TimePoint now_;
+  model::RunResult result_;
+
+  // Periodic state: per-task FIFO of released-but-unfinished jobs plus the
+  // next release instant.
+  std::vector<std::deque<PeriodicJob>> ready_periodic_;
+  std::vector<common::TimePoint> next_release_;
+
+  // Aperiodic state.
+  std::vector<model::AperiodicJobSpec> arrivals_;  // sorted by release
+  std::size_t next_arrival_ = 0;
+  std::deque<AperiodicJob> aqueue_;
+
+  // Server state.
+  common::Duration capacity_ = common::Duration::zero();
+  common::TimePoint next_replenish_ = common::TimePoint::never();
+  bool ps_in_instance_ = false;
+  // Sporadic Server: amount-based replenishments. A service segment opens
+  // when the server takes the processor and closes when it loses it; the
+  // consumed amount returns one period after the segment began.
+  struct SsReplenishment {
+    common::TimePoint at;
+    common::Duration amount;
+  };
+  std::deque<SsReplenishment> ss_replenishments_;
+  bool ss_segment_open_ = false;
+  common::TimePoint ss_segment_start_;
+  common::Duration ss_segment_consumed_ = common::Duration::zero();
+  void ss_close_segment();
+
+  Runner runner_ = Runner::kIdle;
+  std::string runner_label_;
+};
+
+// Convenience wrapper used by the experiment harness.
+model::RunResult simulate(const model::SystemSpec& spec);
+
+}  // namespace tsf::sim

@@ -1,0 +1,191 @@
+// Tests for the offline feasibility analysis: RTA with servers, utilisation
+// bounds, EDF demand criterion, hyperperiods.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bounds.h"
+#include "analysis/edf.h"
+#include "analysis/rta.h"
+
+namespace tsf::analysis {
+namespace {
+
+using common::Duration;
+using common::TimePoint;
+
+Duration tu(std::int64_t n) { return Duration::time_units(n); }
+
+model::PeriodicTaskSpec task(const std::string& name, std::int64_t period,
+                             std::int64_t cost, int priority) {
+  model::PeriodicTaskSpec t;
+  t.name = name;
+  t.period = tu(period);
+  t.cost = tu(cost);
+  t.priority = priority;
+  return t;
+}
+
+TEST(Rta, TextbookExample) {
+  // Liu & Layland's classic pair.
+  const std::vector<model::PeriodicTaskSpec> tasks = {
+      task("hp", 5, 2, 20),
+      task("lp", 10, 3, 10),
+  };
+  EXPECT_EQ(response_time(tasks[0], tasks), tu(2));
+  EXPECT_EQ(response_time(tasks[1], tasks), tu(5));
+  EXPECT_TRUE(feasible(tasks));
+}
+
+TEST(Rta, ThreeTaskChain) {
+  const std::vector<model::PeriodicTaskSpec> tasks = {
+      task("t1", 4, 1, 30),
+      task("t2", 6, 2, 20),
+      task("t3", 12, 3, 10),
+  };
+  EXPECT_EQ(response_time(tasks[0], tasks), tu(1));
+  // R2 = 2 + ceil(R/4)*1 -> 3 -> 3. R3 = 3 + ceil(R/4)+2*ceil(R/6)...
+  EXPECT_EQ(response_time(tasks[1], tasks), tu(3));
+  EXPECT_EQ(response_time(tasks[2], tasks), tu(10));
+}
+
+TEST(Rta, DetectsInfeasibility) {
+  const std::vector<model::PeriodicTaskSpec> tasks = {
+      task("hp", 4, 3, 20),
+      task("lp", 8, 3, 10),
+  };
+  EXPECT_FALSE(response_time(tasks[1], tasks).has_value());
+  EXPECT_FALSE(feasible(tasks));
+  const auto all = response_times(tasks);
+  EXPECT_TRUE(all[0].has_value());
+  EXPECT_FALSE(all[1].has_value());
+}
+
+TEST(Rta, PollingServerCountsAsPeriodicTask) {
+  const std::vector<model::PeriodicTaskSpec> tasks = {
+      task("tau1", 6, 2, 20),
+      task("tau2", 6, 1, 10),
+  };
+  model::ServerSpec ps;
+  ps.policy = model::ServerPolicy::kPolling;
+  ps.capacity = tu(3);
+  ps.period = tu(6);
+  ps.priority = 30;
+  // tau1: 2 + 3 = 5; tau2: 1 + 3 + 2 = 6 == deadline.
+  EXPECT_EQ(response_time(tasks[0], tasks, &ps), tu(5));
+  EXPECT_EQ(response_time(tasks[1], tasks, &ps), tu(6));
+  EXPECT_TRUE(feasible(tasks, &ps));
+}
+
+TEST(Rta, DeferrableServerBackToBackIsWorse) {
+  const std::vector<model::PeriodicTaskSpec> tasks = {
+      task("tau", 20, 5, 10),
+  };
+  model::ServerSpec ps;
+  ps.policy = model::ServerPolicy::kPolling;
+  ps.capacity = tu(3);
+  ps.period = tu(6);
+  ps.priority = 30;
+  model::ServerSpec ds = ps;
+  ds.policy = model::ServerPolicy::kDeferrable;
+  const auto r_ps = response_time(tasks[0], tasks, &ps);
+  const auto r_ds = response_time(tasks[0], tasks, &ds);
+  ASSERT_TRUE(r_ps.has_value());
+  ASSERT_TRUE(r_ds.has_value());
+  EXPECT_GT(*r_ds, *r_ps);
+}
+
+TEST(Rta, BackgroundServerDoesNotInterfere) {
+  const std::vector<model::PeriodicTaskSpec> tasks = {
+      task("tau", 10, 4, 10),
+  };
+  model::ServerSpec bg;
+  bg.policy = model::ServerPolicy::kBackground;
+  bg.capacity = tu(10);
+  bg.period = tu(10);
+  bg.priority = 1;
+  EXPECT_EQ(response_time(tasks[0], tasks, &bg), tu(4));
+  EXPECT_EQ(server_interference(bg, tu(100)), Duration::zero());
+}
+
+TEST(Rta, ServerInterferenceFormulas) {
+  model::ServerSpec ps;
+  ps.policy = model::ServerPolicy::kPolling;
+  ps.capacity = tu(4);
+  ps.period = tu(6);
+  EXPECT_EQ(server_interference(ps, tu(6)), tu(4));
+  EXPECT_EQ(server_interference(ps, tu(7)), tu(8));
+  model::ServerSpec ds = ps;
+  ds.policy = model::ServerPolicy::kDeferrable;
+  // Jitter 2: ceil((w+2)/6)*4.
+  EXPECT_EQ(server_interference(ds, tu(4)), tu(4));
+  EXPECT_EQ(server_interference(ds, tu(5)), tu(8));
+}
+
+TEST(Rta, LowerPriorityServerIgnoredInTaskAnalysis) {
+  const std::vector<model::PeriodicTaskSpec> tasks = {
+      task("tau", 10, 4, 10),
+  };
+  model::ServerSpec ps;
+  ps.policy = model::ServerPolicy::kPolling;
+  ps.capacity = tu(4);
+  ps.period = tu(6);
+  ps.priority = 5;  // below tau
+  EXPECT_EQ(response_time(tasks[0], tasks, &ps), tu(4));
+}
+
+TEST(Hyperperiod, LcmOfPeriods) {
+  const std::vector<model::PeriodicTaskSpec> tasks = {
+      task("a", 4, 1, 1),
+      task("b", 6, 1, 2),
+  };
+  EXPECT_EQ(hyperperiod(tasks), tu(12));
+  model::ServerSpec s;
+  s.policy = model::ServerPolicy::kPolling;
+  s.capacity = tu(1);
+  s.period = tu(5);
+  EXPECT_EQ(hyperperiod(tasks, &s), tu(60));
+}
+
+TEST(Bounds, LiuLaylandValues) {
+  EXPECT_DOUBLE_EQ(liu_layland_bound(1), 1.0);
+  EXPECT_NEAR(liu_layland_bound(2), 0.8284, 1e-3);
+  EXPECT_NEAR(liu_layland_bound(100), std::log(2.0), 1e-2);
+}
+
+TEST(Bounds, DeferrableServerBound) {
+  // Us = 0 degenerates to ln 2 (the n->inf LL bound).
+  EXPECT_NEAR(deferrable_server_periodic_bound(0.0), std::log(2.0), 1e-12);
+  // A heavier DS leaves less for the periodic tasks.
+  EXPECT_LT(deferrable_server_periodic_bound(0.5),
+            deferrable_server_periodic_bound(0.2));
+}
+
+TEST(Bounds, PollingServerBoundIsLlWithOneMore) {
+  EXPECT_DOUBLE_EQ(polling_server_periodic_bound(1), liu_layland_bound(2));
+}
+
+TEST(EdfFeasibility, UtilisationTest) {
+  EXPECT_TRUE(edf_feasible_implicit({task("a", 4, 2, 1), task("b", 8, 4, 2)}));
+  EXPECT_FALSE(
+      edf_feasible_implicit({task("a", 4, 3, 1), task("b", 8, 3, 2)}));
+}
+
+TEST(EdfFeasibility, DemandCriterionConstrainedDeadlines) {
+  auto a = task("a", 8, 3, 1);
+  a.deadline = tu(4);
+  auto b = task("b", 12, 4, 2);
+  b.deadline = tu(10);
+  EXPECT_TRUE(edf_feasible_demand({a, b}));
+  // Tighten a's deadline below its cost plus b's interference window.
+  a.deadline = tu(3);
+  b.deadline = tu(5);
+  EXPECT_FALSE(edf_feasible_demand({a, b}));
+}
+
+TEST(EdfFeasibility, ImplicitDeadlineFullUtilisationPasses) {
+  EXPECT_TRUE(edf_feasible_demand({task("a", 4, 2, 1), task("b", 8, 4, 2)}));
+}
+
+}  // namespace
+}  // namespace tsf::analysis

@@ -1,0 +1,86 @@
+// Tests for the paper's §7 on-line response-time equations.
+#include "analysis/aperiodic.h"
+
+#include <gtest/gtest.h>
+
+namespace tsf::analysis {
+namespace {
+
+Duration tu(std::int64_t n) { return Duration::time_units(n); }
+TimePoint at_tu(std::int64_t n) {
+  return TimePoint::origin() + Duration::time_units(n);
+}
+
+PsOnlineInputs base() {
+  PsOnlineInputs in;
+  in.capacity = tu(4);
+  in.period = tu(6);
+  in.t = at_tu(0);
+  in.release = at_tu(0);
+  in.remaining = tu(4);
+  return in;
+}
+
+TEST(PsOnline, FitsCurrentInstance) {
+  // Demand 3 <= remaining 4: served immediately, Ra = t + Cape - ra = 3.
+  auto in = base();
+  in.demand = tu(3);
+  EXPECT_EQ(ps_online_response_time(in), tu(3));
+}
+
+TEST(PsOnline, ReleaseEarlierThanAnalysisInstant) {
+  auto in = base();
+  in.t = at_tu(5);
+  in.release = at_tu(3);
+  in.demand = tu(2);
+  in.remaining = tu(4);
+  // Completion at t + demand = 7; response 7 - 3 = 4.
+  EXPECT_EQ(ps_online_response_time(in), tu(4));
+}
+
+TEST(PsOnline, OverflowIntoNextInstances) {
+  // Demand 9 with remaining 1: overflow 8 = 2 full instances capacity 4.
+  // F=2, G=ceil(0/6)=0, R=0: Ra = (2+0)*6 + 0 - 0 = 12.
+  auto in = base();
+  in.demand = tu(9);
+  in.remaining = tu(1);
+  EXPECT_EQ(ps_online_response_time(in), tu(12));
+}
+
+TEST(PsOnline, PartialLastInstance) {
+  // Demand 6, remaining 1: overflow 5 -> F=1, R=1.
+  // At t=2 (mid instance 1): G = ceil(2/6) = 1: Ra = (1+1)*6 + 1 - 0 = 13.
+  auto in = base();
+  in.t = at_tu(2);
+  in.demand = tu(6);
+  in.remaining = tu(1);
+  EXPECT_EQ(ps_online_response_time(in), tu(13));
+}
+
+TEST(PsOnline, ExactCapacityMultipleLandsOnInstanceBoundary) {
+  // Overflow exactly k * capacity: the remainder R is zero.
+  auto in = base();
+  in.demand = tu(8);
+  in.remaining = tu(0);
+  // F = 2, G = 0, R = 0 -> 12.
+  EXPECT_EQ(ps_online_response_time(in), tu(12));
+}
+
+TEST(ImplementationEq5, MatchesHandComputation) {
+  // Ra = (Ia*Ts + Cpa + Ca) - ra.
+  EXPECT_EQ(implementation_response_time(2, tu(6), tu(1), tu(2), at_tu(3)),
+            tu(12));  // 12 + 1 + 2 - 3
+  EXPECT_EQ(implementation_response_time(0, tu(6), tu(0), tu(2), at_tu(0)),
+            tu(2));
+}
+
+TEST(ImplementationEq5, LaterReleaseShortensResponse) {
+  const auto early =
+      implementation_response_time(1, tu(6), tu(2), tu(1), at_tu(0));
+  const auto late =
+      implementation_response_time(1, tu(6), tu(2), tu(1), at_tu(4));
+  EXPECT_EQ(early - late, tu(4));
+}
+
+}  // namespace
+}  // namespace tsf::analysis

@@ -1,0 +1,150 @@
+// Tests for the tsf_run spec-file parser and report generation.
+#include "cli/spec_file.h"
+
+#include <gtest/gtest.h>
+
+#include "cli/report.h"
+
+namespace tsf::cli {
+namespace {
+
+using common::Duration;
+using common::TimePoint;
+
+constexpr const char* kScenario = R"(
+# comment
+[server]
+policy   = polling
+capacity = 3
+period   = 6
+priority = 30
+queue    = first-fit
+
+[task tau1]
+period   = 6
+cost     = 2
+priority = 20
+
+[job h1]
+release  = 2
+cost     = 2
+declared = 1.5
+
+[run]
+horizon  = 18
+mode     = sim
+overheads = ideal
+gantt    = no
+)";
+
+TEST(SpecFile, ParsesFullScenario) {
+  const auto outcome = parse_spec(kScenario);
+  ASSERT_TRUE(outcome.ok()) << outcome.errors.front();
+  const auto& spec = outcome.config.spec;
+  EXPECT_EQ(spec.server.policy, model::ServerPolicy::kPolling);
+  EXPECT_EQ(spec.server.capacity, Duration::time_units(3));
+  EXPECT_EQ(spec.server.period, Duration::time_units(6));
+  EXPECT_EQ(spec.server.priority, 30);
+  EXPECT_EQ(spec.server.queue, model::QueueDiscipline::kFifoFirstFit);
+  ASSERT_EQ(spec.periodic_tasks.size(), 1u);
+  EXPECT_EQ(spec.periodic_tasks[0].name, "tau1");
+  EXPECT_EQ(spec.periodic_tasks[0].cost, Duration::time_units(2));
+  ASSERT_EQ(spec.aperiodic_jobs.size(), 1u);
+  EXPECT_EQ(spec.aperiodic_jobs[0].name, "h1");
+  EXPECT_EQ(spec.aperiodic_jobs[0].release,
+            TimePoint::origin() + Duration::time_units(2));
+  EXPECT_EQ(spec.aperiodic_jobs[0].declared_cost, Duration::ticks(1500));
+  EXPECT_EQ(spec.horizon, TimePoint::origin() + Duration::time_units(18));
+  EXPECT_EQ(outcome.config.mode, RunMode::kSim);
+  EXPECT_FALSE(outcome.config.gantt);
+}
+
+TEST(SpecFile, FractionalTimesResolveToTicks) {
+  const auto outcome = parse_spec(
+      "[server]\npolicy=deferrable\ncapacity=0.5\nperiod=1.25\n"
+      "[run]\nhorizon=10\n");
+  ASSERT_TRUE(outcome.ok()) << outcome.errors.front();
+  EXPECT_EQ(outcome.config.spec.server.capacity, Duration::ticks(500));
+  EXPECT_EQ(outcome.config.spec.server.period, Duration::ticks(1250));
+}
+
+TEST(SpecFile, MissingHorizonIsAnError) {
+  const auto outcome = parse_spec("[server]\npolicy=none\n");
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.errors.front().find("horizon"), std::string::npos);
+}
+
+TEST(SpecFile, UnknownKeysReportedWithLineNumbers) {
+  const auto outcome =
+      parse_spec("[server]\npolicy = polling\nbogus = 1\n[run]\nhorizon=5\n");
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.errors.front().find("line 3"), std::string::npos);
+  EXPECT_NE(outcome.errors.front().find("bogus"), std::string::npos);
+}
+
+TEST(SpecFile, BadNumbersRejected) {
+  const auto outcome = parse_spec(
+      "[server]\npolicy=polling\ncapacity = lots\nperiod = 6\n"
+      "[run]\nhorizon = 10\n");
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.errors.front().find("number"), std::string::npos);
+}
+
+TEST(SpecFile, NamelessTaskRejected) {
+  const auto outcome = parse_spec("[task]\nperiod=5\ncost=1\n"
+                                  "[run]\nhorizon=10\n");
+  ASSERT_FALSE(outcome.ok());
+}
+
+TEST(SpecFile, KeyOutsideSectionRejected) {
+  const auto outcome = parse_spec("period = 5\n[run]\nhorizon=10\n");
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.errors.front().find("outside"), std::string::npos);
+}
+
+TEST(SpecFile, ZeroCostTaskRejected) {
+  const auto outcome = parse_spec(
+      "[server]\npolicy=none\n[task t]\nperiod=5\n[run]\nhorizon=10\n");
+  ASSERT_FALSE(outcome.ok());
+}
+
+TEST(SpecFile, ServerWithoutBudgetRejectedUnlessNone) {
+  EXPECT_FALSE(parse_spec("[server]\npolicy=polling\n[run]\nhorizon=1\n").ok());
+  EXPECT_TRUE(parse_spec("[server]\npolicy=none\n[run]\nhorizon=1\n").ok());
+}
+
+TEST(SpecFile, CollectsMultipleErrors) {
+  const auto outcome = parse_spec(
+      "[server]\npolicy = martian\nqueue = heap\n[run]\nmode = sideways\n");
+  EXPECT_GE(outcome.errors.size(), 4u);  // policy, queue, mode, horizon
+}
+
+TEST(SpecFile, LoadMissingFileFails) {
+  const auto outcome = load_spec_file("/nonexistent/path.tsf");
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.errors.front().find("cannot open"), std::string::npos);
+}
+
+TEST(Report, RendersScenarioTwoOnBothEngines) {
+  auto outcome = parse_spec(kScenario);
+  ASSERT_TRUE(outcome.ok());
+  outcome.config.mode = RunMode::kBoth;
+  const std::string report = run_and_report(outcome.config);
+  EXPECT_NE(report.find("simulation (theoretical policies)"),
+            std::string::npos);
+  EXPECT_NE(report.find("execution (RTSJ-style runtime)"), std::string::npos);
+  EXPECT_NE(report.find("h1"), std::string::npos);
+  EXPECT_NE(report.find("served 1/1"), std::string::npos);
+}
+
+TEST(Report, GanttIncludedWhenRequested) {
+  auto outcome = parse_spec(kScenario);
+  ASSERT_TRUE(outcome.ok());
+  outcome.config.gantt = true;
+  outcome.config.mode = RunMode::kSim;
+  const std::string report = run_and_report(outcome.config);
+  EXPECT_NE(report.find('#'), std::string::npos);  // busy cells
+}
+
+}  // namespace
+}  // namespace tsf::cli

@@ -1,0 +1,102 @@
+#include "common/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tsf::common {
+namespace {
+
+TimePoint at(std::int64_t t) { return TimePoint::at_ticks(t); }
+
+TEST(EventQueue, EmptyByDefault) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.next_time().is_never());
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at(30), [&] { order.push_back(3); });
+  q.schedule(at(10), [&] { order.push_back(1); });
+  q.schedule(at(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(at(7), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NextTimeTracksEarliestLiveEvent) {
+  EventQueue q;
+  auto h = q.schedule(at(5), [] {});
+  q.schedule(at(9), [] {});
+  EXPECT_EQ(q.next_time(), at(5));
+  h.cancel();
+  EXPECT_EQ(q.next_time(), at(9));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  auto h = q.schedule(at(1), [&] { ran = true; });
+  EXPECT_TRUE(h.active());
+  h.cancel();
+  EXPECT_FALSE(h.active());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, HandleInactiveAfterFire) {
+  EventQueue q;
+  auto h = q.schedule(at(1), [] {});
+  q.pop_and_run();
+  EXPECT_FALSE(h.active());
+  h.cancel();  // harmless after firing
+}
+
+TEST(EventQueue, DefaultHandleIsInert) {
+  EventQueue::Handle h;
+  EXPECT_FALSE(h.active());
+  h.cancel();  // no-op
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at(1), [&] {
+    order.push_back(1);
+    q.schedule(at(2), [&] { order.push_back(2); });
+  });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, CallbackMayCancelLaterEvent) {
+  EventQueue q;
+  bool ran = false;
+  EventQueue::Handle later;
+  later = q.schedule(at(5), [&] { ran = true; });
+  q.schedule(at(1), [&] { later.cancel(); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, ScheduledCountGrowsMonotonically) {
+  EventQueue q;
+  q.schedule(at(1), [] {});
+  auto h = q.schedule(at(2), [] {});
+  h.cancel();
+  EXPECT_EQ(q.scheduled_count(), 2u);
+}
+
+}  // namespace
+}  // namespace tsf::common

@@ -1,0 +1,123 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tsf::common {
+namespace {
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(1983), b(1983);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(rng.uniform_u64(17), 17u);
+  }
+}
+
+TEST(Rng, UniformU64CoversRange) {
+  Rng rng(13);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    ++seen[rng.uniform_u64(8)];
+  }
+  for (int c : seen) EXPECT_GT(c, 800);  // each bucket near 1000
+}
+
+TEST(Rng, UniformI64Inclusive) {
+  Rng rng(17);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_i64(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    hit_lo |= (v == -3);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(19);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, NormalWithZeroStddevIsConstant) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(rng.normal(3.0, 0.0), 3.0);
+  }
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(29);
+  for (double lambda : {0.5, 1.0, 2.0, 3.0}) {
+    std::uint64_t total = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) total += rng.poisson(lambda);
+    EXPECT_NEAR(static_cast<double>(total) / n, lambda, 0.05 * lambda + 0.02)
+        << "lambda=" << lambda;
+  }
+}
+
+TEST(Rng, PoissonZeroLambdaIsZero) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng a(1983), b(1983);
+  Rng as = a.split(), bs = b.split();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(as.next_u64(), bs.next_u64());
+  }
+  // The parent stream is unaffected by how much the child consumed.
+  Rng c(1983);
+  (void)c.split();
+  EXPECT_EQ(a.next_u64(), c.next_u64());
+}
+
+TEST(SplitMix64, KnownFirstOutput) {
+  // Reference value from the SplitMix64 reference implementation.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+}
+
+}  // namespace
+}  // namespace tsf::common

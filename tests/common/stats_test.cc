@@ -1,0 +1,77 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace tsf::common {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, MeanAndExtrema) {
+  Accumulator a;
+  a.add(2.0);
+  a.add(4.0);
+  a.add(9.0);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 15.0);
+}
+
+TEST(Accumulator, SampleVariance) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+}
+
+TEST(Accumulator, SingleSampleVarianceIsZero) {
+  Accumulator a;
+  a.add(42.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, NegativeValues) {
+  Accumulator a;
+  a.add(-3.0);
+  a.add(3.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), -3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(Ratio, UndefinedWhenEmpty) {
+  Ratio r;
+  EXPECT_FALSE(r.defined());
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+}
+
+TEST(Ratio, CountsHits) {
+  Ratio r;
+  r.add(true);
+  r.add(false);
+  r.add(true);
+  r.add(true);
+  EXPECT_TRUE(r.defined());
+  EXPECT_EQ(r.numerator(), 3u);
+  EXPECT_EQ(r.denominator(), 4u);
+  EXPECT_DOUBLE_EQ(r.value(), 0.75);
+}
+
+TEST(Ratio, BulkAdd) {
+  Ratio r;
+  r.add(5, 10);
+  r.add(0, 10);
+  EXPECT_DOUBLE_EQ(r.value(), 0.25);
+}
+
+}  // namespace
+}  // namespace tsf::common

@@ -1,0 +1,42 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace tsf::common {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.add_row({"name", "value"});
+  t.add_row({"x", "123456"});
+  t.add_row({"longer", "1"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name    value"), std::string::npos) << s;
+  EXPECT_NE(s.find("x       123456"), std::string::npos) << s;
+  EXPECT_NE(s.find("longer  1"), std::string::npos) << s;
+}
+
+TEST(TextTable, HeaderSeparatorPresent) {
+  TextTable t;
+  t.add_row({"a", "b"});
+  t.add_row({"1", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, RaggedRowsTolerated) {
+  TextTable t;
+  t.add_row({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_FALSE(t.to_string().empty());
+}
+
+TEST(FmtFixed, Precision) {
+  EXPECT_EQ(fmt_fixed(8.857, 2), "8.86");
+  EXPECT_EQ(fmt_fixed(0.0, 2), "0.00");
+  EXPECT_EQ(fmt_fixed(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace tsf::common

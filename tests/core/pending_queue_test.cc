@@ -1,0 +1,198 @@
+#include "core/pending_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/servable_async_event_handler.h"
+
+namespace tsf::core {
+namespace {
+
+using common::Duration;
+using common::TimePoint;
+
+Duration tu(std::int64_t n) { return Duration::time_units(n); }
+
+// Handlers with declared costs only; logic never runs in these tests.
+class HandlerPool {
+ public:
+  ServableAsyncEventHandler* make(const std::string& name, Duration cost) {
+    pool_.push_back(std::make_unique<ServableAsyncEventHandler>(
+        name, cost, [](rtsj::Timed&) {}));
+    return pool_.back().get();
+  }
+
+ private:
+  std::vector<std::unique_ptr<ServableAsyncEventHandler>> pool_;
+};
+
+Request req(ServableAsyncEventHandler* h, std::uint64_t seq) {
+  Request r;
+  r.handler = h;
+  r.release = TimePoint::origin();
+  r.seq = seq;
+  return r;
+}
+
+FitsFn fits_under(Duration budget) {
+  return [budget](Duration cost) { return cost <= budget; };
+}
+
+TEST(StrictFifoQueue, HeadBlocksWhenTooExpensive) {
+  HandlerPool pool;
+  StrictFifoQueue q;
+  q.push(req(pool.make("big", tu(3)), 0));
+  q.push(req(pool.make("small", tu(1)), 1));
+  // Head does not fit: nothing is served, even though "small" would fit.
+  EXPECT_FALSE(q.pop_fitting(fits_under(tu(2))).has_value());
+  auto r = q.pop_fitting(fits_under(tu(3)));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->handler->name(), "big");
+}
+
+TEST(StrictFifoQueue, FifoOrder) {
+  HandlerPool pool;
+  StrictFifoQueue q;
+  q.push(req(pool.make("a", tu(1)), 0));
+  q.push(req(pool.make("b", tu(1)), 1));
+  EXPECT_EQ(q.pop_fitting(fits_under(tu(4)))->handler->name(), "a");
+  EXPECT_EQ(q.pop_fitting(fits_under(tu(4)))->handler->name(), "b");
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FifoFirstFitQueue, SkipsOversizedHead) {
+  // The §6.2.2 example: "if the event queue contains two tasks tau1 and
+  // tau2, with c1 = 3 and c2 = 1, if the remaining capacity of the server
+  // is 2, then tau2 can be executed instantaneously, even if it has been
+  // released after tau1."
+  HandlerPool pool;
+  FifoFirstFitQueue q;
+  q.push(req(pool.make("tau1", tu(3)), 0));
+  q.push(req(pool.make("tau2", tu(1)), 1));
+  auto r = q.pop_fitting(fits_under(tu(2)));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->handler->name(), "tau2");
+  // tau1 is still queued.
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop_fitting(fits_under(tu(3)))->handler->name(), "tau1");
+}
+
+TEST(FifoFirstFitQueue, PrefersFifoAmongFitting) {
+  HandlerPool pool;
+  FifoFirstFitQueue q;
+  q.push(req(pool.make("a", tu(2)), 0));
+  q.push(req(pool.make("b", tu(1)), 1));
+  EXPECT_EQ(q.pop_fitting(fits_under(tu(2)))->handler->name(), "a");
+}
+
+TEST(FifoFirstFitQueue, DrainReturnsEverythingInOrder) {
+  HandlerPool pool;
+  FifoFirstFitQueue q;
+  q.push(req(pool.make("a", tu(9)), 0));
+  q.push(req(pool.make("b", tu(9)), 1));
+  const auto rest = q.drain();
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].handler->name(), "a");
+  EXPECT_EQ(rest[1].handler->name(), "b");
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ListOfListsQueue, AppendsToLastOpenBucket) {
+  HandlerPool pool;
+  ListOfListsQueue q(tu(4));
+  q.push(req(pool.make("a", tu(3)), 0));  // bucket 0 (load 3)
+  q.push(req(pool.make("b", tu(2)), 1));  // bucket 1 (3+2 > 4)
+  q.push(req(pool.make("c", tu(1)), 2));  // bucket 1 (2+1 <= 4, FIFO kept)
+  EXPECT_EQ(q.bucket_count(), 2u);
+  EXPECT_EQ(q.size(), 3u);
+
+  // A cost-2 release would overflow the last bucket (3+2 > 4): it opens
+  // instance 2; a cost-1 release still fits behind c.
+  const auto p2 = q.placement_for(tu(2));
+  EXPECT_EQ(p2.instance_offset, 2);
+  EXPECT_EQ(p2.cumulative_before, Duration::zero());
+  const auto p1 = q.placement_for(tu(1));
+  EXPECT_EQ(p1.instance_offset, 1);
+  EXPECT_EQ(p1.cumulative_before, tu(3));
+}
+
+TEST(ListOfListsQueue, PlacementForFullBucketsOpensNewOne) {
+  HandlerPool pool;
+  ListOfListsQueue q(tu(4));
+  q.push(req(pool.make("a", tu(4)), 0));
+  const auto p = q.placement_for(tu(4));
+  EXPECT_EQ(p.instance_offset, 1);
+  EXPECT_EQ(p.cumulative_before, Duration::zero());
+}
+
+TEST(ListOfListsQueue, ServesOnlyActiveInstance) {
+  HandlerPool pool;
+  ListOfListsQueue q(tu(4));
+  q.push(req(pool.make("a", tu(3)), 0));
+  q.push(req(pool.make("b", tu(3)), 1));  // next instance
+  // Nothing is active until the first activation.
+  EXPECT_FALSE(q.pop_fitting(fits_under(tu(4))).has_value());
+  q.begin_instance();
+  EXPECT_EQ(q.pop_fitting(fits_under(tu(4)))->handler->name(), "a");
+  EXPECT_FALSE(q.pop_fitting(fits_under(tu(4))).has_value());
+  q.begin_instance();
+  EXPECT_EQ(q.pop_fitting(fits_under(tu(4)))->handler->name(), "b");
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ListOfListsQueue, LeftoversAreReRegistered) {
+  HandlerPool pool;
+  ListOfListsQueue q(tu(4));
+  q.push(req(pool.make("a", tu(3)), 0));
+  q.begin_instance();
+  // Not served (e.g. capacity consumed by overhead); next activation must
+  // still offer it.
+  q.begin_instance();
+  auto r = q.pop_fitting(fits_under(tu(4)));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->handler->name(), "a");
+}
+
+TEST(ListOfListsQueue, DrainCoversActiveAndFuture) {
+  HandlerPool pool;
+  ListOfListsQueue q(tu(4));
+  q.push(req(pool.make("a", tu(3)), 0));
+  q.push(req(pool.make("b", tu(3)), 1));
+  q.begin_instance();
+  const auto rest = q.drain();
+  EXPECT_EQ(rest.size(), 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ListOfListsQueue, OversizedRequestsParkedNotBlocking) {
+  // A request above the capacity violates the §4 constraint; it must not
+  // waste a server instance, but it must still appear in the final drain.
+  HandlerPool pool;
+  ListOfListsQueue q(tu(4));
+  q.push(req(pool.make("huge", tu(5)), 0));
+  q.push(req(pool.make("ok", tu(2)), 1));
+  EXPECT_TRUE(!q.empty());
+  EXPECT_EQ(q.size(), 2u);
+  q.begin_instance();
+  // The servable request comes straight out; the oversized one never does.
+  EXPECT_EQ(q.pop_fitting(fits_under(tu(4)))->handler->name(), "ok");
+  EXPECT_FALSE(q.pop_fitting(fits_under(tu(4))).has_value());
+  EXPECT_TRUE(q.empty());  // no *servable* work left
+  const auto rest = q.drain();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].handler->name(), "huge");
+}
+
+TEST(PendingQueueFactory, MakesEachDiscipline) {
+  EXPECT_NE(PendingQueue::make(model::QueueDiscipline::kStrictFifo, tu(4)),
+            nullptr);
+  EXPECT_NE(PendingQueue::make(model::QueueDiscipline::kFifoFirstFit, tu(4)),
+            nullptr);
+  EXPECT_NE(PendingQueue::make(model::QueueDiscipline::kListOfLists, tu(4)),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace tsf::core

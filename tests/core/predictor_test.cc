@@ -1,0 +1,138 @@
+// §7: constant-time response-time prediction on the list-of-lists queue.
+#include "core/response_time_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/servable_async_event.h"
+#include "rtsj/timer.h"
+#include "rtsj/vm/vm.h"
+
+namespace tsf::core {
+namespace {
+
+using common::Duration;
+using common::TimePoint;
+using rtsj::vm::VirtualMachine;
+
+Duration tu(std::int64_t n) { return Duration::time_units(n); }
+TimePoint at_tu(std::int64_t n) {
+  return TimePoint::origin() + Duration::time_units(n);
+}
+
+TaskServerParameters lol_params() {
+  TaskServerParameters p("PS", tu(4), tu(6), 30);
+  p.set_queue_discipline(model::QueueDiscipline::kListOfLists);
+  return p;
+}
+
+class PredictorWorld {
+ public:
+  PredictorWorld() : server_(vm_, lol_params()), predictor_(server_) {}
+
+  ServableAsyncEventHandler* release_now(const std::string& name,
+                                         Duration cost) {
+    handlers_.push_back(std::make_unique<ServableAsyncEventHandler>(
+        ServableAsyncEventHandler::pure_work(name, cost, cost)));
+    handlers_.back()->set_server(&server_);
+    server_.servable_event_released(handlers_.back().get());
+    return handlers_.back().get();
+  }
+
+  VirtualMachine vm_;
+  PollingTaskServer server_;
+  ResponseTimePredictor predictor_;
+  std::vector<std::unique_ptr<ServableAsyncEventHandler>> handlers_;
+};
+
+TEST(Predictor, RejectsCostAboveCapacity) {
+  PredictorWorld w;
+  EXPECT_FALSE(w.predictor_.predict(tu(5)).has_value());
+  EXPECT_TRUE(w.predictor_.predict(tu(4)).has_value());
+}
+
+TEST(Predictor, EmptyQueuePredictsNextActivation) {
+  PredictorWorld w;
+  // At t=0 before the run, the next activation is instance 0 at t=0:
+  // a cost-2 release now completes at 0 + 0 + 2.
+  const auto r = w.predictor_.predict(tu(2));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, tu(2));
+}
+
+TEST(Predictor, AccountsForQueuedWorkInSameInstance) {
+  PredictorWorld w;
+  w.release_now("a", tu(2));
+  // A 1-cost release joins the same bucket behind a: Ra = 0 + (2 + 1) - 0.
+  const auto r = w.predictor_.predict(tu(1));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, tu(3));
+}
+
+TEST(Predictor, OverflowsToLaterInstance) {
+  PredictorWorld w;
+  w.release_now("a", tu(3));
+  // cost 2 does not fit bucket 0 (3+2>4): instance 1 at t=6, Ra = 6+0+2.
+  const auto r = w.predictor_.predict(tu(2));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, tu(8));
+}
+
+TEST(Predictor, PredictionMatchesActualServiceUnderZeroOverhead) {
+  // End-to-end: queue three events at t=0, predict each insertion, then run
+  // and compare against the measured completions (equation (5) is exact for
+  // the list-of-lists server on an ideal machine).
+  PredictorWorld w;
+  struct Expectation {
+    std::string name;
+    Duration predicted;
+  };
+  std::vector<Expectation> expected;
+  for (const auto& [name, cost] :
+       std::vector<std::pair<std::string, Duration>>{
+           {"a", tu(2)}, {"b", tu(3)}, {"c", tu(2)}, {"d", tu(1)}}) {
+    const auto p = w.predictor_.predict(cost);
+    ASSERT_TRUE(p.has_value()) << name;
+    expected.push_back({name, *p});
+    w.release_now(name, cost);
+  }
+  w.server_.start();
+  w.vm_.run_until(at_tu(40));
+
+  const auto outcomes = w.server_.final_outcomes();
+  ASSERT_EQ(outcomes.size(), 4u);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].served) << outcomes[i].name;
+    const auto it =
+        std::find_if(expected.begin(), expected.end(),
+                     [&](const Expectation& e) {
+                       return e.name == outcomes[i].name;
+                     });
+    ASSERT_NE(it, expected.end());
+    EXPECT_EQ(outcomes[i].response(), it->predicted) << outcomes[i].name;
+  }
+}
+
+TEST(Predictor, AdmissionGateUsesDeadline) {
+  PredictorWorld w;
+  w.release_now("a", tu(3));
+  // Next slot for cost 2 completes at t=8.
+  EXPECT_TRUE(w.predictor_.admissible(tu(2), tu(8)));
+  EXPECT_FALSE(w.predictor_.admissible(tu(2), tu(7)));
+  EXPECT_FALSE(w.predictor_.admissible(tu(5), tu(100)));  // above capacity
+}
+
+TEST(Predictor, MidRunPredictionUsesNextActivation) {
+  PredictorWorld w;
+  w.server_.start();
+  w.vm_.run_until(at_tu(2));  // instance 0 has passed (empty poll)
+  const auto r = w.predictor_.predict(tu(2));
+  ASSERT_TRUE(r.has_value());
+  // Next activation is t=6; release at t=2 completes at 8.
+  EXPECT_EQ(*r, tu(6));
+}
+
+}  // namespace
+}  // namespace tsf::core

@@ -1,0 +1,205 @@
+// The paper's worked examples (Table 1, Figures 2-4), asserted exactly.
+//
+// Task set: PS (capacity 3, period 6) at high priority, tau1 (cost 2,
+// period 6) at medium, tau2 (cost 1, period 6) at low; all started
+// synchronously at t=0. h1 and h2 (cost 2 each) are bound to servable
+// events e1 and e2.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/time.h"
+#include "common/trace.h"
+#include "core/polling_task_server.h"
+#include "core/servable_async_event.h"
+#include "core/servable_async_event_handler.h"
+#include "core/task_server_parameters.h"
+#include "rtsj/realtime_thread.h"
+#include "rtsj/timer.h"
+#include "rtsj/vm/vm.h"
+
+namespace tsf::core {
+namespace {
+
+using common::Duration;
+using common::Interval;
+using common::TimePoint;
+using rtsj::vm::VirtualMachine;
+
+Duration tu(std::int64_t n) { return Duration::time_units(n); }
+TimePoint at_tu(std::int64_t n) {
+  return TimePoint::origin() + Duration::time_units(n);
+}
+
+// Builds the Table 1 world on a fresh VM.
+class ScenarioWorld {
+ public:
+  explicit ScenarioWorld(Duration h2_declared_cost = tu(2))
+      : vm_(),
+        server_(vm_, TaskServerParameters("PS", tu(3), tu(6), 30)),
+        tau1_(vm_, "tau1", rtsj::PriorityParameters(20),
+              rtsj::PeriodicParameters(TimePoint::origin(), tu(6), tu(2)),
+              periodic_body(tu(2))),
+        tau2_(vm_, "tau2", rtsj::PriorityParameters(10),
+              rtsj::PeriodicParameters(TimePoint::origin(), tu(6), tu(1)),
+              periodic_body(tu(1))),
+        h1_(ServableAsyncEventHandler::pure_work("h1", tu(2), tu(2))),
+        h2_(ServableAsyncEventHandler::pure_work("h2", h2_declared_cost,
+                                                 tu(2))),
+        e1_(vm_, "e1"),
+        e2_(vm_, "e2") {
+    h1_.set_server(&server_);
+    h2_.set_server(&server_);
+    e1_.add_handler(&h1_);
+    e2_.add_handler(&h2_);
+    server_.start();
+    tau1_.start();
+    tau2_.start();
+  }
+
+  void fire_at(ServableAsyncEvent& e, std::int64_t t) {
+    timers_.push_back(
+        std::make_unique<rtsj::OneShotTimer>(vm_, at_tu(t), &e));
+    timers_.back()->start();
+  }
+
+  void run(std::int64_t horizon_tu = 18) { vm_.run_until(at_tu(horizon_tu)); }
+
+  std::vector<Interval> busy(const std::string& who) {
+    return vm_.timeline().busy_intervals(who);
+  }
+
+  VirtualMachine vm_;
+  PollingTaskServer server_;
+  rtsj::RealtimeThread tau1_;
+  rtsj::RealtimeThread tau2_;
+  ServableAsyncEventHandler h1_;
+  ServableAsyncEventHandler h2_;
+  ServableAsyncEvent e1_;
+  ServableAsyncEvent e2_;
+  std::vector<std::unique_ptr<rtsj::OneShotTimer>> timers_;
+
+ private:
+  static rtsj::RealtimeThread::Logic periodic_body(Duration cost) {
+    return [cost](rtsj::RealtimeThread& t) {
+      for (;;) {
+        t.work(cost);
+        t.wait_for_next_period();
+      }
+    };
+  }
+};
+
+TEST(PaperScenario1, HandlersServedImmediatelyWithFullCapacity) {
+  // Figure 2: e1 fired at 0, e2 at 6; the server has full capacity at both
+  // instants, so h1 and h2 are processed immediately.
+  ScenarioWorld w;
+  w.fire_at(w.e1_, 0);
+  w.fire_at(w.e2_, 6);
+  w.run();
+
+  const auto h1 = w.busy("h1");
+  ASSERT_EQ(h1.size(), 1u);
+  EXPECT_EQ(h1[0], (Interval{at_tu(0), at_tu(2)}));
+
+  const auto h2 = w.busy("h2");
+  ASSERT_EQ(h2.size(), 1u);
+  EXPECT_EQ(h2[0], (Interval{at_tu(6), at_tu(8)}));
+
+  // tau1 runs after the server within each period.
+  const auto tau1 = w.busy("tau1");
+  ASSERT_GE(tau1.size(), 2u);
+  EXPECT_EQ(tau1[0], (Interval{at_tu(2), at_tu(4)}));
+  EXPECT_EQ(tau1[1], (Interval{at_tu(8), at_tu(10)}));
+
+  const auto tau2 = w.busy("tau2");
+  ASSERT_GE(tau2.size(), 2u);
+  EXPECT_EQ(tau2[0], (Interval{at_tu(4), at_tu(5)}));
+  EXPECT_EQ(tau2[1], (Interval{at_tu(10), at_tu(11)}));
+
+  EXPECT_EQ(w.server_.served_count(), 2u);
+  EXPECT_EQ(w.server_.interrupted_count(), 0u);
+}
+
+TEST(PaperScenario2, SecondHandlerDeferredToNextInstance) {
+  // Figure 3: e1 at 2, e2 at 4. At the t=6 activation h1 runs in [6,8),
+  // leaving capacity 1 < cost(h2)=2, so h2 "does not begin its execution at
+  // time 8" — the implementation defers it to the t=12 activation.
+  ScenarioWorld w;
+  w.fire_at(w.e1_, 2);
+  w.fire_at(w.e2_, 4);
+  w.run();
+
+  const auto h1 = w.busy("h1");
+  ASSERT_EQ(h1.size(), 1u);
+  EXPECT_EQ(h1[0], (Interval{at_tu(6), at_tu(8)}));
+
+  const auto h2 = w.busy("h2");
+  ASSERT_EQ(h2.size(), 1u);
+  EXPECT_EQ(h2[0], (Interval{at_tu(12), at_tu(14)}));
+
+  EXPECT_EQ(w.server_.served_count(), 2u);
+  EXPECT_EQ(w.server_.interrupted_count(), 0u);
+
+  // Periodic tasks are undisturbed in period 1 (server idle at t=0).
+  const auto tau1 = w.busy("tau1");
+  ASSERT_GE(tau1.size(), 1u);
+  EXPECT_EQ(tau1[0], (Interval{at_tu(0), at_tu(2)}));
+}
+
+TEST(PaperScenario3, UnderDeclaredHandlerInterruptedAtCapacityExhaustion) {
+  // Figure 4: h2's cost parameter is lowered to 1 while its real demand
+  // stays 2. With remaining capacity 1 at t=8, h2 is admitted, starts at 8,
+  // and is interrupted at 9 "because the server has consumed all its
+  // capacity and because h2 has not finished".
+  ScenarioWorld w(/*h2_declared_cost=*/tu(1));
+  w.fire_at(w.e1_, 2);
+  w.fire_at(w.e2_, 4);
+  w.run();
+
+  const auto h1 = w.busy("h1");
+  ASSERT_EQ(h1.size(), 1u);
+  EXPECT_EQ(h1[0], (Interval{at_tu(6), at_tu(8)}));
+
+  const auto h2 = w.busy("h2");
+  ASSERT_EQ(h2.size(), 1u);
+  EXPECT_EQ(h2[0], (Interval{at_tu(8), at_tu(9)}));
+
+  EXPECT_EQ(w.server_.served_count(), 1u);
+  EXPECT_EQ(w.server_.interrupted_count(), 1u);
+
+  // The abort is recorded against h2 at t=9.
+  const auto aborts = w.vm_.timeline().marks("h2", common::TraceKind::kAbort);
+  ASSERT_EQ(aborts.size(), 1u);
+  EXPECT_EQ(aborts[0], at_tu(9));
+}
+
+TEST(PaperScenario2, ReleaseMarksRecorded) {
+  ScenarioWorld w;
+  w.fire_at(w.e1_, 2);
+  w.fire_at(w.e2_, 4);
+  w.run();
+  const auto r1 = w.vm_.timeline().marks("h1", common::TraceKind::kRelease);
+  const auto r2 = w.vm_.timeline().marks("h2", common::TraceKind::kRelease);
+  ASSERT_EQ(r1.size(), 1u);
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_EQ(r1[0], at_tu(2));
+  EXPECT_EQ(r2[0], at_tu(4));
+}
+
+TEST(PaperScenario1, OutcomesCarryResponseTimes) {
+  ScenarioWorld w;
+  w.fire_at(w.e1_, 0);
+  w.fire_at(w.e2_, 6);
+  w.run();
+  const auto outcomes = w.server_.final_outcomes();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].name, "h1");
+  EXPECT_TRUE(outcomes[0].served);
+  EXPECT_EQ(outcomes[0].response(), tu(2));
+  EXPECT_EQ(outcomes[1].name, "h2");
+  EXPECT_EQ(outcomes[1].response(), tu(2));
+}
+
+}  // namespace
+}  // namespace tsf::core

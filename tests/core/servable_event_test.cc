@@ -1,0 +1,162 @@
+// ServableAsyncEvent semantics beyond the scenarios: mixed handler kinds
+// (Figure 1 shows an SAE keeps the plain addHandler overload), multiple
+// servable handlers per event, multiple servers, and failure injection.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/deferrable_task_server.h"
+#include "core/polling_task_server.h"
+#include "core/servable_async_event.h"
+#include "rtsj/timer.h"
+#include "rtsj/vm/vm.h"
+
+namespace tsf::core {
+namespace {
+
+using common::Duration;
+using common::TimePoint;
+using rtsj::vm::VirtualMachine;
+
+Duration tu(std::int64_t n) { return Duration::time_units(n); }
+TimePoint at_tu(std::int64_t n) {
+  return TimePoint::origin() + Duration::time_units(n);
+}
+
+TaskServerParameters ps_params() {
+  return TaskServerParameters("PS", tu(4), tu(6), 30);
+}
+
+TEST(ServableAsyncEvent, MixedHandlersBothDelivered) {
+  // "Like a normal AE, a SAE can be bound to one or several standard
+  // handlers" — a plain AsyncEventHandler and a servable one on the same
+  // event must both run on fire().
+  VirtualMachine vm;
+  PollingTaskServer server(vm, ps_params());
+  int plain_runs = 0;
+  rtsj::AsyncEventHandler plain(vm, "plain", rtsj::PriorityParameters(5),
+                                [&](rtsj::AsyncEventHandler&) {
+                                  ++plain_runs;
+                                });
+  auto servable = ServableAsyncEventHandler::pure_work("srv", tu(1), tu(1));
+  servable.set_server(&server);
+
+  ServableAsyncEvent event(vm, "e");
+  event.add_handler(&plain);     // base-class overload
+  event.add_handler(&servable);  // servable overload
+  rtsj::OneShotTimer timer(vm, at_tu(0), &event);
+  timer.start();
+  server.start();
+  vm.run_until(at_tu(12));
+
+  EXPECT_EQ(plain_runs, 1);
+  EXPECT_EQ(server.served_count(), 1u);
+}
+
+TEST(ServableAsyncEvent, OneEventManyServableHandlers) {
+  // One fire registers every bound servable handler with its server.
+  VirtualMachine vm;
+  PollingTaskServer server(vm, ps_params());
+  auto h1 = ServableAsyncEventHandler::pure_work("h1", tu(1), tu(1));
+  auto h2 = ServableAsyncEventHandler::pure_work("h2", tu(2), tu(2));
+  h1.set_server(&server);
+  h2.set_server(&server);
+  ServableAsyncEvent event(vm, "e");
+  event.add_handler(&h1);
+  event.add_handler(&h2);
+  rtsj::OneShotTimer timer(vm, at_tu(0), &event);
+  timer.start();
+  server.start();
+  vm.run_until(at_tu(12));
+  EXPECT_EQ(server.released_count(), 2u);
+  EXPECT_EQ(server.served_count(), 2u);
+}
+
+TEST(ServableAsyncEvent, HandlersOnDifferentServers) {
+  // "It can be bound with one or many SAE but associated with a unique
+  // TaskServer": two handlers of the same event may use different servers.
+  VirtualMachine vm;
+  PollingTaskServer ps(vm, ps_params());
+  DeferrableTaskServer ds(
+      vm, TaskServerParameters("DS", tu(4), tu(6), 25));
+  auto hp = ServableAsyncEventHandler::pure_work("hp", tu(1), tu(1));
+  auto hd = ServableAsyncEventHandler::pure_work("hd", tu(1), tu(1));
+  hp.set_server(&ps);
+  hd.set_server(&ds);
+  ServableAsyncEvent event(vm, "e");
+  event.add_handler(&hp);
+  event.add_handler(&hd);
+  rtsj::OneShotTimer timer(vm, at_tu(1), &event);
+  timer.start();
+  ps.start();
+  ds.start();
+  vm.run_until(at_tu(12));
+  EXPECT_EQ(ps.served_count(), 1u);
+  EXPECT_EQ(ds.served_count(), 1u);
+  // DS serves immediately at t=1; PS waits for its t=6 activation.
+  EXPECT_EQ(vm.timeline().busy_intervals("hd")[0].begin, at_tu(1));
+  EXPECT_EQ(vm.timeline().busy_intervals("hp")[0].begin, at_tu(6));
+}
+
+TEST(ServableAsyncEvent, RemoveServableHandlerStopsRegistration) {
+  VirtualMachine vm;
+  PollingTaskServer server(vm, ps_params());
+  auto h = ServableAsyncEventHandler::pure_work("h", tu(1), tu(1));
+  h.set_server(&server);
+  ServableAsyncEvent event(vm, "e");
+  event.add_handler(&h);
+  event.remove_handler(&h);
+  rtsj::OneShotTimer timer(vm, at_tu(0), &event);
+  timer.start();
+  server.start();
+  vm.run_until(at_tu(12));
+  EXPECT_EQ(server.released_count(), 0u);
+}
+
+TEST(FailureInjection, HandlerExceptionSurfacesFromRunUntil) {
+  // A handler body that throws something other than the interruption must
+  // not be swallowed: it aborts the run visibly.
+  VirtualMachine vm;
+  PollingTaskServer server(vm, ps_params());
+  ServableAsyncEventHandler bad("bad", tu(1), [](rtsj::Timed&) {
+    throw std::runtime_error("handler bug");
+  });
+  bad.set_server(&server);
+  ServableAsyncEvent event(vm, "e");
+  event.add_handler(&bad);
+  rtsj::OneShotTimer timer(vm, at_tu(0), &event);
+  timer.start();
+  server.start();
+  EXPECT_THROW(vm.run_until(at_tu(12)), std::runtime_error);
+}
+
+TEST(DeferrableWithListOfLists, ServesInstanceBucketsAtReplenishments) {
+  // The §7 queue composes with the DS: buckets rotate on replenishment.
+  VirtualMachine vm;
+  TaskServerParameters params("DS", tu(4), tu(6), 30);
+  params.set_queue_discipline(model::QueueDiscipline::kListOfLists);
+  DeferrableTaskServer server(vm, params);
+  std::vector<std::unique_ptr<ServableAsyncEventHandler>> handlers;
+  std::vector<std::unique_ptr<ServableAsyncEvent>> events;
+  std::vector<std::unique_ptr<rtsj::OneShotTimer>> timers;
+  for (int i = 0; i < 3; ++i) {
+    handlers.push_back(std::make_unique<ServableAsyncEventHandler>(
+        ServableAsyncEventHandler::pure_work("h" + std::to_string(i), tu(2),
+                                             tu(2))));
+    handlers.back()->set_server(&server);
+    events.push_back(std::make_unique<ServableAsyncEvent>(
+        vm, "e" + std::to_string(i)));
+    events.back()->add_handler(handlers.back().get());
+    timers.push_back(
+        std::make_unique<rtsj::OneShotTimer>(vm, at_tu(0), events.back().get()));
+    timers.back()->start();
+  }
+  server.start();
+  vm.run_until(at_tu(20));
+  // All three eventually served (2+2 in the first window, the third after
+  // the first replenishment rotates its bucket in).
+  EXPECT_EQ(server.served_count(), 3u);
+}
+
+}  // namespace
+}  // namespace tsf::core

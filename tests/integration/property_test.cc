@@ -1,0 +1,175 @@
+// Parameterized property sweeps over random workloads: invariants that must
+// hold for every policy, density, cost distribution and engine.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "exp/exec_runner.h"
+#include "gen/generator.h"
+#include "sim/simulator.h"
+#include "support/timeline_checks.h"
+
+namespace tsf {
+namespace {
+
+using common::Duration;
+using common::TimePoint;
+
+// (policy, density, std deviation, seed)
+using Params = std::tuple<model::ServerPolicy, double, double, std::uint64_t>;
+
+class EngineProperties : public ::testing::TestWithParam<Params> {
+ protected:
+  static gen::GeneratorParams generator_params() {
+    const auto& [policy, density, sd, seed] = GetParam();
+    gen::GeneratorParams p;
+    p.policy = policy;
+    p.task_density = density;
+    p.std_deviation_tu = sd;
+    p.seed = seed;
+    p.nb_generation = 3;
+    if (policy == model::ServerPolicy::kBackground) p.server_priority = 1;
+    return p;
+  }
+};
+
+TEST_P(EngineProperties, ExecTimelineNeverOverlapsOnTheProcessor) {
+  for (const auto& spec :
+       gen::RandomSystemGenerator(generator_params()).generate()) {
+    const auto result = exp::run_exec(spec, exp::paper_execution_options());
+    EXPECT_EQ(testing::find_overlap(result.timeline), "") << spec.name;
+  }
+}
+
+TEST_P(EngineProperties, SimTimelineNeverOverlapsOnTheProcessor) {
+  for (const auto& spec :
+       gen::RandomSystemGenerator(generator_params()).generate()) {
+    const auto result = sim::simulate(spec);
+    EXPECT_EQ(testing::find_overlap(result.timeline), "") << spec.name;
+  }
+}
+
+TEST_P(EngineProperties, OutcomeAccountingIsExhaustive) {
+  for (const auto& spec :
+       gen::RandomSystemGenerator(generator_params()).generate()) {
+    std::vector<model::RunResult> results;
+    results.push_back(exp::run_exec(spec, exp::paper_execution_options()));
+    results.push_back(sim::simulate(spec));
+    for (const auto& result : results) {
+      ASSERT_EQ(result.jobs.size(), spec.aperiodic_jobs.size()) << spec.name;
+      for (const auto& job : result.jobs) {
+        // A job is served xor interrupted xor unserved.
+        EXPECT_FALSE(job.served && job.interrupted) << job.name;
+        if (job.served) {
+          EXPECT_GE(job.start, job.release) << job.name;
+          EXPECT_GE(job.completion, job.start) << job.name;
+          EXPECT_LE(job.completion, spec.horizon + Duration::time_units(12))
+              << job.name;  // boundary-spanning may run past the horizon
+        }
+      }
+    }
+  }
+}
+
+TEST_P(EngineProperties, ExecIsDeterministic) {
+  const auto spec =
+      gen::RandomSystemGenerator(generator_params()).generate().front();
+  const auto a = exp::run_exec(spec, exp::paper_execution_options());
+  const auto b = exp::run_exec(spec, exp::paper_execution_options());
+  EXPECT_EQ(a.timeline.to_csv(), b.timeline.to_csv());
+}
+
+TEST_P(EngineProperties, SimNeverInterruptsAndNeverServesPartially) {
+  for (const auto& spec :
+       gen::RandomSystemGenerator(generator_params()).generate()) {
+    const auto result = sim::simulate(spec);
+    for (const auto& job : result.jobs) {
+      EXPECT_FALSE(job.interrupted) << job.name;
+      if (job.served) {
+        // Total service equals the demand: busy time under the job's name.
+        Duration service = Duration::zero();
+        for (const auto& iv : result.timeline.busy_intervals(job.name)) {
+          service += iv.end - iv.begin;
+        }
+        EXPECT_EQ(service, job.cost) << job.name;
+      }
+    }
+  }
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<Params>& param_info) {
+  const auto& [policy, density, sd, seed] = param_info.param;
+  return std::string(model::to_string(policy)) + "_d" +
+         std::to_string(static_cast<int>(density)) + "_sd" +
+         std::to_string(static_cast<int>(sd)) + "_s" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicySweep, EngineProperties,
+    ::testing::Combine(
+        ::testing::Values(model::ServerPolicy::kPolling,
+                          model::ServerPolicy::kDeferrable,
+                          model::ServerPolicy::kBackground),
+        ::testing::Values(1.0, 3.0), ::testing::Values(0.0, 2.0),
+        ::testing::Values(1983u, 7u)),
+    sweep_name);
+
+// Sporadic server: exec engine only (the theoretical simulator implements
+// the paper's two policies).
+class SporadicProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SporadicProperties, InvariantsHold) {
+  gen::GeneratorParams p;
+  p.policy = model::ServerPolicy::kSporadic;
+  p.task_density = 2;
+  p.std_deviation_tu = 2;
+  p.seed = GetParam();
+  p.nb_generation = 3;
+  for (const auto& spec : gen::RandomSystemGenerator(p).generate()) {
+    const auto result = exp::run_exec(spec, exp::paper_execution_options());
+    EXPECT_EQ(testing::find_overlap(result.timeline), "") << spec.name;
+    ASSERT_EQ(result.jobs.size(), spec.aperiodic_jobs.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SporadicProperties,
+                         ::testing::Values(1u, 2u, 3u, 1983u));
+
+// The ideal-execution Polling Server must respect its capacity within every
+// server period: total handler service inside [kT, (k+1)T) <= capacity.
+class PsCapacityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PsCapacityProperty, PerPeriodServiceNeverExceedsCapacity) {
+  gen::GeneratorParams p;
+  p.policy = model::ServerPolicy::kPolling;
+  p.task_density = 3;
+  p.std_deviation_tu = 2;
+  p.seed = GetParam();
+  p.nb_generation = 3;
+  for (const auto& spec : gen::RandomSystemGenerator(p).generate()) {
+    const auto result = exp::run_exec(spec, exp::ideal_execution_options());
+    const std::int64_t periods = 10;
+    for (std::int64_t k = 0; k < periods; ++k) {
+      const TimePoint from =
+          TimePoint::origin() + spec.server.period * k;
+      const TimePoint to = from + spec.server.period;
+      Duration service = Duration::zero();
+      for (const auto& job : spec.aperiodic_jobs) {
+        for (const auto& iv : result.timeline.busy_intervals(job.name)) {
+          const TimePoint b = common::max(iv.begin, from);
+          const TimePoint e = common::min(iv.end, to);
+          if (e > b) service += e - b;
+        }
+      }
+      EXPECT_LE(service, spec.server.capacity)
+          << spec.name << " period " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PsCapacityProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 1983u));
+
+}  // namespace
+}  // namespace tsf

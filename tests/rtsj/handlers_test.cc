@@ -1,0 +1,141 @@
+// RTSJ deadline-miss and cost-overrun handlers on RealtimeThread.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rtsj/async_event.h"
+#include "rtsj/realtime_thread.h"
+#include "rtsj/vm/vm.h"
+
+namespace tsf::rtsj {
+namespace {
+
+using common::Duration;
+using common::TimePoint;
+using vm::VirtualMachine;
+
+Duration tu(std::int64_t n) { return Duration::time_units(n); }
+TimePoint at_tu(std::int64_t n) {
+  return TimePoint::origin() + Duration::time_units(n);
+}
+
+TEST(DeadlineMissHandler, FiresWhenJobFinishesLate) {
+  VirtualMachine m;
+  std::vector<TimePoint> misses;
+  AsyncEventHandler miss(m, "miss", PriorityParameters(5),
+                         [&](AsyncEventHandler& self) {
+                           misses.push_back(self.machine().now());
+                         });
+  // Period 4, deadline 4, but a high-priority thread steals [0,6): the
+  // first job of `victim` completes at 7 > 4.
+  RealtimeThread thief(m, "thief", PriorityParameters(20),
+                       PeriodicParameters(TimePoint::origin(), tu(100)),
+                       [](RealtimeThread& self) { self.work(tu(6)); });
+  RealtimeThread victim(m, "victim", PriorityParameters(10),
+                        PeriodicParameters(TimePoint::origin(), tu(4), tu(1)),
+                        [](RealtimeThread& self) {
+                          for (;;) {
+                            self.work(tu(1));
+                            self.wait_for_next_period();
+                          }
+                        });
+  victim.set_deadline_miss_handler(&miss);
+  thief.start();
+  victim.start();
+  m.run_until(at_tu(20));
+  EXPECT_GE(victim.deadline_miss_count(), 1u);
+  ASSERT_GE(misses.size(), 1u);
+  // The miss is detected at completion (t=7).
+  EXPECT_EQ(misses[0], at_tu(7));
+}
+
+TEST(DeadlineMissHandler, SilentWhenAllDeadlinesMet) {
+  VirtualMachine m;
+  int fired = 0;
+  AsyncEventHandler miss(m, "miss", PriorityParameters(5),
+                         [&](AsyncEventHandler&) { ++fired; });
+  RealtimeThread t(m, "t", PriorityParameters(10),
+                   PeriodicParameters(TimePoint::origin(), tu(5), tu(2)),
+                   [](RealtimeThread& self) {
+                     for (;;) {
+                       self.work(tu(2));
+                       self.wait_for_next_period();
+                     }
+                   });
+  t.set_deadline_miss_handler(&miss);
+  t.start();
+  m.run_until(at_tu(50));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(t.deadline_miss_count(), 0u);
+}
+
+TEST(CostOverrunHandler, FiresOncePerOverrunningRelease) {
+  VirtualMachine m;
+  int fired = 0;
+  AsyncEventHandler overrun(m, "overrun", PriorityParameters(5),
+                            [&](AsyncEventHandler&) { ++fired; });
+  // Declared cost 1; the body consumes 3 in separate chunks — the handler
+  // must fire exactly once per release, at the crossing.
+  RealtimeThread t(m, "t", PriorityParameters(10),
+                   PeriodicParameters(TimePoint::origin(), tu(10), tu(1)),
+                   [](RealtimeThread& self) {
+                     for (;;) {
+                       self.work(tu(1));
+                       self.work(tu(1));
+                       self.work(tu(1));
+                       self.wait_for_next_period();
+                     }
+                   });
+  t.set_cost_overrun_handler(&overrun);
+  t.start();
+  m.run_until(at_tu(25));  // releases at 0, 10, 20 (third one incomplete)
+  EXPECT_EQ(t.cost_overrun_count(), 3u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(CostOverrunHandler, ExactCostDoesNotFire) {
+  VirtualMachine m;
+  int fired = 0;
+  AsyncEventHandler overrun(m, "overrun", PriorityParameters(5),
+                            [&](AsyncEventHandler&) { ++fired; });
+  RealtimeThread t(m, "t", PriorityParameters(10),
+                   PeriodicParameters(TimePoint::origin(), tu(10), tu(2)),
+                   [](RealtimeThread& self) {
+                     for (;;) {
+                       self.work(tu(2));  // exactly the declared cost
+                       self.wait_for_next_period();
+                     }
+                   });
+  t.set_cost_overrun_handler(&overrun);
+  t.start();
+  m.run_until(at_tu(50));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(CostOverrunHandler, PreemptionDoesNotCountAsConsumption) {
+  // Cost accounting is service time, not wall time: a preempted job whose
+  // own demand stays within its cost never fires the overrun handler.
+  VirtualMachine m;
+  int fired = 0;
+  AsyncEventHandler overrun(m, "overrun", PriorityParameters(5),
+                            [&](AsyncEventHandler&) { ++fired; });
+  RealtimeThread thief(m, "thief", PriorityParameters(20),
+                       PeriodicParameters(at_tu(1), tu(100)),
+                       [](RealtimeThread& self) { self.work(tu(5)); });
+  RealtimeThread t(m, "t", PriorityParameters(10),
+                   PeriodicParameters(TimePoint::origin(), tu(20), tu(2)),
+                   [](RealtimeThread& self) {
+                     for (;;) {
+                       self.work(tu(2));
+                       self.wait_for_next_period();
+                     }
+                   });
+  t.set_cost_overrun_handler(&overrun);
+  t.start();
+  thief.start();
+  m.run_until(at_tu(50));
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace tsf::rtsj

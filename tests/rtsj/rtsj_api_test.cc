@@ -1,0 +1,436 @@
+// Tests for the RTSJ-style API layer: threads, events, timers, Timed
+// sections, processing groups and the feasibility interface.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rtsj/async_event.h"
+#include "rtsj/clock.h"
+#include "rtsj/interruptible.h"
+#include "rtsj/pgp.h"
+#include "rtsj/realtime_thread.h"
+#include "rtsj/schedulable.h"
+#include "rtsj/timer.h"
+#include "rtsj/vm/vm.h"
+
+namespace tsf::rtsj {
+namespace {
+
+using common::Duration;
+using common::TimePoint;
+using vm::VirtualMachine;
+
+Duration tu(std::int64_t n) { return Duration::time_units(n); }
+TimePoint at_tu(std::int64_t n) {
+  return TimePoint::origin() + Duration::time_units(n);
+}
+
+TEST(RealtimeThread, PeriodicPatternReleasesOnBoundaries) {
+  VirtualMachine m;
+  std::vector<TimePoint> completions;
+  RealtimeThread t(m, "tau", PriorityParameters(10),
+                   PeriodicParameters(TimePoint::origin(), tu(5), tu(2)),
+                   [&](RealtimeThread& self) {
+                     for (;;) {
+                       self.work(tu(2));
+                       completions.push_back(self.now());
+                       self.wait_for_next_period();
+                     }
+                   });
+  t.start();
+  m.run_until(at_tu(20));
+  ASSERT_EQ(completions.size(), 4u);
+  EXPECT_EQ(completions[0], at_tu(2));
+  EXPECT_EQ(completions[1], at_tu(7));
+  EXPECT_EQ(completions[2], at_tu(12));
+  EXPECT_EQ(completions[3], at_tu(17));
+}
+
+TEST(RealtimeThread, StartOffsetRespected) {
+  VirtualMachine m;
+  TimePoint first;
+  RealtimeThread t(m, "tau", PriorityParameters(10),
+                   PeriodicParameters(at_tu(3), tu(5), tu(1)),
+                   [&](RealtimeThread& self) {
+                     first = self.now();
+                     self.work(tu(1));
+                   });
+  t.start();
+  m.run_until(at_tu(10));
+  EXPECT_EQ(first, at_tu(3));
+}
+
+TEST(RealtimeThread, OverrunSkipsToNextBoundaryAndReportsFalse) {
+  VirtualMachine m;
+  std::vector<bool> on_time;
+  RealtimeThread t(m, "tau", PriorityParameters(10),
+                   PeriodicParameters(TimePoint::origin(), tu(4), tu(1)),
+                   [&](RealtimeThread& self) {
+                     // First job deliberately overruns its period.
+                     self.work(tu(6));
+                     on_time.push_back(self.wait_for_next_period());
+                     self.work(tu(1));
+                     on_time.push_back(self.wait_for_next_period());
+                   });
+  t.start();
+  m.run_until(at_tu(20));
+  ASSERT_EQ(on_time.size(), 2u);
+  EXPECT_FALSE(on_time[0]);  // boundary at 4 already passed at t=6
+  EXPECT_TRUE(on_time[1]);
+  EXPECT_EQ(t.overrun_count(), 1u);
+}
+
+TEST(RealtimeThread, InterferenceIsCeilingOfWindowOverPeriod) {
+  VirtualMachine m;
+  RealtimeThread t(m, "tau", PriorityParameters(10),
+                   PeriodicParameters(TimePoint::origin(), tu(6), tu(2)),
+                   nullptr);
+  EXPECT_EQ(t.interference(tu(6)), tu(2));
+  EXPECT_EQ(t.interference(tu(7)), tu(4));
+  EXPECT_EQ(t.interference(tu(12)), tu(4));
+  EXPECT_EQ(t.interference(tu(13)), tu(6));
+  EXPECT_EQ(t.interference(Duration::zero()), Duration::zero());
+  EXPECT_DOUBLE_EQ(t.utilization(), 2.0 / 6.0);
+}
+
+TEST(AsyncEvent, FireReleasesAllHandlers) {
+  VirtualMachine m;
+  int a = 0, b = 0;
+  AsyncEventHandler ha(m, "ha", PriorityParameters(10),
+                       [&](AsyncEventHandler&) { ++a; });
+  AsyncEventHandler hb(m, "hb", PriorityParameters(10),
+                       [&](AsyncEventHandler&) { ++b; });
+  AsyncEvent e(m, "e");
+  e.add_handler(&ha);
+  e.add_handler(&hb);
+  m.schedule_silent(at_tu(1), [&] { e.fire(); });
+  m.run_until(at_tu(5));
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(e.fire_count(), 1u);
+}
+
+TEST(AsyncEvent, FireCountAccumulatesWhileHandlerBusy) {
+  VirtualMachine m;
+  std::vector<TimePoint> handled;
+  AsyncEventHandler h(m, "h", PriorityParameters(10),
+                      [&](AsyncEventHandler& self) {
+                        self.machine().work(tu(3));
+                        handled.push_back(self.machine().now());
+                      });
+  AsyncEvent e(m, "e");
+  e.add_handler(&h);
+  // Three fires in quick succession; the handler must run three times.
+  m.schedule_silent(at_tu(1), [&] { e.fire(); });
+  m.schedule_silent(at_tu(2), [&] { e.fire(); });
+  m.schedule_silent(at_tu(3), [&] { e.fire(); });
+  m.run_until(at_tu(20));
+  ASSERT_EQ(handled.size(), 3u);
+  EXPECT_EQ(handled[0], at_tu(4));
+  EXPECT_EQ(handled[1], at_tu(7));
+  EXPECT_EQ(handled[2], at_tu(10));
+  EXPECT_EQ(h.handled_count(), 3u);
+  EXPECT_EQ(h.pending_fire_count(), 0u);
+}
+
+TEST(AsyncEvent, RemoveHandlerStopsDelivery) {
+  VirtualMachine m;
+  int count = 0;
+  AsyncEventHandler h(m, "h", PriorityParameters(10),
+                      [&](AsyncEventHandler&) { ++count; });
+  AsyncEvent e(m, "e");
+  e.add_handler(&h);
+  EXPECT_TRUE(e.handled_by(&h));
+  e.remove_handler(&h);
+  EXPECT_FALSE(e.handled_by(&h));
+  m.schedule_silent(at_tu(1), [&] { e.fire(); });
+  m.run_until(at_tu(5));
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Timers, OneShotFiresOnce) {
+  VirtualMachine m;
+  std::vector<TimePoint> fired;
+  AsyncEventHandler h(m, "h", PriorityParameters(10),
+                      [&](AsyncEventHandler& self) {
+                        fired.push_back(self.machine().now());
+                      });
+  AsyncEvent e(m, "e");
+  e.add_handler(&h);
+  OneShotTimer timer(m, at_tu(4), &e);
+  timer.start();
+  m.run_until(at_tu(20));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], at_tu(4));
+}
+
+TEST(Timers, PeriodicFiresRepeatedly) {
+  VirtualMachine m;
+  std::vector<TimePoint> fired;
+  AsyncEventHandler h(m, "h", PriorityParameters(10),
+                      [&](AsyncEventHandler& self) {
+                        fired.push_back(self.machine().now());
+                      });
+  AsyncEvent e(m, "e");
+  e.add_handler(&h);
+  PeriodicTimer timer(m, at_tu(2), tu(3), &e);
+  timer.start();
+  m.run_until(at_tu(12));
+  ASSERT_EQ(fired.size(), 4u);  // 2, 5, 8, 11
+  EXPECT_EQ(fired[0], at_tu(2));
+  EXPECT_EQ(fired[3], at_tu(11));
+}
+
+TEST(Timers, StopPreventsFutureFires) {
+  VirtualMachine m;
+  int fires = 0;
+  AsyncEventHandler h(m, "h", PriorityParameters(10),
+                      [&](AsyncEventHandler&) { ++fires; });
+  AsyncEvent e(m, "e");
+  e.add_handler(&h);
+  PeriodicTimer timer(m, at_tu(1), tu(2), &e);
+  timer.start();
+  m.run_until(at_tu(4));  // fires at 1, 3
+  timer.stop();
+  m.run_until(at_tu(20));
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(Timed, SectionCompletingWithinBudgetIsNotInterrupted) {
+  VirtualMachine m;
+  bool completed = false;
+  RealtimeThread t(m, "t", PriorityParameters(10),
+                   PeriodicParameters(TimePoint::origin(), tu(100)),
+                   [&](RealtimeThread& self) {
+                     Timed timed(self.machine(), tu(5));
+                     InterruptibleFn body([&](Timed& section) {
+                       section.work(tu(3));
+                       completed = true;
+                     });
+                     EXPECT_TRUE(timed.do_interruptible(body));
+                   });
+  t.start();
+  m.run_until(at_tu(50));
+  EXPECT_TRUE(completed);
+}
+
+TEST(Timed, ExactFitCompletes) {
+  // A section whose demand equals its budget completes (completion wins the
+  // tie against the budget alarm) — the paper's cost==capacity case.
+  VirtualMachine m;
+  bool ok = false;
+  RealtimeThread t(m, "t", PriorityParameters(10),
+                   PeriodicParameters(TimePoint::origin(), tu(100)),
+                   [&](RealtimeThread& self) {
+                     Timed timed(self.machine(), tu(4));
+                     InterruptibleFn body(
+                         [&](Timed& section) { section.work(tu(4)); });
+                     ok = timed.do_interruptible(body);
+                   });
+  t.start();
+  m.run_until(at_tu(50));
+  EXPECT_TRUE(ok);
+}
+
+TEST(Timed, OverrunningSectionInterruptedAtBudget) {
+  VirtualMachine m;
+  TimePoint interrupted_at;
+  bool reached_end = false;
+  RealtimeThread t(m, "t", PriorityParameters(10),
+                   PeriodicParameters(TimePoint::origin(), tu(100)),
+                   [&](RealtimeThread& self) {
+                     Timed timed(self.machine(), tu(2));
+                     class Body : public Interruptible {
+                      public:
+                       explicit Body(bool* end) : end_(end) {}
+                       void run(Timed& section) override {
+                         section.work(tu(10));
+                         *end_ = true;
+                       }
+                       void interrupt_action(AbsoluteTime at) override {
+                         when = at;
+                       }
+                       AbsoluteTime when;
+
+                      private:
+                       bool* end_;
+                     } body(&reached_end);
+                     EXPECT_FALSE(timed.do_interruptible(body));
+                     interrupted_at = body.when;
+                   });
+  t.start();
+  m.run_until(at_tu(50));
+  EXPECT_FALSE(reached_end);
+  EXPECT_EQ(interrupted_at, at_tu(2));
+}
+
+TEST(Timed, BudgetIsWallClockNotCpuTime) {
+  // A higher-priority thread preempts the section; the budget drains anyway
+  // (RTSJ Timed is a wall-clock timer) — the root cause of the paper's
+  // overhead-induced interruptions.
+  VirtualMachine m;
+  bool ok = true;
+  RealtimeThread hi(m, "hi", PriorityParameters(20),
+                    PeriodicParameters(at_tu(1), tu(100), tu(3)),
+                    [&](RealtimeThread& self) { self.work(tu(3)); });
+  RealtimeThread lo(m, "lo", PriorityParameters(10),
+                    PeriodicParameters(TimePoint::origin(), tu(100)),
+                    [&](RealtimeThread& self) {
+                      Timed timed(self.machine(), tu(4));
+                      InterruptibleFn body(
+                          [&](Timed& section) { section.work(tu(3)); });
+                      ok = timed.do_interruptible(body);
+                    });
+  lo.start();
+  hi.start();
+  m.run_until(at_tu(50));
+  // lo needs 3 units but loses [1,4) to hi: wall time exceeds the budget.
+  EXPECT_FALSE(ok);
+}
+
+TEST(Timed, NestedSectionsKeepBalance) {
+  VirtualMachine m;
+  bool inner_ok = false, outer_ok = false;
+  RealtimeThread t(m, "t", PriorityParameters(10),
+                   PeriodicParameters(TimePoint::origin(), tu(100)),
+                   [&](RealtimeThread& self) {
+                     Timed outer(self.machine(), tu(10));
+                     InterruptibleFn outer_body([&](Timed&) {
+                       Timed inner(self.machine(), tu(2));
+                       InterruptibleFn inner_body(
+                           [&](Timed& s) { s.work(tu(1)); });
+                       inner_ok = inner.do_interruptible(inner_body);
+                       self.machine().work(tu(1));
+                     });
+                     outer_ok = outer.do_interruptible(outer_body);
+                   });
+  t.start();
+  m.run_until(at_tu(50));
+  EXPECT_TRUE(inner_ok);
+  EXPECT_TRUE(outer_ok);
+}
+
+TEST(ProcessingGroup, AccountsWithoutEnforcement) {
+  // The RI behaviour the paper criticises: without cost enforcement the
+  // budget is bookkeeping only.
+  VirtualMachine m;
+  ProcessingGroupParameters pgp(m, TimePoint::origin(), tu(10), tu(2),
+                                /*enforce=*/false);
+  TimePoint done;
+  RealtimeThread t(m, "t", PriorityParameters(10),
+                   PeriodicParameters(TimePoint::origin(), tu(100)),
+                   [&](RealtimeThread& self) {
+                     self.work(tu(6));
+                     done = self.now();
+                   });
+  t.set_processing_group(&pgp);
+  t.start();
+  m.run_until(at_tu(50));
+  EXPECT_EQ(done, at_tu(6));  // ran straight through the budget
+  EXPECT_EQ(pgp.total_charged(), tu(6));
+}
+
+TEST(ProcessingGroup, EnforcementStallsAtBudgetExhaustion) {
+  VirtualMachine m;
+  ProcessingGroupParameters pgp(m, TimePoint::origin(), tu(10), tu(2),
+                                /*enforce=*/true);
+  TimePoint done;
+  RealtimeThread t(m, "t", PriorityParameters(10),
+                   PeriodicParameters(TimePoint::origin(), tu(100)),
+                   [&](RealtimeThread& self) {
+                     self.work(tu(5));
+                     done = self.now();
+                   });
+  t.set_processing_group(&pgp);
+  t.start();
+  m.run_until(at_tu(50));
+  // 2 units in [0,2), stall to 10; 2 in [10,12), stall to 20; 1 in [20,21).
+  EXPECT_EQ(done, at_tu(21));
+  EXPECT_EQ(pgp.total_charged(), tu(5));
+  EXPECT_GE(pgp.replenish_count(), 2u);
+}
+
+TEST(ProcessingGroup, SharedAcrossThreads) {
+  VirtualMachine m;
+  ProcessingGroupParameters pgp(m, TimePoint::origin(), tu(10), tu(4),
+                                /*enforce=*/true);
+  TimePoint done_a, done_b;
+  RealtimeThread a(m, "a", PriorityParameters(20),
+                   PeriodicParameters(TimePoint::origin(), tu(100)),
+                   [&](RealtimeThread& self) {
+                     self.work(tu(3));
+                     done_a = self.now();
+                   });
+  RealtimeThread b(m, "b", PriorityParameters(10),
+                   PeriodicParameters(TimePoint::origin(), tu(100)),
+                   [&](RealtimeThread& self) {
+                     self.work(tu(3));
+                     done_b = self.now();
+                   });
+  a.set_processing_group(&pgp);
+  b.set_processing_group(&pgp);
+  a.start();
+  b.start();
+  m.run_until(at_tu(50));
+  EXPECT_EQ(done_a, at_tu(3));
+  // b gets the remaining 1 unit, then waits for the replenishment at 10.
+  EXPECT_EQ(done_b, at_tu(12));
+}
+
+TEST(PriorityScheduler, ResponseTimeMatchesHandComputation) {
+  VirtualMachine m;
+  // Classic example: hp task (C=2, T=5), lp task (C=3, T=10).
+  RealtimeThread hp(m, "hp", PriorityParameters(20),
+                    PeriodicParameters(TimePoint::origin(), tu(5), tu(2)),
+                    nullptr);
+  RealtimeThread lp(m, "lp", PriorityParameters(10),
+                    PeriodicParameters(TimePoint::origin(), tu(10), tu(3)),
+                    nullptr);
+  PriorityScheduler sched;
+  sched.add_to_feasibility(&hp);
+  sched.add_to_feasibility(&lp);
+  EXPECT_EQ(sched.response_time(&hp), tu(2));
+  // R_lp = 3 + ceil(R/5)*2: fixpoint at 5 (lp finishes exactly at the
+  // second hp release).
+  EXPECT_EQ(sched.response_time(&lp), tu(5));
+  EXPECT_TRUE(sched.is_feasible());
+}
+
+TEST(PriorityScheduler, DetectsInfeasibleSet) {
+  VirtualMachine m;
+  RealtimeThread hp(m, "hp", PriorityParameters(20),
+                    PeriodicParameters(TimePoint::origin(), tu(4), tu(3)),
+                    nullptr);
+  RealtimeThread lp(m, "lp", PriorityParameters(10),
+                    PeriodicParameters(TimePoint::origin(), tu(8), tu(3)),
+                    nullptr);
+  PriorityScheduler sched;
+  sched.add_to_feasibility(&hp);
+  sched.add_to_feasibility(&lp);
+  EXPECT_FALSE(sched.is_feasible());
+  EXPECT_TRUE(sched.response_time(&lp).is_infinite());
+}
+
+TEST(PriorityScheduler, RemoveFromFeasibility) {
+  VirtualMachine m;
+  RealtimeThread t(m, "t", PriorityParameters(10),
+                   PeriodicParameters(TimePoint::origin(), tu(5), tu(1)),
+                   nullptr);
+  PriorityScheduler sched;
+  sched.add_to_feasibility(&t);
+  sched.add_to_feasibility(&t);  // idempotent
+  EXPECT_EQ(sched.feasibility_set().size(), 1u);
+  EXPECT_TRUE(sched.remove_from_feasibility(&t));
+  EXPECT_FALSE(sched.remove_from_feasibility(&t));
+}
+
+TEST(Clock, ReadsVirtualTime) {
+  VirtualMachine m;
+  Clock clock(m);
+  EXPECT_EQ(clock.get_time(), TimePoint::origin());
+  m.run_until(at_tu(9));
+  EXPECT_EQ(clock.get_time(), at_tu(9));
+}
+
+}  // namespace
+}  // namespace tsf::rtsj

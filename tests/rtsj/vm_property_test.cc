@@ -1,0 +1,141 @@
+// Parameterized VM properties: conservation and isolation invariants that
+// must hold for every overhead model.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/rng.h"
+#include "rtsj/vm/vm.h"
+#include "support/timeline_checks.h"
+
+namespace tsf::rtsj::vm {
+namespace {
+
+using common::Duration;
+using common::TimePoint;
+
+[[maybe_unused]] Duration tu(std::int64_t n) { return Duration::time_units(n); }
+TimePoint at_tu(std::int64_t n) {
+  return TimePoint::origin() + Duration::time_units(n);
+}
+
+// (timer_fire ticks, context_switch ticks, seed)
+using VmParams = std::tuple<std::int64_t, std::int64_t, std::uint64_t>;
+
+class VmProperties : public ::testing::TestWithParam<VmParams> {
+ protected:
+  OverheadModel overhead() const {
+    OverheadModel o;
+    o.timer_fire = Duration::ticks(std::get<0>(GetParam()));
+    o.context_switch = Duration::ticks(std::get<1>(GetParam()));
+    return o;
+  }
+  std::uint64_t seed() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(VmProperties, SingleFiberCompletionIsWorkPlusOverheads) {
+  // One fiber, N timers firing during its work: completion time must equal
+  // work + switch cost + N * timer cost, exactly.
+  VirtualMachine m(overhead());
+  common::Rng rng(seed());
+  const std::int64_t timers = 1 + static_cast<std::int64_t>(rng.uniform_u64(8));
+  const Duration work = Duration::ticks(
+      5000 + static_cast<std::int64_t>(rng.uniform_u64(5000)));
+  TimePoint done;
+  Fiber* f = m.create_fiber("w", 10, [&] {
+    m.work(work);
+    done = m.now();
+  });
+  m.start_fiber(f);
+  for (std::int64_t i = 0; i < timers; ++i) {
+    m.schedule_timer(TimePoint::origin() + Duration::ticks(100 * (i + 1)),
+                     [] {});
+  }
+  m.run_until(at_tu(1000));
+  const Duration expected = work + overhead().context_switch +
+                            overhead().timer_fire * timers;
+  EXPECT_EQ(done - TimePoint::origin(), expected);
+}
+
+TEST_P(VmProperties, ProcessorNeverOverlapsUnderRandomLoad) {
+  VirtualMachine m(overhead());
+  common::Rng rng(seed());
+  for (int i = 0; i < 5; ++i) {
+    const int priority = 1 + static_cast<int>(rng.uniform_u64(20));
+    const Duration cost =
+        Duration::ticks(200 + static_cast<std::int64_t>(rng.uniform_u64(2000)));
+    const Duration period =
+        Duration::ticks(3000 + static_cast<std::int64_t>(rng.uniform_u64(6000)));
+    Fiber* f = m.create_fiber("f" + std::to_string(i), priority,
+                              [&m, cost, period] {
+                                for (;;) {
+                                  m.work(cost);
+                                  m.sleep_until(m.now() + period);
+                                }
+                              });
+    m.start_fiber(f);
+  }
+  m.run_until(at_tu(100));
+  EXPECT_EQ(testing::find_overlap(m.timeline()), "");
+}
+
+TEST_P(VmProperties, TotalServiceBoundedByElapsedTime) {
+  VirtualMachine m(overhead());
+  common::Rng rng(seed());
+  for (int i = 0; i < 4; ++i) {
+    Fiber* f = m.create_fiber(
+        "f" + std::to_string(i), 1 + static_cast<int>(rng.uniform_u64(9)),
+        [&m] {
+          for (;;) {
+            m.work(Duration::ticks(700));
+            m.sleep_until(m.now() + Duration::ticks(900));
+          }
+        });
+    m.start_fiber(f);
+  }
+  const TimePoint horizon = at_tu(50);
+  m.run_until(horizon);
+  EXPECT_LE(testing::total_busy(m.timeline()).count(),
+            (horizon - TimePoint::origin()).count());
+}
+
+TEST_P(VmProperties, RunsAreBitIdentical) {
+  auto run = [&] {
+    VirtualMachine m(overhead());
+    common::Rng rng(seed());
+    for (int i = 0; i < 4; ++i) {
+      const Duration cost = Duration::ticks(
+          100 + static_cast<std::int64_t>(rng.uniform_u64(900)));
+      Fiber* f = m.create_fiber("f" + std::to_string(i),
+                                static_cast<int>(rng.uniform_u64(5)),
+                                [&m, cost] {
+                                  for (;;) {
+                                    m.work(cost);
+                                    m.sleep_until(m.now() + cost + cost);
+                                  }
+                                });
+      m.start_fiber(f);
+    }
+    m.schedule_timer(at_tu(7), [] {});
+    m.run_until(at_tu(40));
+    return m.timeline().to_csv();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+std::string vm_param_name(const ::testing::TestParamInfo<VmParams>& info) {
+  return "tf" + std::to_string(std::get<0>(info.param)) + "_cs" +
+         std::to_string(std::get<1>(info.param)) + "_s" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OverheadSweep, VmProperties,
+    ::testing::Combine(::testing::Values<std::int64_t>(0, 50, 250),
+                       ::testing::Values<std::int64_t>(0, 20),
+                       ::testing::Values<std::uint64_t>(1, 42)),
+    vm_param_name);
+
+}  // namespace
+}  // namespace tsf::rtsj::vm

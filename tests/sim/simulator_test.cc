@@ -1,0 +1,212 @@
+// Tests for the theoretical (RTSS-style) simulator: ideal PS/DS semantics,
+// including the resumable service the RTSJ implementation cannot do.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/trace.h"
+
+namespace tsf::sim {
+namespace {
+
+using common::Duration;
+using common::Interval;
+using common::TimePoint;
+
+Duration tu(std::int64_t n) { return Duration::time_units(n); }
+TimePoint at_tu(std::int64_t n) {
+  return TimePoint::origin() + Duration::time_units(n);
+}
+
+model::SystemSpec scenario_base(model::ServerPolicy policy,
+                                Duration capacity) {
+  model::SystemSpec s;
+  s.name = "scenario";
+  s.server.policy = policy;
+  s.server.capacity = capacity;
+  s.server.period = tu(6);
+  s.server.priority = 30;
+  s.periodic_tasks.push_back(
+      {"tau1", tu(6), tu(2), Duration::zero(), TimePoint::origin(), 20});
+  s.periodic_tasks.push_back(
+      {"tau2", tu(6), tu(1), Duration::zero(), TimePoint::origin(), 10});
+  s.horizon = at_tu(18);
+  return s;
+}
+
+void add_job(model::SystemSpec& s, const std::string& name, std::int64_t t,
+             Duration cost) {
+  model::AperiodicJobSpec j;
+  j.name = name;
+  j.release = at_tu(t);
+  j.cost = cost;
+  s.aperiodic_jobs.push_back(j);
+}
+
+TEST(SimPollingServer, Scenario1MatchesPaperFigure2) {
+  auto s = scenario_base(model::ServerPolicy::kPolling, tu(3));
+  add_job(s, "h1", 0, tu(2));
+  add_job(s, "h2", 6, tu(2));
+  const auto r = simulate(s);
+  ASSERT_EQ(r.jobs.size(), 2u);
+  EXPECT_TRUE(r.jobs[0].served);
+  EXPECT_EQ(r.jobs[0].completion, at_tu(2));
+  EXPECT_TRUE(r.jobs[1].served);
+  EXPECT_EQ(r.jobs[1].completion, at_tu(8));
+  // Periodic tasks follow.
+  EXPECT_EQ(r.timeline.busy_intervals("tau1")[0], (Interval{at_tu(2), at_tu(4)}));
+  EXPECT_EQ(r.timeline.busy_intervals("tau2")[0], (Interval{at_tu(4), at_tu(5)}));
+}
+
+TEST(SimPollingServer, Scenario2TheoreticalServerSuspendsAndResumes) {
+  // The paper's footnote to scenario 2: "With the real PS policy, h2 should
+  // begin its execution at time 8, suspend it at time 9 and resume it at
+  // time 12." The theoretical simulator does exactly that.
+  auto s = scenario_base(model::ServerPolicy::kPolling, tu(3));
+  add_job(s, "h1", 2, tu(2));
+  add_job(s, "h2", 4, tu(2));
+  const auto r = simulate(s);
+  const auto h2 = r.timeline.busy_intervals("h2");
+  ASSERT_EQ(h2.size(), 2u);
+  EXPECT_EQ(h2[0], (Interval{at_tu(8), at_tu(9)}));
+  EXPECT_EQ(h2[1], (Interval{at_tu(12), at_tu(13)}));
+  EXPECT_EQ(r.jobs[1].completion, at_tu(13));
+  EXPECT_FALSE(r.jobs[1].interrupted);  // simulations never interrupt
+}
+
+TEST(SimPollingServer, EmptyPollForfeitsCapacity) {
+  auto s = scenario_base(model::ServerPolicy::kPolling, tu(3));
+  // Event arrives just after the t=0 poll: it waits for t=6 even though the
+  // server would have had capacity.
+  add_job(s, "late", 1, tu(1));
+  const auto r = simulate(s);
+  EXPECT_EQ(r.jobs[0].start, at_tu(6));
+  EXPECT_EQ(r.jobs[0].completion, at_tu(7));
+}
+
+TEST(SimPollingServer, ArrivalDuringActiveInstanceIsServed) {
+  auto s = scenario_base(model::ServerPolicy::kPolling, tu(3));
+  add_job(s, "first", 0, tu(2));
+  add_job(s, "second", 1, tu(1));  // arrives while the server is busy
+  const auto r = simulate(s);
+  EXPECT_EQ(r.jobs[0].completion, at_tu(2));
+  EXPECT_EQ(r.jobs[1].completion, at_tu(3));
+}
+
+TEST(SimDeferrableServer, ServesAtReleaseMidPeriod) {
+  auto s = scenario_base(model::ServerPolicy::kDeferrable, tu(3));
+  add_job(s, "late", 1, tu(1));
+  const auto r = simulate(s);
+  EXPECT_EQ(r.jobs[0].start, at_tu(1));
+  EXPECT_EQ(r.jobs[0].completion, at_tu(2));
+}
+
+TEST(SimDeferrableServer, SuspendsAtExhaustionResumesAtReplenish) {
+  auto s = scenario_base(model::ServerPolicy::kDeferrable, tu(3));
+  add_job(s, "big", 0, tu(5));
+  const auto r = simulate(s);
+  const auto iv = r.timeline.busy_intervals("big");
+  ASSERT_EQ(iv.size(), 2u);
+  EXPECT_EQ(iv[0], (Interval{at_tu(0), at_tu(3)}));
+  EXPECT_EQ(iv[1], (Interval{at_tu(6), at_tu(8)}));
+  EXPECT_TRUE(r.jobs[0].served);
+}
+
+TEST(SimDeferrableServer, FasterThanPollingOnSameWorkload) {
+  auto ps = scenario_base(model::ServerPolicy::kPolling, tu(3));
+  auto ds = scenario_base(model::ServerPolicy::kDeferrable, tu(3));
+  for (auto* s : {&ps, &ds}) {
+    add_job(*s, "a", 1, tu(2));
+    add_job(*s, "b", 7, tu(2));
+  }
+  const auto rp = simulate(ps);
+  const auto rd = simulate(ds);
+  for (std::size_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(rp.jobs[i].served && rd.jobs[i].served);
+    EXPECT_LE(rd.jobs[i].response(), rp.jobs[i].response());
+  }
+  EXPECT_LT(rd.jobs[0].response(), rp.jobs[0].response());
+}
+
+TEST(SimBackground, RunsOnlyInIdleTime) {
+  model::SystemSpec s;
+  s.server.policy = model::ServerPolicy::kBackground;
+  s.server.capacity = tu(6);
+  s.server.period = tu(6);
+  s.server.priority = 1;  // below every periodic task
+  s.periodic_tasks.push_back(
+      {"tau", tu(6), tu(3), Duration::zero(), TimePoint::origin(), 20});
+  s.horizon = at_tu(30);
+  add_job(s, "job", 0, tu(5));
+  const auto r = simulate(s);
+  const auto iv = r.timeline.busy_intervals("job");
+  ASSERT_EQ(iv.size(), 2u);
+  EXPECT_EQ(iv[0], (Interval{at_tu(3), at_tu(6)}));
+  EXPECT_EQ(iv[1], (Interval{at_tu(9), at_tu(11)}));
+}
+
+TEST(SimNoServer, AperiodicsNeverServed) {
+  model::SystemSpec s;
+  s.server.policy = model::ServerPolicy::kNone;
+  s.horizon = at_tu(20);
+  add_job(s, "ignored", 0, tu(1));
+  const auto r = simulate(s);
+  ASSERT_EQ(r.jobs.size(), 1u);
+  EXPECT_FALSE(r.jobs[0].served);
+}
+
+TEST(SimPeriodic, ResponseTimesMatchFixedPriorityTheory) {
+  model::SystemSpec s;
+  s.server.policy = model::ServerPolicy::kNone;
+  s.periodic_tasks.push_back(
+      {"hp", tu(5), tu(2), Duration::zero(), TimePoint::origin(), 20});
+  s.periodic_tasks.push_back(
+      {"lp", tu(10), tu(3), Duration::zero(), TimePoint::origin(), 10});
+  s.horizon = at_tu(40);
+  const auto r = simulate(s);
+  // Worst case at the critical instant (t=0): R_lp = 5.
+  Duration max_lp = Duration::zero();
+  for (const auto& j : r.periodic_jobs) {
+    if (j.task == "lp") {
+      max_lp = common::max(max_lp, j.completion - j.release);
+    }
+    EXPECT_FALSE(j.deadline_missed) << j.task;
+  }
+  EXPECT_EQ(max_lp, tu(5));
+}
+
+TEST(SimPeriodic, BacklogWhenTransientOverload) {
+  // A single task with cost > period would diverge; give it a finite
+  // horizon and check jobs queue FIFO without loss.
+  model::SystemSpec s;
+  s.server.policy = model::ServerPolicy::kNone;
+  s.periodic_tasks.push_back(
+      {"over", tu(2), tu(3), Duration::zero(), TimePoint::origin(), 10});
+  s.horizon = at_tu(12);
+  const auto r = simulate(s);
+  ASSERT_GE(r.periodic_jobs.size(), 3u);
+  // Completions at 3, 6, 9, 12 — each job runs to completion in order.
+  EXPECT_EQ(r.periodic_jobs[0].completion, at_tu(3));
+  EXPECT_EQ(r.periodic_jobs[1].completion, at_tu(6));
+  EXPECT_TRUE(r.periodic_jobs[1].deadline_missed);
+}
+
+TEST(SimDeterminism, RepeatedRunsIdentical) {
+  auto s = scenario_base(model::ServerPolicy::kDeferrable, tu(3));
+  add_job(s, "a", 1, tu(2));
+  add_job(s, "b", 3, tu(4));
+  const auto r1 = simulate(s);
+  const auto r2 = simulate(s);
+  EXPECT_EQ(r1.timeline.to_csv(), r2.timeline.to_csv());
+}
+
+TEST(SimMetadata, ActivationAndDispatchCounters) {
+  auto s = scenario_base(model::ServerPolicy::kPolling, tu(3));
+  add_job(s, "a", 0, tu(1));
+  const auto r = simulate(s);
+  EXPECT_EQ(r.server_activations, 3u);  // t=0, 6, 12
+  EXPECT_EQ(r.server_dispatches, 1u);
+}
+
+}  // namespace
+}  // namespace tsf::sim

@@ -1,0 +1,119 @@
+// The ideal Sporadic Server in the simulator: amount-based replenishment,
+// capacity preservation, and cross-validation against the exec-side SS.
+#include <gtest/gtest.h>
+
+#include "exp/exec_runner.h"
+#include "exp/metrics.h"
+#include "gen/generator.h"
+#include "sim/simulator.h"
+
+namespace tsf::sim {
+namespace {
+
+using common::Duration;
+using common::Interval;
+using common::TimePoint;
+
+Duration tu(std::int64_t n) { return Duration::time_units(n); }
+TimePoint at_tu(std::int64_t n) {
+  return TimePoint::origin() + Duration::time_units(n);
+}
+
+model::SystemSpec ss_spec() {
+  model::SystemSpec s;
+  s.server.policy = model::ServerPolicy::kSporadic;
+  s.server.capacity = tu(4);
+  s.server.period = tu(6);
+  s.server.priority = 30;
+  s.horizon = at_tu(30);
+  return s;
+}
+
+void add_job(model::SystemSpec& s, const std::string& name, std::int64_t t,
+             Duration cost) {
+  model::AperiodicJobSpec j;
+  j.name = name;
+  j.release = at_tu(t);
+  j.cost = cost;
+  s.aperiodic_jobs.push_back(j);
+}
+
+TEST(SimSporadicServer, CapacityPreservedWhileIdle) {
+  // Unlike the PS, an idle SS keeps its budget: a job at t=5 runs at once.
+  auto s = ss_spec();
+  add_job(s, "late", 5, tu(4));
+  const auto r = simulate(s);
+  ASSERT_EQ(r.timeline.busy_intervals("late").size(), 1u);
+  EXPECT_EQ(r.timeline.busy_intervals("late")[0],
+            (Interval{at_tu(5), at_tu(9)}));
+}
+
+TEST(SimSporadicServer, ConsumedAmountReturnsOnePeriodAfterUse) {
+  auto s = ss_spec();
+  add_job(s, "a", 0, tu(3));  // consumes [0,3): +3 back at t=6
+  add_job(s, "b", 3, tu(2));  // 1tu left now; the rest after the refill
+  const auto r = simulate(s);
+  EXPECT_EQ(r.timeline.busy_intervals("a")[0], (Interval{at_tu(0), at_tu(3)}));
+  // Ideal SS service is resumable: b gets the leftover 1tu immediately,
+  // suspends at exhaustion, and finishes once a's consumption returns.
+  const auto b = r.timeline.busy_intervals("b");
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], (Interval{at_tu(3), at_tu(4)}));
+  EXPECT_EQ(b[1], (Interval{at_tu(6), at_tu(7)}));
+  EXPECT_EQ(r.jobs[1].completion, at_tu(7));
+}
+
+TEST(SimSporadicServer, PartialServiceResumesAfterReplenishment) {
+  // The theoretical SS is resumable, like the other simulated policies.
+  auto s = ss_spec();
+  add_job(s, "big", 0, tu(6));
+  const auto r = simulate(s);
+  const auto iv = r.timeline.busy_intervals("big");
+  ASSERT_EQ(iv.size(), 2u);
+  EXPECT_EQ(iv[0], (Interval{at_tu(0), at_tu(4)}));  // budget exhausted
+  EXPECT_EQ(iv[1], (Interval{at_tu(6), at_tu(8)}));  // +4 back at t=6
+  EXPECT_TRUE(r.jobs[0].served);
+}
+
+TEST(SimSporadicServer, ReplenishmentNeverExceedsCapacity) {
+  auto s = ss_spec();
+  add_job(s, "a", 0, tu(2));
+  add_job(s, "b", 10, tu(4));  // by t=10 the +2 replenishment has landed
+  const auto r = simulate(s);
+  EXPECT_EQ(r.timeline.busy_intervals("b")[0],
+            (Interval{at_tu(10), at_tu(14)}));
+}
+
+TEST(SimSporadicServer, SegmentSplitByPreemption) {
+  // A higher-priority periodic task splits the server's service into two
+  // segments with distinct replenishment times.
+  auto s = ss_spec();
+  s.periodic_tasks.push_back({"hp", tu(10), tu(2), Duration::zero(),
+                              at_tu(1), 40});  // above the server
+  add_job(s, "job", 0, tu(3));
+  const auto r = simulate(s);
+  const auto iv = r.timeline.busy_intervals("job");
+  ASSERT_EQ(iv.size(), 2u);
+  EXPECT_EQ(iv[0], (Interval{at_tu(0), at_tu(1)}));
+  EXPECT_EQ(iv[1], (Interval{at_tu(3), at_tu(5)}));
+  EXPECT_TRUE(r.jobs[0].served);
+}
+
+TEST(SimVsExecSporadic, ServedRatiosTrack) {
+  // Cross-engine: the ideal SS and the implemented SS agree on served
+  // ratios within the usual resumability gap.
+  gen::GeneratorParams p;
+  p.policy = model::ServerPolicy::kSporadic;
+  p.task_density = 2;
+  p.std_deviation_tu = 0;
+  p.nb_generation = 5;
+  for (const auto& spec : gen::RandomSystemGenerator(p).generate()) {
+    const auto sim_m = exp::compute_run_metrics(simulate(spec));
+    const auto exec_m = exp::compute_run_metrics(
+        exp::run_exec(spec, exp::ideal_execution_options()));
+    EXPECT_NEAR(exec_m.served_ratio, sim_m.served_ratio, 0.25) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace tsf::sim

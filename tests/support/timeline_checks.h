@@ -1,0 +1,58 @@
+// Shared invariant checks over execution timelines.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace tsf::testing {
+
+struct OwnedInterval {
+  common::Interval interval;
+  std::string who;
+};
+
+// All busy intervals of all entities, sorted by start time.
+inline std::vector<OwnedInterval> all_busy_intervals(
+    const common::Timeline& timeline) {
+  std::vector<OwnedInterval> out;
+  for (const auto& who : timeline.entities()) {
+    for (const auto& iv : timeline.busy_intervals(who)) {
+      out.push_back({iv, who});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OwnedInterval& a, const OwnedInterval& b) {
+              return a.interval.begin < b.interval.begin;
+            });
+  return out;
+}
+
+// Single-processor invariant: no two entities hold the CPU at once.
+// Returns a description of the first violation, or an empty string.
+inline std::string find_overlap(const common::Timeline& timeline) {
+  const auto intervals = all_busy_intervals(timeline);
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].interval.begin < intervals[i - 1].interval.end) {
+      return intervals[i - 1].who + " [" +
+             common::to_string(intervals[i - 1].interval.begin) + "," +
+             common::to_string(intervals[i - 1].interval.end) +
+             ") overlaps " + intervals[i].who + " starting " +
+             common::to_string(intervals[i].interval.begin);
+    }
+  }
+  return {};
+}
+
+// Total processor busy time across all entities.
+inline common::Duration total_busy(const common::Timeline& timeline) {
+  common::Duration sum = common::Duration::zero();
+  for (const auto& owned : all_busy_intervals(timeline)) {
+    sum += owned.interval.end - owned.interval.begin;
+  }
+  return sum;
+}
+
+}  // namespace tsf::testing

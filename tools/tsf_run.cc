@@ -1,0 +1,49 @@
+// tsf_run — run a system spec file on the simulator and/or the RTSJ-style
+// runtime and print outcomes, metrics and Gantt charts.
+//
+// Usage:   tsf_run <spec-file> [--mode sim|exec|both] [--no-gantt]
+// See examples/specs/ for spec files and src/cli/spec_file.h for the format.
+#include <cstring>
+#include <iostream>
+
+#include "cli/report.h"
+#include "cli/spec_file.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: tsf_run <spec-file> [--mode sim|exec|both]"
+                 " [--no-gantt] [--vcd <file>]\n";
+    return 2;
+  }
+  auto outcome = tsf::cli::load_spec_file(argv[1]);
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
+      const std::string mode = argv[++i];
+      if (mode == "sim") {
+        outcome.config.mode = tsf::cli::RunMode::kSim;
+      } else if (mode == "exec") {
+        outcome.config.mode = tsf::cli::RunMode::kExec;
+      } else if (mode == "both") {
+        outcome.config.mode = tsf::cli::RunMode::kBoth;
+      } else {
+        std::cerr << "unknown --mode '" << mode << "'\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--no-gantt") == 0) {
+      outcome.config.gantt = false;
+    } else if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc) {
+      outcome.config.vcd_path = argv[++i];
+    } else {
+      std::cerr << "unknown argument '" << argv[i] << "'\n";
+      return 2;
+    }
+  }
+  if (!outcome.ok()) {
+    for (const auto& error : outcome.errors) {
+      std::cerr << "error: " << error << '\n';
+    }
+    return 1;
+  }
+  std::cout << tsf::cli::run_and_report(outcome.config);
+  return 0;
+}
