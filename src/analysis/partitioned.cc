@@ -1,0 +1,30 @@
+#include "analysis/partitioned.h"
+
+#include "common/diag.h"
+
+namespace tsf::analysis {
+
+PartitionedFeasibility analyze_cores(
+    const std::vector<std::vector<model::PeriodicTaskSpec>>& tasks_per_core,
+    const std::vector<const model::ServerSpec*>& servers) {
+  TSF_ASSERT(tasks_per_core.size() == servers.size(),
+             "one server slot per core required");
+  PartitionedFeasibility out;
+  out.cores.reserve(tasks_per_core.size());
+  for (std::size_t c = 0; c < tasks_per_core.size(); ++c) {
+    CoreFeasibility core;
+    core.response_times = response_times(tasks_per_core[c], servers[c]);
+    for (const auto& r : core.response_times) {
+      if (!r.has_value()) core.feasible = false;
+    }
+    for (const auto& t : tasks_per_core[c]) {
+      core.utilization += t.utilization();
+    }
+    if (servers[c] != nullptr) core.utilization += servers[c]->utilization();
+    out.feasible = out.feasible && core.feasible;
+    out.cores.push_back(std::move(core));
+  }
+  return out;
+}
+
+}  // namespace tsf::analysis

@@ -1,0 +1,42 @@
+// Partitioned fixed-priority feasibility.
+//
+// Under partitioned scheduling each core runs an independent uniprocessor
+// scheduler, so system-level feasibility is the conjunction of per-core
+// verdicts — each computed with the exact analysis of rta.h, including the
+// server's interference bound (ceil-based for the Polling Server, the
+// Strosnider/Lehoczky/Sha back-to-back bound for the Deferrable Server;
+// this is the analysis-side twin of TaskServer::interference()).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/rta.h"
+#include "model/spec.h"
+
+namespace tsf::analysis {
+
+struct CoreFeasibility {
+  // Response time per task on this core, aligned with the input task list;
+  // nullopt where the task misses its deadline.
+  std::vector<std::optional<common::Duration>> response_times;
+  bool feasible = true;
+  // Packed utilization of the core (tasks + server replica).
+  double utilization = 0.0;
+};
+
+struct PartitionedFeasibility {
+  std::vector<CoreFeasibility> cores;
+  // True iff every core is feasible. Says nothing about rejected items —
+  // callers that partitioned a spec must also check the rejection list
+  // (mp::MpFeasibility folds both into one verdict).
+  bool feasible = true;
+};
+
+// Analyzes every core independently. `servers[c]` may be nullptr for a core
+// without an aperiodic server; the two vectors must have equal length.
+PartitionedFeasibility analyze_cores(
+    const std::vector<std::vector<model::PeriodicTaskSpec>>& tasks_per_core,
+    const std::vector<const model::ServerSpec*>& servers);
+
+}  // namespace tsf::analysis

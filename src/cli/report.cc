@@ -6,6 +6,7 @@
 #include "common/table.h"
 #include "common/trace.h"
 #include "exp/metrics.h"
+#include "mp/mp_system.h"
 #include "sim/simulator.h"
 
 namespace tsf::cli {
@@ -44,9 +45,17 @@ void render_run(std::ostream& os, const CliConfig& config,
 
   if (config.gantt) {
     std::vector<std::string> rows;
-    for (const auto& job : config.spec.aperiodic_jobs) rows.push_back(job.name);
-    for (const auto& task : config.spec.periodic_tasks) {
-      rows.push_back(task.name);
+    if (config.spec.cores > 1) {
+      // Partitioned runs namespace entities per core ("c0/tau1"); take the
+      // merged timeline's own rows instead of guessing prefixes.
+      rows = result.timeline.entities();
+    } else {
+      for (const auto& job : config.spec.aperiodic_jobs) {
+        rows.push_back(job.name);
+      }
+      for (const auto& task : config.spec.periodic_tasks) {
+        rows.push_back(task.name);
+      }
     }
     common::GanttOptions options;
     options.end = config.spec.horizon;
@@ -56,6 +65,36 @@ void render_run(std::ostream& os, const CliConfig& config,
     os << render_gantt(result.timeline, rows, options);
   }
   os << '\n';
+}
+
+// Partition table + per-core feasibility for a multi-core run.
+void render_partition(std::ostream& os, const CliConfig& config,
+                      const mp::MpFeasibility& verdict) {
+  os << "--- partition (" << mp::to_string(config.partition) << ", "
+     << config.spec.cores << " cores) ---\n";
+  common::TextTable table;
+  table.add_row({"core", "tasks", "server", "jobs", "util", "rta"});
+  for (std::size_t c = 0; c < verdict.partition.cores.size(); ++c) {
+    const auto& core = verdict.partition.cores[c];
+    std::string tasks;
+    for (std::size_t i : core.tasks) {
+      if (!tasks.empty()) tasks += ' ';
+      tasks += config.spec.periodic_tasks[i].name;
+    }
+    table.add_row({"c" + std::to_string(c), tasks.empty() ? "-" : tasks,
+                   core.has_server ? "yes" : "-",
+                   std::to_string(core.jobs.size()),
+                   common::fmt_fixed(core.utilization, 3),
+                   verdict.per_core.cores[c].feasible ? "ok" : "INFEASIBLE"});
+  }
+  os << table.to_string();
+  for (const auto& rejection : verdict.partition.rejected) {
+    os << "rejected: " << rejection.item.name << " (u="
+       << common::fmt_fixed(rejection.item.utilization, 3) << ") — "
+       << rejection.reason << '\n';
+  }
+  os << "system verdict: " << (verdict.feasible ? "feasible" : "INFEASIBLE")
+     << "\n\n";
 }
 
 }  // namespace
@@ -68,6 +107,40 @@ std::string run_and_report(const CliConfig& config) {
      << common::to_string(config.spec.server.capacity) << "/"
      << common::to_string(config.spec.server.period) << ", horizon "
      << common::to_string(config.spec.horizon) << "\n\n";
+
+  if (config.spec.cores > 1) {
+    // Pack once; analysis, sim and exec all use the same assignment.
+    const auto verdict = mp::analyze(config.spec, config.partition);
+    render_partition(os, config, verdict);
+    mp::MpRunOptions mp_options;
+    mp_options.strategy = config.partition;
+    mp_options.exec = config.exec_options;
+    if (config.mode == RunMode::kSim || config.mode == RunMode::kBoth) {
+      const auto run = mp::run_partitioned_sim(config.spec, verdict.partition,
+                                               mp_options);
+      render_run(os, config, "partitioned simulation", run.merged);
+    }
+    if (config.mode == RunMode::kExec || config.mode == RunMode::kBoth) {
+      const auto run = mp::run_partitioned_exec(
+          config.spec, verdict.partition, mp_options);
+      render_run(os, config, "partitioned execution (lock-step VMs)",
+                 run.merged);
+      os << "trace fingerprint: " << std::hex
+         << common::fingerprint(run.merged.timeline) << std::dec << "\n";
+      if (!config.vcd_path.empty()) {
+        std::ofstream vcd(config.vcd_path);
+        if (vcd) {
+          vcd << common::to_vcd(run.merged.timeline,
+                                run.merged.timeline.entities());
+          os << "execution trace written to " << config.vcd_path
+             << " (VCD)\n";
+        } else {
+          os << "error: cannot write " << config.vcd_path << '\n';
+        }
+      }
+    }
+    return os.str();
+  }
 
   if (config.mode == RunMode::kSim || config.mode == RunMode::kBoth) {
     render_run(os, config, "simulation (theoretical policies)",

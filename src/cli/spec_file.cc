@@ -160,6 +160,15 @@ struct Parser {
       if (parse_duration(line, value, &offset)) {
         task->start = TimePoint::origin() + offset;
       }
+    } else if (key == "affinity") {
+      int core = -1;
+      if (parse_int(line, value, &core)) {
+        if (core < 0) {
+          error(line, "affinity must be a core index (>= 0)");
+        } else {
+          task->affinity = core;
+        }
+      }
     } else {
       error(line, "unknown task key '" + key + "'");
     }
@@ -179,6 +188,15 @@ struct Parser {
       parse_duration(line, value, &job->relative_deadline);
     } else if (key == "value") {
       parse_double(line, value, &job->value);
+    } else if (key == "affinity") {
+      int core = -1;
+      if (parse_int(line, value, &core)) {
+        if (core < 0) {
+          error(line, "affinity must be a core index (>= 0)");
+        } else {
+          job->affinity = core;
+        }
+      }
     } else {
       error(line, "unknown job key '" + key + "'");
     }
@@ -211,6 +229,25 @@ struct Parser {
       }
     } else if (key == "gantt") {
       out.config.gantt = (value == "yes" || value == "true");
+    } else if (key == "cores") {
+      int cores = 1;
+      if (parse_int(line, value, &cores)) {
+        if (cores < 1) {
+          error(line, "cores must be at least 1");
+        } else {
+          out.config.spec.cores = cores;
+        }
+      }
+    } else if (key == "partition") {
+      if (value == "ffd" || value == "first-fit") {
+        out.config.partition = mp::PackingStrategy::kFirstFitDecreasing;
+      } else if (value == "wfd" || value == "worst-fit") {
+        out.config.partition = mp::PackingStrategy::kWorstFitDecreasing;
+      } else if (value == "bfd" || value == "best-fit") {
+        out.config.partition = mp::PackingStrategy::kBestFitDecreasing;
+      } else {
+        error(line, "unknown partition heuristic '" + value + "'");
+      }
     } else {
       error(line, "unknown run key '" + key + "'");
     }
@@ -239,6 +276,22 @@ struct Parser {
   void finish() {
     if (!saw_horizon) {
       out.errors.push_back("missing [run] horizon");
+    }
+    for (const auto& t : out.config.spec.periodic_tasks) {
+      if (t.affinity >= out.config.spec.cores) {
+        out.errors.push_back("task '" + t.name + "' is pinned to core " +
+                             std::to_string(t.affinity) + " but the run has " +
+                             std::to_string(out.config.spec.cores) +
+                             " core(s)");
+      }
+    }
+    for (const auto& j : out.config.spec.aperiodic_jobs) {
+      if (j.affinity >= out.config.spec.cores) {
+        out.errors.push_back("job '" + j.name + "' is pinned to core " +
+                             std::to_string(j.affinity) + " but the run has " +
+                             std::to_string(out.config.spec.cores) +
+                             " core(s)");
+      }
     }
     const auto& server = out.config.spec.server;
     if (server.policy != model::ServerPolicy::kNone &&

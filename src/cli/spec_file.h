@@ -15,16 +15,20 @@
 //     period   = 6
 //     cost     = 2
 //     priority = 20
+//     affinity = 0                # optional core pin (multi-core runs)
 //
 //     [job h1]
 //     release  = 2
 //     cost     = 2
 //     declared = 2                # optional, defaults to cost
+//     affinity = 1                # optional core routing (multi-core runs)
 //
 //     [run]
 //     horizon  = 18
 //     mode     = both             # sim|exec|both
 //     overheads = ideal           # ideal|paper
+//     cores    = 4                # optional; > 1 → partitioned runtime
+//     partition = ffd             # ffd|wfd|bfd bin-packing heuristic
 #pragma once
 
 #include <string>
@@ -33,6 +37,7 @@
 #include "exp/exec_runner.h"
 #include "exp/tables.h"
 #include "model/spec.h"
+#include "mp/partition.h"
 
 namespace tsf::cli {
 
@@ -46,6 +51,8 @@ struct CliConfig {
   // When non-empty, the execution timeline is also written as a value
   // change dump (one wire per task/job) for waveform viewers.
   std::string vcd_path;
+  // Bin-packing heuristic for multi-core specs (spec.cores > 1).
+  mp::PackingStrategy partition = mp::PackingStrategy::kFirstFitDecreasing;
 };
 
 struct ParseOutcome {

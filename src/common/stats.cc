@@ -1,5 +1,6 @@
 #include "common/stats.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace tsf::common {
@@ -16,6 +17,15 @@ void Accumulator::add(double x) {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
+  // Neumaier's variant of Kahan summation: exact running sum even when the
+  // addend is larger than the running total.
+  const double t = sum_ + x;
+  if (std::abs(sum_) >= std::abs(x)) {
+    sum_c_ += (sum_ - t) + x;
+  } else {
+    sum_c_ += (x - t) + sum_;
+  }
+  sum_ = t;
 }
 
 double Accumulator::variance() const {
@@ -24,5 +34,40 @@ double Accumulator::variance() const {
 }
 
 double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+QuantileReservoir::QuantileReservoir(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_state_(seed) {}
+
+void QuantileReservoir::add(double x) {
+  ++count_;
+  if (capacity_ == 0 || samples_.size() < capacity_) {
+    samples_.push_back(x);
+    sorted_ = false;
+    return;
+  }
+  // Algorithm R: replace a uniformly-chosen slot with probability cap/count.
+  // SplitMix64 step — deterministic, independent of any global RNG.
+  std::uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const std::uint64_t slot = z % count_;
+  if (slot < samples_.size()) {
+    samples_[slot] = x;
+    sorted_ = false;
+  }
+}
+
+double QuantileReservoir::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto idx =
+      static_cast<std::size_t>(q * static_cast<double>(samples_.size() - 1));
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
 
 }  // namespace tsf::common

@@ -3,10 +3,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace tsf::common {
 
 // Welford-style accumulator: numerically stable mean/variance plus extrema.
+// The sum is tracked exactly (Kahan-compensated) rather than reconstructed
+// from the mean, so mixed-magnitude sequences don't lose mass to rounding.
 class Accumulator {
  public:
   void add(double x);
@@ -20,7 +23,7 @@ class Accumulator {
   double stddev() const;
   double min() const { return min_; }
   double max() const { return max_; }
-  double sum() const { return mean_ * static_cast<double>(count_); }
+  double sum() const { return sum_ + sum_c_; }
 
  private:
   std::size_t count_ = 0;
@@ -28,6 +31,40 @@ class Accumulator {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  double sum_ = 0.0;    // Kahan-compensated running sum
+  double sum_c_ = 0.0;  // compensation term
+};
+
+// Quantile estimation over a stream of samples.
+//
+// Exact while the sample count stays within `capacity`; beyond that it
+// degrades to uniform reservoir sampling (Vitter's algorithm R) driven by a
+// fixed-seed deterministic RNG, so results are reproducible run-to-run.
+// capacity == 0 means "unbounded": keep everything, always exact.
+class QuantileReservoir {
+ public:
+  explicit QuantileReservoir(std::size_t capacity = 0,
+                             std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool exact() const { return count_ <= samples_.size() || capacity_ == 0; }
+
+  // Nearest-rank quantile of the retained samples, q in [0,1]; 0 when empty.
+  // Sorts on demand (cached until the next add).
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t rng_state_;
+  std::size_t count_ = 0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
 };
 
 // A counted ratio (e.g. served events / released events). Distinguishes

@@ -39,6 +39,17 @@ void Timeline::record(TimePoint at, TraceKind kind, std::string who,
       TraceRecord{at, kind, std::move(who), value, std::move(note)});
 }
 
+bool Timeline::retract(TimePoint at, TraceKind kind, const std::string& who) {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (it->at < at) break;  // records are appended in time order
+    if (it->at == at && it->kind == kind && it->who == who) {
+      records_.erase(std::next(it).base());
+      return true;
+    }
+  }
+  return false;
+}
+
 std::vector<Interval> Timeline::busy_intervals(const std::string& who) const {
   std::vector<Interval> out;
   bool open = false;
@@ -94,6 +105,40 @@ std::string Timeline::to_csv() const {
         << r.value << ',' << r.note << '\n';
   }
   return oss.str();
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) { fnv_bytes(h, &v, sizeof v); }
+
+void fnv_str(std::uint64_t& h, const std::string& s) {
+  fnv_u64(h, s.size());
+  fnv_bytes(h, s.data(), s.size());
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const Timeline& timeline) {
+  std::uint64_t h = kFnvOffset;
+  for (const auto& r : timeline.records()) {
+    fnv_u64(h, static_cast<std::uint64_t>(r.at.ticks()));
+    fnv_u64(h, static_cast<std::uint64_t>(r.kind));
+    fnv_str(h, r.who);
+    fnv_u64(h, static_cast<std::uint64_t>(r.value));
+    fnv_str(h, r.note);
+  }
+  return h;
 }
 
 std::string to_vcd(const Timeline& timeline,

@@ -49,6 +49,11 @@ class Timeline {
   void record(TimePoint at, TraceKind kind, std::string who,
               std::int64_t value = 0, std::string note = {});
 
+  // Removes the most recent record matching (at, kind, who); returns whether
+  // one was found. The VM uses this to retract a provisional horizon-pause
+  // record when the paused fiber resumes seamlessly in a later run_until.
+  bool retract(TimePoint at, TraceKind kind, const std::string& who);
+
   const std::vector<TraceRecord>& records() const { return records_; }
   void clear() { records_.clear(); }
 
@@ -82,6 +87,12 @@ struct GanttOptions {
 std::string render_gantt(const Timeline& timeline,
                          const std::vector<std::string>& rows,
                          const GanttOptions& options = {});
+
+// Order-sensitive 64-bit hash (FNV-1a) over every record field. Two runs of
+// a deterministic engine must produce equal fingerprints; the mp tests and
+// the scaling bench use this to assert bit-reproducibility of multi-core
+// runs without storing full traces.
+std::uint64_t fingerprint(const Timeline& timeline);
 
 // Value-change-dump export (GTKWave & friends): one 1-bit wire per entity,
 // high while the entity holds the processor. Timescale: 1 tick = 1 us

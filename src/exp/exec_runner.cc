@@ -67,24 +67,21 @@ std::unique_ptr<core::TaskServer> make_server(
 
 }  // namespace
 
-model::RunResult run_exec(const model::SystemSpec& spec,
-                          const ExecOptions& options) {
-  TSF_ASSERT(!spec.horizon.is_never(), "run_exec needs a finite horizon");
-  model::RunResult result;
+ExecSystem::ExecSystem(rtsj::vm::VirtualMachine& vm,
+                       const model::SystemSpec& spec,
+                       const ExecOptions& options)
+    : vm_(vm), spec_(spec) {
+  TSF_ASSERT(!spec_.horizon.is_never(), "exec needs a finite horizon");
 
-  rtsj::vm::VirtualMachine vm(options.kernel);
-
-  std::unique_ptr<core::TaskServer> server =
-      make_server(vm, spec.server, options);
+  server_ = make_server(vm_, spec_.server, options);
 
   // Periodic tasks.
-  std::vector<std::unique_ptr<rtsj::RealtimeThread>> threads;
-  threads.reserve(spec.periodic_tasks.size());
-  for (const auto& t : spec.periodic_tasks) {
-    threads.push_back(std::make_unique<rtsj::RealtimeThread>(
-        vm, t.name, rtsj::PriorityParameters(t.priority),
+  threads_.reserve(spec_.periodic_tasks.size());
+  for (const auto& t : spec_.periodic_tasks) {
+    threads_.push_back(std::make_unique<rtsj::RealtimeThread>(
+        vm_, t.name, rtsj::PriorityParameters(t.priority),
         rtsj::PeriodicParameters(t.start, t.period, t.cost, t.deadline),
-        [&result, task = t](rtsj::RealtimeThread& self) {
+        [this, task = t](rtsj::RealtimeThread& self) {
           for (;;) {
             model::PeriodicOutcome out;
             out.task = task.name;
@@ -93,19 +90,16 @@ model::RunResult run_exec(const model::SystemSpec& spec,
             out.completion = self.now();
             out.deadline_missed =
                 out.completion - out.release > task.effective_deadline();
-            result.periodic_jobs.push_back(out);
+            result_.periodic_jobs.push_back(out);
             self.wait_for_next_period();
           }
         }));
   }
 
   // Aperiodic jobs: one SAE + SAEH + one-shot timer each.
-  std::vector<std::unique_ptr<core::ServableAsyncEventHandler>> handlers;
-  std::vector<std::unique_ptr<core::ServableAsyncEvent>> events;
-  std::vector<std::unique_ptr<rtsj::OneShotTimer>> timers;
   common::Rng jitter_rng(options.jitter_seed);
-  if (server != nullptr) {
-    for (const auto& job : spec.aperiodic_jobs) {
+  if (server_ != nullptr) {
+    for (const auto& job : spec_.aperiodic_jobs) {
       Duration actual = job.cost;
       if (options.cost_jitter > 0.0) {
         const double factor = jitter_rng.uniform(1.0 - options.cost_jitter,
@@ -113,49 +107,63 @@ model::RunResult run_exec(const model::SystemSpec& spec,
         actual = common::max(Duration::ticks(1),
                              Duration::from_tu(job.cost.to_tu() * factor));
       }
-      handlers.push_back(std::make_unique<core::ServableAsyncEventHandler>(
+      handlers_.push_back(std::make_unique<core::ServableAsyncEventHandler>(
           core::ServableAsyncEventHandler::pure_work(
               job.name, job.effective_declared_cost(), actual)));
-      handlers.back()->set_server(server.get());
-      events.push_back(
-          std::make_unique<core::ServableAsyncEvent>(vm, job.name + ".e"));
-      events.back()->add_handler(handlers.back().get());
-      timers.push_back(std::make_unique<rtsj::OneShotTimer>(
-          vm, job.release, events.back().get()));
-      timers.back()->start();
+      handlers_.back()->set_server(server_.get());
+      events_.push_back(
+          std::make_unique<core::ServableAsyncEvent>(vm_, job.name + ".e"));
+      events_.back()->add_handler(handlers_.back().get());
+      timers_.push_back(std::make_unique<rtsj::OneShotTimer>(
+          vm_, job.release, events_.back().get()));
     }
-    server->start();
   }
-  for (auto& t : threads) t->start();
+}
 
-  vm.run_until(spec.horizon);
+ExecSystem::~ExecSystem() = default;
 
+void ExecSystem::start() {
+  for (auto& timer : timers_) timer->start();
+  if (server_ != nullptr) server_->start();
+  for (auto& t : threads_) t->start();
+}
+
+model::RunResult ExecSystem::collect() {
   // Collect outcomes in spec order; anything the server never saw (or that
   // has no server at all) counts as released-but-unserved.
   std::map<std::string, model::JobOutcome> by_name;
-  if (server != nullptr) {
-    for (auto& o : server->final_outcomes()) {
+  if (server_ != nullptr) {
+    for (auto& o : server_->final_outcomes()) {
       TSF_ASSERT(by_name.emplace(o.name, o).second,
                  "duplicate aperiodic job name " << o.name);
     }
-    result.server_activations = server->activation_count();
-    result.server_dispatches = server->dispatch_count();
+    result_.server_activations = server_->activation_count();
+    result_.server_dispatches = server_->dispatch_count();
   }
-  result.jobs.reserve(spec.aperiodic_jobs.size());
-  for (const auto& job : spec.aperiodic_jobs) {
+  result_.jobs.reserve(spec_.aperiodic_jobs.size());
+  for (const auto& job : spec_.aperiodic_jobs) {
     auto it = by_name.find(job.name);
     if (it != by_name.end()) {
-      result.jobs.push_back(it->second);
+      result_.jobs.push_back(it->second);
     } else {
       model::JobOutcome o;
       o.name = job.name;
       o.release = job.release;
       o.cost = job.cost;
-      result.jobs.push_back(o);
+      result_.jobs.push_back(o);
     }
   }
-  result.timeline = std::move(vm.timeline());
-  return result;
+  result_.timeline = std::move(vm_.timeline());
+  return std::move(result_);
+}
+
+model::RunResult run_exec(const model::SystemSpec& spec,
+                          const ExecOptions& options) {
+  rtsj::vm::VirtualMachine vm(options.kernel);
+  ExecSystem system(vm, spec, options);
+  system.start();
+  vm.run_until(spec.horizon);
+  return system.collect();
 }
 
 }  // namespace tsf::exp

@@ -7,10 +7,23 @@
 // RealtimeThread. The server is built from the spec's ServerSpec.
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "common/time.h"
 #include "model/run_result.h"
 #include "model/spec.h"
 #include "rtsj/vm/vm.h"
+
+namespace tsf::core {
+class ServableAsyncEvent;
+class ServableAsyncEventHandler;
+class TaskServer;
+}  // namespace tsf::core
+namespace tsf::rtsj {
+class OneShotTimer;
+class RealtimeThread;
+}  // namespace tsf::rtsj
 
 namespace tsf::exp {
 
@@ -41,5 +54,40 @@ ExecOptions paper_execution_options();
 
 model::RunResult run_exec(const model::SystemSpec& spec,
                           const ExecOptions& options = {});
+
+// One spec lowered onto one VM, with the run loop left to the caller — the
+// building block behind run_exec and the per-core worlds of mp::MultiVm
+// (which advances several VMs in lock-step). Lifecycle:
+//
+//     rtsj::vm::VirtualMachine vm(options.kernel);
+//     ExecSystem system(vm, spec, options);   // builds server/threads/timers
+//     system.start();                         // arms them
+//     vm.run_until(...);                      // as many times as you like
+//     model::RunResult result = system.collect();   // once, at the end
+//
+// The ExecSystem must be destroyed before its VM.
+class ExecSystem {
+ public:
+  ExecSystem(rtsj::vm::VirtualMachine& vm, const model::SystemSpec& spec,
+             const ExecOptions& options);
+  ~ExecSystem();
+  ExecSystem(const ExecSystem&) = delete;
+  ExecSystem& operator=(const ExecSystem&) = delete;
+
+  void start();
+  // Extracts outcomes (spec order) and moves the VM's timeline out.
+  // Destructive; call once after the final run_until.
+  model::RunResult collect();
+
+ private:
+  rtsj::vm::VirtualMachine& vm_;
+  model::SystemSpec spec_;
+  model::RunResult result_;
+  std::unique_ptr<core::TaskServer> server_;
+  std::vector<std::unique_ptr<rtsj::RealtimeThread>> threads_;
+  std::vector<std::unique_ptr<core::ServableAsyncEventHandler>> handlers_;
+  std::vector<std::unique_ptr<core::ServableAsyncEvent>> events_;
+  std::vector<std::unique_ptr<rtsj::OneShotTimer>> timers_;
+};
 
 }  // namespace tsf::exp

@@ -10,15 +10,18 @@ namespace tsf::exp {
 RunMetrics compute_run_metrics(const model::RunResult& run) {
   RunMetrics m;
   common::Accumulator responses;
+  common::QuantileReservoir tail;  // unbounded: runs are small, stay exact
   for (const auto& job : run.jobs) {
     ++m.released;
     if (job.served) {
       ++m.served;
       responses.add(job.response().to_tu());
+      tail.add(job.response().to_tu());
     }
     if (job.interrupted) ++m.interrupted;
   }
   m.mean_response_tu = responses.mean();
+  m.p99_response_tu = tail.p99();
   if (m.released > 0) {
     m.interrupted_ratio = static_cast<double>(m.interrupted) /
                           static_cast<double>(m.released);
@@ -31,6 +34,7 @@ RunMetrics compute_run_metrics(const model::RunResult& run) {
 SetMetrics compute_set_metrics(const std::vector<model::RunResult>& runs) {
   SetMetrics set;
   common::Accumulator aart, air, asr;
+  common::QuantileReservoir tail;
   for (const auto& run : runs) {
     const RunMetrics m = compute_run_metrics(run);
     ++set.systems;
@@ -40,37 +44,37 @@ SetMetrics compute_set_metrics(const std::vector<model::RunResult>& runs) {
       air.add(m.interrupted_ratio);
       asr.add(m.served_ratio);
     }
+    for (const auto& job : run.jobs) {
+      if (job.served) tail.add(job.response().to_tu());
+    }
   }
   set.aart = aart.mean();
   set.air = air.mean();
   set.asr = asr.mean();
+  set.p99_response_tu = tail.p99();
   return set;
 }
 
 ResponseDistribution compute_response_distribution(
     const std::vector<model::RunResult>& runs) {
-  std::vector<double> responses;
+  common::Accumulator acc;
+  common::QuantileReservoir quantiles;
   for (const auto& run : runs) {
     for (const auto& job : run.jobs) {
-      if (job.served) responses.push_back(job.response().to_tu());
+      if (job.served) {
+        acc.add(job.response().to_tu());
+        quantiles.add(job.response().to_tu());
+      }
     }
   }
   ResponseDistribution d;
-  d.samples = responses.size();
-  if (responses.empty()) return d;
-  std::sort(responses.begin(), responses.end());
-  double sum = 0.0;
-  for (double r : responses) sum += r;
-  d.mean_tu = sum / static_cast<double>(responses.size());
-  const auto at = [&](double p) {
-    const auto idx = static_cast<std::size_t>(
-        p * static_cast<double>(responses.size() - 1));
-    return responses[idx];
-  };
-  d.p50_tu = at(0.50);
-  d.p90_tu = at(0.90);
-  d.p99_tu = at(0.99);
-  d.max_tu = responses.back();
+  d.samples = acc.count();
+  if (acc.empty()) return d;
+  d.mean_tu = acc.mean();
+  d.p50_tu = quantiles.p50();
+  d.p90_tu = quantiles.quantile(0.90);
+  d.p99_tu = quantiles.p99();
+  d.max_tu = acc.max();
   return d;
 }
 

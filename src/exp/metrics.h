@@ -17,6 +17,7 @@ namespace tsf::exp {
 
 struct RunMetrics {
   double mean_response_tu = 0.0;  // over served jobs only
+  double p99_response_tu = 0.0;   // tail latency over served jobs; 0 if none
   double interrupted_ratio = 0.0;
   double served_ratio = 0.0;
   std::size_t released = 0;
@@ -28,6 +29,9 @@ struct SetMetrics {
   double aart = 0.0;
   double air = 0.0;
   double asr = 0.0;
+  // p99 of the served responses pooled across every run in the set (not an
+  // average of per-run p99s — tail latency doesn't average meaningfully).
+  double p99_response_tu = 0.0;
   std::size_t systems = 0;
   std::size_t total_jobs = 0;
 };

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/diag.h"
+#include "gen/taskset.h"
 
 namespace tsf::gen {
 
@@ -75,6 +76,92 @@ std::vector<model::SystemSpec> RandomSystemGenerator::generate() const {
     out.push_back(generate_one(sub, i));
   }
   return out;
+}
+
+model::SystemSpec generate_mp_system(const MpGeneratorParams& params) {
+  TSF_ASSERT(params.cores >= 1, "need at least one core");
+  TSF_ASSERT(params.per_core_utilization > 0.0 &&
+                 params.per_core_utilization +
+                         params.server_capacity.to_tu() /
+                             params.server_period.to_tu() <=
+                     1.0,
+             "per-core utilization plus server replica must fit one core");
+  TSF_ASSERT(params.tasks_per_core > 0, "need at least one task per core");
+
+  model::SystemSpec spec;
+  spec.name = "mp" + std::to_string(params.cores);
+  spec.cores = params.cores;
+  spec.server.policy = params.policy;
+  spec.server.capacity = params.server_capacity;
+  spec.server.period = params.server_period;
+  spec.server.queue = params.queue;
+  spec.horizon =
+      TimePoint::origin() + params.server_period * params.horizon_periods;
+
+  common::Rng master(params.seed);
+
+  // One UUniFast task set per core, drawn from independent sub-streams so
+  // core k's tasks don't change when the core count does.
+  for (int c = 0; c < params.cores; ++c) {
+    common::Rng sub = master.split();
+    TaskSetParams ts;
+    ts.count = params.tasks_per_core;
+    ts.total_utilization = params.per_core_utilization;
+    ts.period_min = params.period_min;
+    ts.period_max = params.period_max;
+    auto tasks = make_task_set(ts, sub);
+    for (auto& t : tasks) spec.periodic_tasks.push_back(std::move(t));
+  }
+  // Unique names and global rate-monotonic priorities (1..N; the per-core
+  // make_task_set calls each started from priority 1 and would collide).
+  std::vector<std::size_t> order(spec.periodic_tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return spec.periodic_tasks[a].period > spec.periodic_tasks[b].period;
+  });
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    spec.periodic_tasks[order[rank]].priority = static_cast<int>(rank) + 1;
+  }
+  for (std::size_t i = 0; i < spec.periodic_tasks.size(); ++i) {
+    spec.periodic_tasks[i].name = "tau" + std::to_string(i);
+  }
+  // Server replicas preempt every periodic task, like the paper's PS.
+  spec.server.priority = static_cast<int>(spec.periodic_tasks.size()) + 1;
+
+  // Aperiodic stream: Poisson(density * cores) arrivals per server period,
+  // placed uniformly inside the period, costs normal(mean, sd) with the
+  // paper's 0.1 tu floor. Jobs stay unpinned: the partitioner spreads them
+  // round-robin over the per-core server replicas.
+  common::Rng arrivals = master.split();
+  std::size_t job_id = 0;
+  for (int k = 0; k < params.horizon_periods; ++k) {
+    const TimePoint window_start =
+        TimePoint::origin() + params.server_period * k;
+    const std::uint64_t count = arrivals.poisson(
+        params.task_density * static_cast<double>(params.cores));
+    for (std::uint64_t j = 0; j < count; ++j) {
+      model::AperiodicJobSpec job;
+      job.name = "a" + std::to_string(job_id++);
+      const std::int64_t offset =
+          arrivals.uniform_i64(0, params.server_period.count() - 1);
+      job.release = window_start + Duration::ticks(offset);
+      Duration cost = Duration::from_tu(
+          arrivals.normal(params.average_cost_tu, params.std_deviation_tu));
+      if (params.reproduce_cost_floor && cost < params.cost_floor) {
+        cost = params.cost_floor;
+      }
+      TSF_ASSERT(cost > Duration::zero(), "generated non-positive cost");
+      job.cost = cost;
+      spec.aperiodic_jobs.push_back(std::move(job));
+    }
+  }
+  std::stable_sort(spec.aperiodic_jobs.begin(), spec.aperiodic_jobs.end(),
+                   [](const model::AperiodicJobSpec& a,
+                      const model::AperiodicJobSpec& b) {
+                     return a.release < b.release;
+                   });
+  return spec;
 }
 
 }  // namespace tsf::gen

@@ -64,4 +64,37 @@ class RandomSystemGenerator {
   GeneratorParams params_;
 };
 
+// Multi-core synthesis for the partitioned runtime (tsf::mp): one UUniFast
+// task set per core at a target per-core periodic utilization, plus an
+// aperiodic stream whose density scales with the core count. Tasks are left
+// unpinned — hitting the per-core target is the partitioner's job; the
+// generator only guarantees that a load of exactly that shape exists.
+struct MpGeneratorParams {
+  int cores = 4;
+  // Target periodic utilization per core, *excluding* the server replica
+  // (capacity/period is added on every core by the partitioner).
+  double per_core_utilization = 0.4;
+  std::size_t tasks_per_core = 4;
+  common::Duration period_min = common::Duration::time_units(10);
+  common::Duration period_max = common::Duration::time_units(100);
+
+  // Aperiodic stream: events per server period PER CORE (so the offered
+  // load grows with the machine, the way front-end traffic would).
+  double task_density = 1.0;
+  double average_cost_tu = 1.0;
+  double std_deviation_tu = 0.0;
+  common::Duration server_capacity = common::Duration::time_units(2);
+  common::Duration server_period = common::Duration::time_units(6);
+  model::ServerPolicy policy = model::ServerPolicy::kPolling;
+  model::QueueDiscipline queue = model::QueueDiscipline::kFifoFirstFit;
+  int horizon_periods = 10;
+  std::uint64_t seed = 1983;
+  bool reproduce_cost_floor = true;
+  common::Duration cost_floor = common::Duration::ticks(100);  // 0.1 tu
+};
+
+// Deterministic in params. Priorities: rate-monotonic over the whole task
+// set (1..N), server replicas above every task.
+model::SystemSpec generate_mp_system(const MpGeneratorParams& params);
+
 }  // namespace tsf::gen

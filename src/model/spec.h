@@ -56,9 +56,15 @@ struct PeriodicTaskSpec {
   TimePoint start = TimePoint::origin();
   // Fixed priority; larger values are higher priority.
   int priority = 0;
+  // Core pinning for the partitioned multiprocessor runtime (tsf::mp):
+  // -1 lets the partitioner place the task, k >= 0 pins it to core k.
+  int affinity = -1;
 
   Duration effective_deadline() const {
     return deadline.is_zero() ? period : deadline;
+  }
+  double utilization() const {
+    return period.is_zero() ? 0.0 : cost.to_tu() / period.to_tu();
   }
 };
 
@@ -75,6 +81,9 @@ struct AperiodicJobSpec {
   Duration relative_deadline = Duration::zero();
   // Value for D-OVER's overload decisions; zero means "value == cost".
   double value = 0.0;
+  // Core routing for the partitioned runtime: -1 lets the partitioner
+  // spread jobs round-robin over the serving cores, k >= 0 pins to core k.
+  int affinity = -1;
 
   Duration effective_declared_cost() const {
     return declared_cost.is_zero() ? cost : declared_cost;
@@ -110,6 +119,10 @@ struct SystemSpec {
   ServerSpec server;
   std::vector<AperiodicJobSpec> aperiodic_jobs;
   TimePoint horizon = TimePoint::never();
+  // Number of processor cores. 1 runs the classic uniprocessor engines;
+  // > 1 enables the partitioned runtime (tsf::mp): tasks are bin-packed
+  // onto cores and the server (when present) is replicated on every core.
+  int cores = 1;
 
   double periodic_utilization() const {
     double u = 0.0;

@@ -1,0 +1,172 @@
+#include "mp/mp_system.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/diag.h"
+#include "mp/multi_vm.h"
+#include "sim/simulator.h"
+
+namespace tsf::mp {
+
+using common::TimePoint;
+
+std::vector<model::SystemSpec> split_spec(const model::SystemSpec& spec,
+                                          const Partition& partition) {
+  std::vector<model::SystemSpec> out;
+  out.reserve(partition.cores.size());
+  for (std::size_t c = 0; c < partition.cores.size(); ++c) {
+    const CoreAssignment& core = partition.cores[c];
+    model::SystemSpec sub;
+    sub.name = spec.name + "/c" + std::to_string(c);
+    sub.cores = 1;
+    sub.horizon = spec.horizon;
+    sub.server = spec.server;
+    if (!core.has_server) sub.server.policy = model::ServerPolicy::kNone;
+    sub.periodic_tasks.reserve(core.tasks.size());
+    for (std::size_t i : core.tasks) {
+      model::PeriodicTaskSpec t = spec.periodic_tasks[i];
+      t.affinity = static_cast<int>(c);
+      sub.periodic_tasks.push_back(std::move(t));
+    }
+    sub.aperiodic_jobs.reserve(core.jobs.size());
+    for (std::size_t j : core.jobs) {
+      model::AperiodicJobSpec job = spec.aperiodic_jobs[j];
+      job.affinity = static_cast<int>(c);
+      sub.aperiodic_jobs.push_back(std::move(job));
+    }
+    out.push_back(std::move(sub));
+  }
+  return out;
+}
+
+model::RunResult merge_results(const model::SystemSpec& spec,
+                               const Partition& partition,
+                               const std::vector<model::RunResult>& per_core) {
+  TSF_ASSERT(per_core.size() == partition.cores.size(),
+             "one result per core required");
+  model::RunResult merged;
+
+  // Aperiodic outcomes, restored to the original spec order.
+  std::map<std::string, const model::JobOutcome*> by_name;
+  for (const auto& result : per_core) {
+    for (const auto& outcome : result.jobs) {
+      TSF_ASSERT(by_name.emplace(outcome.name, &outcome).second,
+                 "job " << outcome.name << " ran on two cores");
+    }
+  }
+  merged.jobs.reserve(spec.aperiodic_jobs.size());
+  for (const auto& job : spec.aperiodic_jobs) {
+    auto it = by_name.find(job.name);
+    if (it != by_name.end()) {
+      merged.jobs.push_back(*it->second);
+    } else {
+      // A job can only be missing if its core was never built (defensive).
+      model::JobOutcome o;
+      o.name = job.name;
+      o.release = job.release;
+      o.cost = job.cost;
+      merged.jobs.push_back(o);
+    }
+  }
+
+  // Periodic outcomes: stable order — by release, then core, then record
+  // order (std::stable_sort over the concatenation in core order).
+  for (const auto& result : per_core) {
+    merged.periodic_jobs.insert(merged.periodic_jobs.end(),
+                                result.periodic_jobs.begin(),
+                                result.periodic_jobs.end());
+  }
+  std::stable_sort(merged.periodic_jobs.begin(), merged.periodic_jobs.end(),
+                   [](const model::PeriodicOutcome& a,
+                      const model::PeriodicOutcome& b) {
+                     return a.release < b.release;
+                   });
+
+  // Timelines: namespace entities per core, then stably merge by instant so
+  // simultaneous records keep core order — fully deterministic.
+  std::vector<common::TraceRecord> records;
+  for (std::size_t c = 0; c < per_core.size(); ++c) {
+    const std::string prefix = "c" + std::to_string(c) + "/";
+    for (const auto& r : per_core[c].timeline.records()) {
+      records.push_back(r);
+      records.back().who = prefix + r.who;
+    }
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const common::TraceRecord& a,
+                      const common::TraceRecord& b) { return a.at < b.at; });
+  for (auto& r : records) {
+    merged.timeline.record(r.at, r.kind, std::move(r.who), r.value,
+                           std::move(r.note));
+  }
+
+  for (const auto& result : per_core) {
+    merged.server_activations += result.server_activations;
+    merged.server_dispatches += result.server_dispatches;
+  }
+  return merged;
+}
+
+MpFeasibility analyze(const model::SystemSpec& spec,
+                      PackingStrategy strategy) {
+  MpFeasibility out;
+  out.partition = Partitioner(strategy).partition(spec);
+
+  std::vector<std::vector<model::PeriodicTaskSpec>> tasks_per_core;
+  std::vector<const model::ServerSpec*> servers;
+  tasks_per_core.reserve(out.partition.cores.size());
+  servers.reserve(out.partition.cores.size());
+  for (const auto& core : out.partition.cores) {
+    std::vector<model::PeriodicTaskSpec> tasks;
+    tasks.reserve(core.tasks.size());
+    for (std::size_t i : core.tasks) tasks.push_back(spec.periodic_tasks[i]);
+    tasks_per_core.push_back(std::move(tasks));
+    servers.push_back(core.has_server ? &spec.server : nullptr);
+  }
+  out.per_core = analysis::analyze_cores(tasks_per_core, servers);
+  out.feasible = out.per_core.feasible && out.partition.complete();
+  return out;
+}
+
+MpRunResult run_partitioned_sim(const model::SystemSpec& spec,
+                                const MpRunOptions& options) {
+  return run_partitioned_sim(
+      spec, Partitioner(options.strategy).partition(spec), options);
+}
+
+MpRunResult run_partitioned_sim(const model::SystemSpec& spec,
+                                Partition partition,
+                                const MpRunOptions& options) {
+  MpRunResult out;
+  out.partition = std::move(partition);
+  const auto subs = split_spec(spec, out.partition);
+  out.per_core.reserve(subs.size());
+  for (const auto& sub : subs) out.per_core.push_back(sim::simulate(sub));
+  out.merged = merge_results(spec, out.partition, out.per_core);
+  return out;
+}
+
+MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
+                                 const MpRunOptions& options) {
+  return run_partitioned_exec(
+      spec, Partitioner(options.strategy).partition(spec), options);
+}
+
+MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
+                                 Partition partition,
+                                 const MpRunOptions& options) {
+  TSF_ASSERT(!spec.horizon.is_never(), "exec needs a finite horizon");
+  MpRunResult out;
+  out.partition = std::move(partition);
+  MultiVm machine(split_spec(spec, out.partition), options.exec);
+  machine.start();
+  machine.run_until(spec.horizon, options.quantum);
+  out.per_core = machine.collect();
+  out.merged = merge_results(spec, out.partition, out.per_core);
+  return out;
+}
+
+}  // namespace tsf::mp

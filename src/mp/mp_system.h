@@ -1,0 +1,83 @@
+// Lowering a multi-core SystemSpec onto the partitioned runtime.
+//
+// The flow mirrors the uniprocessor experiment harness, with one extra
+// stage: partition → split into per-core uniprocessor specs → run each core
+// on the chosen engine (the theoretical simulator, or the RTSJ-style VM via
+// MultiVm in lock-step) → merge the per-core results back into one
+// RunResult whose timeline is namespaced per core ("c0/tau1", "c2/server").
+//
+// Feasibility follows the same shape: partition, then per-core response-time
+// analysis (analysis/partitioned.h), folded with the packer's rejection
+// list into a single system-level verdict.
+#pragma once
+
+#include <vector>
+
+#include "analysis/partitioned.h"
+#include "common/time.h"
+#include "exp/exec_runner.h"
+#include "model/run_result.h"
+#include "model/spec.h"
+#include "mp/partition.h"
+
+namespace tsf::mp {
+
+struct MpRunOptions {
+  PackingStrategy strategy = PackingStrategy::kFirstFitDecreasing;
+  // Execution-engine options (ignored by the simulator path).
+  exp::ExecOptions exec;
+  // Lock-step epoch of the MultiVm (execution path only).
+  common::Duration quantum = common::Duration::time_units(1);
+};
+
+// Per-core uniprocessor specs for a partition of `spec`: core k gets the
+// tasks and jobs assigned to it, a copy of the server iff the partition
+// placed a replica there, spec.horizon, and cores == 1. Rejected tasks are
+// in no core — they simply don't run, exactly like an offline admission
+// refusal.
+std::vector<model::SystemSpec> split_spec(const model::SystemSpec& spec,
+                                          const Partition& partition);
+
+// Merges per-core results: aperiodic outcomes in original spec order,
+// periodic outcomes sorted by (release, task), timelines concatenated with
+// "c<k>/" entity prefixes and stably merged by time, counters summed.
+model::RunResult merge_results(const model::SystemSpec& spec,
+                               const Partition& partition,
+                               const std::vector<model::RunResult>& per_core);
+
+struct MpFeasibility {
+  Partition partition;
+  analysis::PartitionedFeasibility per_core;
+  // System verdict: every item placed AND every core's RTA passes.
+  bool feasible = false;
+};
+
+// Partition + per-core RTA in one step.
+MpFeasibility analyze(
+    const model::SystemSpec& spec,
+    PackingStrategy strategy = PackingStrategy::kFirstFitDecreasing);
+
+struct MpRunResult {
+  Partition partition;
+  std::vector<model::RunResult> per_core;  // core order
+  model::RunResult merged;
+};
+
+// One sim::Simulator per core (theoretical policies, resumable service).
+MpRunResult run_partitioned_sim(const model::SystemSpec& spec,
+                                const MpRunOptions& options = {});
+
+// One VM per core via MultiVm (implemented policies, lock-step time).
+MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
+                                 const MpRunOptions& options = {});
+
+// Same, on a partition the caller already computed (lets a driver pack
+// once and reuse the assignment across analysis, sim and exec).
+MpRunResult run_partitioned_sim(const model::SystemSpec& spec,
+                                Partition partition,
+                                const MpRunOptions& options = {});
+MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
+                                 Partition partition,
+                                 const MpRunOptions& options = {});
+
+}  // namespace tsf::mp

@@ -1,0 +1,44 @@
+#include "mp/multi_vm.h"
+
+#include "common/diag.h"
+
+namespace tsf::mp {
+
+using common::Duration;
+using common::TimePoint;
+
+MultiVm::MultiVm(std::vector<model::SystemSpec> per_core_specs,
+                 const exp::ExecOptions& options) {
+  TSF_ASSERT(!per_core_specs.empty(), "MultiVm needs at least one core");
+  vms_.reserve(per_core_specs.size());
+  systems_.reserve(per_core_specs.size());
+  for (const auto& spec : per_core_specs) {
+    vms_.push_back(
+        std::make_unique<rtsj::vm::VirtualMachine>(options.kernel));
+    systems_.push_back(
+        std::make_unique<exp::ExecSystem>(*vms_.back(), spec, options));
+  }
+}
+
+MultiVm::~MultiVm() = default;
+
+void MultiVm::start() {
+  for (auto& system : systems_) system->start();
+}
+
+void MultiVm::run_until(TimePoint horizon, Duration quantum) {
+  TSF_ASSERT(quantum > Duration::zero(), "lock-step quantum must be positive");
+  while (now_ < horizon) {
+    now_ = common::min(now_ + quantum, horizon);
+    for (auto& vm : vms_) vm->run_until(now_);
+  }
+}
+
+std::vector<model::RunResult> MultiVm::collect() {
+  std::vector<model::RunResult> out;
+  out.reserve(systems_.size());
+  for (auto& system : systems_) out.push_back(system->collect());
+  return out;
+}
+
+}  // namespace tsf::mp

@@ -1,0 +1,60 @@
+// MultiVm — the partitioned multi-core execution substrate.
+//
+// Partitioned scheduling has no cross-core preemption, so a multi-core
+// machine is modelled as one deterministic rtsj::vm::VirtualMachine per
+// core. MultiVm advances all cores in lock-step virtual time: every core is
+// driven to the same sequence of epoch boundaries (multiples of `quantum`),
+// which keeps multi-core runs bit-reproducible — the merged trace depends
+// only on the specs, never on host scheduling — and gives future
+// cross-core-communication PRs a synchronization point that is already
+// deterministic.
+//
+// Each core hosts one exp::ExecSystem (the same lowering run_exec uses), so
+// a MultiVm run of N single-core specs is observationally identical to N
+// independent run_exec calls — asserted by tests/mp/multi_vm_test.cc.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/time.h"
+#include "exp/exec_runner.h"
+#include "model/run_result.h"
+#include "model/spec.h"
+#include "rtsj/vm/vm.h"
+
+namespace tsf::mp {
+
+class MultiVm {
+ public:
+  // One VM + ExecSystem per spec. Every spec needs a finite horizon.
+  MultiVm(std::vector<model::SystemSpec> per_core_specs,
+          const exp::ExecOptions& options);
+  ~MultiVm();
+  MultiVm(const MultiVm&) = delete;
+  MultiVm& operator=(const MultiVm&) = delete;
+
+  std::size_t cores() const { return vms_.size(); }
+  rtsj::vm::VirtualMachine& vm(std::size_t core) { return *vms_[core]; }
+
+  // Arms every core's world. Call once, before run_until.
+  void start();
+
+  // Advances every core to `horizon` in lock-step epochs of `quantum`
+  // (the last epoch is clipped). Resumable like VirtualMachine::run_until.
+  void run_until(common::TimePoint horizon,
+                 common::Duration quantum = common::Duration::time_units(1));
+
+  // Per-core results, in core order. Destructive; call once after the run.
+  std::vector<model::RunResult> collect();
+
+ private:
+  // Destruction order matters: systems_ (fibers, timers) must go before
+  // the VMs they run on, so vms_ is declared first.
+  std::vector<std::unique_ptr<rtsj::vm::VirtualMachine>> vms_;
+  std::vector<std::unique_ptr<exp::ExecSystem>> systems_;
+  common::TimePoint now_ = common::TimePoint::origin();
+};
+
+}  // namespace tsf::mp

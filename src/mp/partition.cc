@@ -1,0 +1,173 @@
+#include "mp/partition.h"
+
+#include <algorithm>
+
+#include "common/diag.h"
+
+namespace tsf::mp {
+
+namespace {
+
+// Bins are full at 1.0; the epsilon absorbs the tick-to-double rounding of
+// utilizations so an exactly-full core (e.g. 1/6 + 2/6 + 3/6) still fits.
+constexpr double kEps = 1e-9;
+
+bool fits(double load, double item) { return load + item <= 1.0 + kEps; }
+
+}  // namespace
+
+const char* to_string(PackingStrategy strategy) {
+  switch (strategy) {
+    case PackingStrategy::kFirstFitDecreasing:
+      return "first-fit-decreasing";
+    case PackingStrategy::kWorstFitDecreasing:
+      return "worst-fit-decreasing";
+    case PackingStrategy::kBestFitDecreasing:
+      return "best-fit-decreasing";
+  }
+  TSF_PANIC("unknown packing strategy");
+}
+
+double Partition::max_utilization() const {
+  double m = 0.0;
+  for (const auto& core : cores) m = std::max(m, core.utilization);
+  return m;
+}
+
+double Partition::total_utilization() const {
+  double t = 0.0;
+  for (const auto& core : cores) t += core.utilization;
+  return t;
+}
+
+Partition Partitioner::partition(const model::SystemSpec& spec) const {
+  Partition out;
+  out.strategy = strategy_;
+  const int cores = std::max(1, spec.cores);
+  out.cores.resize(static_cast<std::size_t>(cores));
+
+  // Server replicas first: they are pinned, one per core, and every bin
+  // must carry the replica's utilization before any task is placed.
+  const bool has_server = spec.server.policy != model::ServerPolicy::kNone;
+  const double server_u = has_server ? spec.server.utilization() : 0.0;
+  if (has_server) {
+    for (int c = 0; c < cores; ++c) {
+      PartitionItem item;
+      item.kind = PartitionItem::Kind::kServer;
+      item.index = static_cast<std::size_t>(c);
+      item.name = "server/c" + std::to_string(c);
+      item.utilization = server_u;
+      item.affinity = c;
+      auto& bin = out.cores[static_cast<std::size_t>(c)];
+      if (!fits(bin.utilization, server_u)) {
+        out.rejected.push_back({item, "server utilization exceeds one core"});
+        continue;
+      }
+      bin.has_server = true;
+      bin.utilization += server_u;
+    }
+  }
+
+  // Pinned tasks next, in spec order: affinity is a hard constraint, so a
+  // pinned task competes for its core before any unpinned task is placed.
+  std::vector<PartitionItem> unpinned;
+  for (std::size_t i = 0; i < spec.periodic_tasks.size(); ++i) {
+    const auto& t = spec.periodic_tasks[i];
+    PartitionItem item;
+    item.kind = PartitionItem::Kind::kTask;
+    item.index = i;
+    item.name = t.name;
+    item.utilization = t.utilization();
+    item.affinity = t.affinity;
+    if (t.affinity < 0) {
+      unpinned.push_back(std::move(item));
+      continue;
+    }
+    if (t.affinity >= cores) {
+      out.rejected.push_back({item, "affinity beyond the last core"});
+      continue;
+    }
+    auto& bin = out.cores[static_cast<std::size_t>(t.affinity)];
+    if (!fits(bin.utilization, item.utilization)) {
+      out.rejected.push_back({item, "pinned core has no capacity left"});
+      continue;
+    }
+    bin.tasks.push_back(i);
+    bin.utilization += item.utilization;
+  }
+
+  // Unpinned tasks: decreasing utilization (stable — spec order breaks
+  // ties, which keeps the assignment deterministic across runs).
+  std::stable_sort(unpinned.begin(), unpinned.end(),
+                   [](const PartitionItem& a, const PartitionItem& b) {
+                     return a.utilization > b.utilization;
+                   });
+  for (const auto& item : unpinned) {
+    int chosen = -1;
+    switch (strategy_) {
+      case PackingStrategy::kFirstFitDecreasing:
+        for (int c = 0; c < cores; ++c) {
+          if (fits(out.cores[c].utilization, item.utilization)) {
+            chosen = c;
+            break;
+          }
+        }
+        break;
+      case PackingStrategy::kWorstFitDecreasing:
+        for (int c = 0; c < cores; ++c) {
+          if (!fits(out.cores[c].utilization, item.utilization)) continue;
+          if (chosen < 0 ||
+              out.cores[c].utilization < out.cores[chosen].utilization) {
+            chosen = c;
+          }
+        }
+        break;
+      case PackingStrategy::kBestFitDecreasing:
+        for (int c = 0; c < cores; ++c) {
+          if (!fits(out.cores[c].utilization, item.utilization)) continue;
+          if (chosen < 0 ||
+              out.cores[c].utilization > out.cores[chosen].utilization) {
+            chosen = c;
+          }
+        }
+        break;
+    }
+    if (chosen < 0) {
+      out.rejected.push_back({item, "does not fit on any core"});
+      continue;
+    }
+    auto& bin = out.cores[static_cast<std::size_t>(chosen)];
+    bin.tasks.push_back(item.index);
+    bin.utilization += item.utilization;
+  }
+
+  // Keep each core's tasks in spec order: packing order is a heuristic
+  // detail, but downstream lowering should see a stable, readable order.
+  for (auto& core : out.cores) std::sort(core.tasks.begin(), core.tasks.end());
+
+  // Route aperiodic jobs. Pinned jobs go to their core regardless of
+  // whether a server lives there (an unserved job is a result, not an
+  // error); unpinned jobs round-robin over the cores that can serve them.
+  std::vector<int> serving;
+  for (int c = 0; c < cores; ++c) {
+    if (out.cores[static_cast<std::size_t>(c)].has_server) serving.push_back(c);
+  }
+  std::size_t rr = 0;
+  for (std::size_t j = 0; j < spec.aperiodic_jobs.size(); ++j) {
+    const int affinity = spec.aperiodic_jobs[j].affinity;
+    int target;
+    if (affinity >= 0 && affinity < cores) {
+      target = affinity;
+    } else if (!serving.empty()) {
+      target = serving[rr % serving.size()];
+      ++rr;
+    } else {
+      target = static_cast<int>(j % static_cast<std::size_t>(cores));
+    }
+    out.cores[static_cast<std::size_t>(target)].jobs.push_back(j);
+  }
+
+  return out;
+}
+
+}  // namespace tsf::mp

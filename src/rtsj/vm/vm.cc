@@ -71,6 +71,14 @@ VirtualMachine::TimerHandle VirtualMachine::schedule_silent(
 void VirtualMachine::run_until(TimePoint horizon) {
   TSF_ASSERT(current_ == nullptr, "run_until called from inside a fiber");
   TSF_ASSERT(horizon >= now_, "horizon " << horizon << " is in the past");
+  if (frozen_ != nullptr && frozen_pause_recorded_) {
+    // The previous run_until provisionally closed the frozen fiber's trace
+    // in case it was the last one. It wasn't: retract the pause record so a
+    // seamless resume leaves no mark of the epoch boundary.
+    timeline_.retract(now_, common::TraceKind::kPreempt, frozen_->label_);
+    frozen_->trace_open_ = true;
+    frozen_pause_recorded_ = false;
+  }
   horizon_ = horizon;
   for (;;) {
     maybe_rethrow();
@@ -88,6 +96,13 @@ void VirtualMachine::run_until(TimePoint horizon) {
       break;
     }
     advance_to(t);
+  }
+  if (frozen_ != nullptr && frozen_->trace_open_) {
+    // Provisionally close the frozen fiber's busy interval at the horizon:
+    // if this was the final run_until, the trace must not end mid-interval
+    // (busy_intervals would drop it). A later run_until retracts this.
+    close_trace(frozen_);
+    frozen_pause_recorded_ = true;
   }
   maybe_rethrow();
 }
@@ -121,11 +136,16 @@ void VirtualMachine::work(Duration d) {
     if (common::min(completion, next_timer) > horizon_) {
       // Freeze at the horizon: bank the service earned on the way there,
       // stay ready, and let run_until() return. A later run_until resumes.
+      // The trace stays open and no switch is charged — grant() undoes the
+      // freeze seamlessly unless another fiber actually takes over.
       if (horizon_ > progress_from) remaining -= (horizon_ - progress_from);
       advance_to(horizon_);
       self->state_ = Fiber::State::kReady;
-      close_trace(self);
-      make_ready(self);
+      frozen_ = self;
+      // Keep the old ready_seq_: the running fiber was ahead of every
+      // equal-priority waiter, and a driver pause must not rotate it
+      // behind them (make_ready would hand out a fresh, larger seq).
+      ready_.push_back(self);
       yield_to_scheduler(self);
       continue;
     }
@@ -244,6 +264,21 @@ void VirtualMachine::make_ready(Fiber* fiber) {
 }
 
 void VirtualMachine::grant(Fiber* fiber) {
+  if (frozen_ != nullptr) {
+    if (frozen_ == fiber) {
+      // Resume a horizon-frozen fiber in place: same instant, trace still
+      // open, no context switch — indistinguishable from never pausing.
+      frozen_ = nullptr;
+      remove_from_ready(fiber);
+      fiber->state_ = Fiber::State::kRunning;
+      current_ = fiber;
+      fiber->sem_.release();
+      return;
+    }
+    // Someone else runs first: the freeze was a real preemption after all.
+    close_trace(frozen_);
+    frozen_ = nullptr;
+  }
   remove_from_ready(fiber);
   fiber->state_ = Fiber::State::kRunning;
   current_ = fiber;

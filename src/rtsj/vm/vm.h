@@ -181,6 +181,16 @@ class VirtualMachine {
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::vector<Fiber*> ready_;
   Fiber* current_ = nullptr;  // nullptr: the driver holds the baton
+  // Fiber parked mid-work() by the run_until horizon, trace still open and
+  // no context switch charged: resuming the world at the same instant is a
+  // driver artifact, not a scheduling event, so a later run_until continues
+  // it seamlessly (essential for lock-step multi-VM drivers, which pause
+  // every epoch). If another fiber is granted first, the pause retroactively
+  // becomes a real preemption (trace closed, switch charged as usual).
+  // run_until exit provisionally records the pause (so a final timeline
+  // never ends mid-interval); the next run_until retracts it.
+  Fiber* frozen_ = nullptr;
+  bool frozen_pause_recorded_ = false;
   std::binary_semaphore main_sem_{0};
   std::uint64_t next_ready_seq_ = 0;
   std::uint64_t context_switches_ = 0;

@@ -146,5 +146,86 @@ TEST(Report, GanttIncludedWhenRequested) {
   EXPECT_NE(report.find('#'), std::string::npos);  // busy cells
 }
 
+constexpr const char* kMultiCore = R"(
+[server]
+policy   = polling
+capacity = 2
+period   = 6
+priority = 30
+
+[task tau1]
+period   = 6
+cost     = 2
+priority = 20
+affinity = 1
+
+[task tau2]
+period   = 12
+cost     = 3
+priority = 10
+
+[job h1]
+release  = 2
+cost     = 1
+affinity = 0
+
+[run]
+horizon  = 18
+cores    = 2
+partition = wfd
+mode     = sim
+gantt    = no
+)";
+
+TEST(SpecFile, ParsesCoresAndAffinity) {
+  const auto outcome = parse_spec(kMultiCore);
+  ASSERT_TRUE(outcome.ok()) << outcome.errors.front();
+  const auto& config = outcome.config;
+  EXPECT_EQ(config.spec.cores, 2);
+  EXPECT_EQ(config.partition, mp::PackingStrategy::kWorstFitDecreasing);
+  ASSERT_EQ(config.spec.periodic_tasks.size(), 2u);
+  EXPECT_EQ(config.spec.periodic_tasks[0].affinity, 1);
+  EXPECT_EQ(config.spec.periodic_tasks[1].affinity, -1);
+  ASSERT_EQ(config.spec.aperiodic_jobs.size(), 1u);
+  EXPECT_EQ(config.spec.aperiodic_jobs[0].affinity, 0);
+}
+
+TEST(SpecFile, DefaultsToOneCoreAndFfd) {
+  const auto outcome = parse_spec(kScenario);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.config.spec.cores, 1);
+  EXPECT_EQ(outcome.config.partition,
+            mp::PackingStrategy::kFirstFitDecreasing);
+}
+
+TEST(SpecFile, RejectsAffinityBeyondCores) {
+  std::string text = kMultiCore;
+  const auto pos = text.find("cores    = 2");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 12, "cores    = 1");
+  const auto outcome = parse_spec(text);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.errors.front().find("pinned to core"), std::string::npos);
+}
+
+TEST(SpecFile, RejectsNegativeAffinityAndZeroCores) {
+  const auto bad = parse_spec(
+      "[server]\npolicy=none\n"
+      "[task t]\nperiod=6\ncost=1\naffinity=-2\n[run]\nhorizon=6\ncores=0\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.errors.size(), 2u);
+}
+
+TEST(Report, MultiCoreReportShowsPartitionAndVerdict) {
+  auto outcome = parse_spec(kMultiCore);
+  ASSERT_TRUE(outcome.ok()) << outcome.errors.front();
+  const std::string report = run_and_report(outcome.config);
+  EXPECT_NE(report.find("partition (worst-fit-decreasing, 2 cores)"),
+            std::string::npos);
+  EXPECT_NE(report.find("system verdict: feasible"), std::string::npos);
+  EXPECT_NE(report.find("partitioned simulation"), std::string::npos);
+  EXPECT_NE(report.find("h1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tsf::cli

@@ -73,5 +73,71 @@ TEST(Ratio, BulkAdd) {
   EXPECT_DOUBLE_EQ(r.value(), 0.25);
 }
 
+// Regression: sum() used to be reconstructed as mean() * count(), which
+// loses mass on large-N mixed-magnitude input (the mean rounds, the
+// reconstruction amplifies the rounding by N).
+TEST(Accumulator, ExactSumOnMixedMagnitudes) {
+  Accumulator a;
+  const int kTriples = 100000;
+  for (int i = 0; i < kTriples; ++i) {
+    a.add(1e15);
+    a.add(1.0);
+    a.add(-1e15);
+  }
+  // The big terms cancel exactly; only the 1.0s remain.
+  EXPECT_DOUBLE_EQ(a.sum(), static_cast<double>(kTriples));
+}
+
+TEST(Accumulator, ExactSumLargeNSmallIncrements) {
+  Accumulator a;
+  const int kN = 1 << 20;
+  for (int i = 0; i < kN; ++i) a.add(0.1);
+  // Kahan-compensated: the error stays O(1 ulp) instead of O(N) ulps.
+  EXPECT_NEAR(a.sum(), 0.1 * kN, 1e-6);
+  long double exact = 0.0L;
+  for (int i = 0; i < kN; ++i) exact += 0.1L;
+  EXPECT_NEAR(a.sum(), static_cast<double>(exact), 1e-9);
+}
+
+TEST(QuantileReservoir, ExactQuantilesWhenUnbounded) {
+  QuantileReservoir r;
+  for (int i = 100; i >= 1; --i) r.add(static_cast<double>(i));
+  EXPECT_TRUE(r.exact());
+  EXPECT_DOUBLE_EQ(r.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(r.p95(), 95.0);
+  EXPECT_DOUBLE_EQ(r.p99(), 99.0);
+  EXPECT_DOUBLE_EQ(r.quantile(1.0), 100.0);
+}
+
+TEST(QuantileReservoir, EmptyIsZero) {
+  QuantileReservoir r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_DOUBLE_EQ(r.p99(), 0.0);
+}
+
+TEST(QuantileReservoir, BoundedReservoirIsDeterministicAndSane) {
+  QuantileReservoir a(256), b(256);
+  for (int i = 0; i < 100000; ++i) {
+    a.add(static_cast<double>(i % 1000));
+    b.add(static_cast<double>(i % 1000));
+  }
+  EXPECT_FALSE(a.exact());
+  // Deterministic: two reservoirs fed the same stream agree exactly.
+  EXPECT_DOUBLE_EQ(a.p50(), b.p50());
+  EXPECT_DOUBLE_EQ(a.p99(), b.p99());
+  // Sane: the sampled quantiles of uniform(0..999) land near the truth.
+  EXPECT_NEAR(a.p50(), 500.0, 150.0);
+  EXPECT_GT(a.p99(), 800.0);
+}
+
+TEST(QuantileReservoir, InterpolatesNearestRankLikeMetrics) {
+  // Mirrors exp::ResponseDistribution's floor-index convention.
+  QuantileReservoir r;
+  for (int i = 1; i <= 10; ++i) r.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(r.p50(), 5.0);
+  EXPECT_DOUBLE_EQ(r.quantile(0.9), 9.0);
+}
+
 }  // namespace
 }  // namespace tsf::common

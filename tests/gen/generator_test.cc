@@ -202,5 +202,42 @@ TEST(TaskSet, UtilisationNearTargetAndRmPriorities) {
   }
 }
 
+TEST(MpGenerator, HitsPerCoreUtilizationTarget) {
+  MpGeneratorParams params;
+  params.cores = 4;
+  params.tasks_per_core = 5;
+  params.per_core_utilization = 0.45;
+  const auto spec = generate_mp_system(params);
+  EXPECT_EQ(spec.cores, 4);
+  EXPECT_EQ(spec.periodic_tasks.size(), 20u);
+  // Total periodic load is cores x target (tick rounding perturbs slightly).
+  EXPECT_NEAR(spec.periodic_utilization(), 4 * 0.45, 0.15);
+  // Globally unique names and rate-monotonic priorities.
+  for (const auto& a : spec.periodic_tasks) {
+    for (const auto& b : spec.periodic_tasks) {
+      if (&a == &b) continue;
+      EXPECT_NE(a.name, b.name);
+      if (a.period < b.period) EXPECT_GT(a.priority, b.priority);
+    }
+    EXPECT_LT(a.priority, spec.server.priority);
+  }
+}
+
+TEST(MpGenerator, DeterministicInSeedAndScalesAperiodicLoad) {
+  MpGeneratorParams params;
+  params.cores = 2;
+  params.task_density = 3.0;
+  params.horizon_periods = 20;
+  const auto a = generate_mp_system(params);
+  const auto b = generate_mp_system(params);
+  ASSERT_EQ(a.aperiodic_jobs.size(), b.aperiodic_jobs.size());
+  for (std::size_t i = 0; i < a.aperiodic_jobs.size(); ++i) {
+    EXPECT_EQ(a.aperiodic_jobs[i].release, b.aperiodic_jobs[i].release);
+    EXPECT_EQ(a.aperiodic_jobs[i].cost, b.aperiodic_jobs[i].cost);
+  }
+  // Density is per core: 2 cores x 3 events x 20 periods = 120 expected.
+  EXPECT_NEAR(static_cast<double>(a.aperiodic_jobs.size()), 120.0, 40.0);
+}
+
 }  // namespace
 }  // namespace tsf::gen

@@ -1,0 +1,208 @@
+// Partitioned runtime end-to-end: split/merge, partitioned feasibility
+// against per-core RTA, and the bit-reproducibility of multi-core runs.
+#include "mp/mp_system.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/rta.h"
+#include "common/trace.h"
+#include "gen/generator.h"
+#include "sim/simulator.h"
+
+namespace tsf::mp {
+namespace {
+
+using common::Duration;
+using common::TimePoint;
+
+Duration tu(std::int64_t n) { return Duration::time_units(n); }
+TimePoint at_tu(std::int64_t n) {
+  return TimePoint::origin() + Duration::time_units(n);
+}
+
+// The paper's Table-1 scenario workload scaled to `cores`: per core one
+// Polling Server replica (3/6), one tau1-class task (2/6) and one
+// tau2-class task (1/6) — exactly 1.0 utilization per core — plus two
+// h-style aperiodic events per core.
+model::SystemSpec scenario_spec(int cores) {
+  model::SystemSpec spec;
+  spec.name = "scenario";
+  spec.cores = cores;
+  spec.server.policy = model::ServerPolicy::kPolling;
+  spec.server.capacity = tu(3);
+  spec.server.period = tu(6);
+  spec.server.priority = 30;
+  for (int c = 0; c < cores; ++c) {
+    model::PeriodicTaskSpec tau1;
+    tau1.name = "tau1." + std::to_string(c);
+    tau1.period = tu(6);
+    tau1.cost = tu(2);
+    tau1.priority = 20;
+    spec.periodic_tasks.push_back(tau1);
+    model::PeriodicTaskSpec tau2;
+    tau2.name = "tau2." + std::to_string(c);
+    tau2.period = tu(6);
+    tau2.cost = tu(1);
+    tau2.priority = 10;
+    spec.periodic_tasks.push_back(tau2);
+  }
+  for (int c = 0; c < 2 * cores; ++c) {
+    model::AperiodicJobSpec h;
+    h.name = "h" + std::to_string(c);
+    h.release = at_tu(2 + c);
+    h.cost = tu(2);
+    spec.aperiodic_jobs.push_back(h);
+  }
+  spec.horizon = at_tu(18);
+  return spec;
+}
+
+TEST(SplitSpec, EveryTaskAndJobLandsOnExactlyOneCore) {
+  const auto spec = scenario_spec(4);
+  const auto partition = Partitioner().partition(spec);
+  ASSERT_TRUE(partition.complete());
+  const auto subs = split_spec(spec, partition);
+  ASSERT_EQ(subs.size(), 4u);
+  std::size_t tasks = 0, jobs = 0;
+  for (const auto& sub : subs) {
+    EXPECT_EQ(sub.cores, 1);
+    EXPECT_EQ(sub.horizon, spec.horizon);
+    EXPECT_EQ(sub.server.policy, model::ServerPolicy::kPolling);
+    tasks += sub.periodic_tasks.size();
+    jobs += sub.aperiodic_jobs.size();
+  }
+  EXPECT_EQ(tasks, spec.periodic_tasks.size());
+  EXPECT_EQ(jobs, spec.aperiodic_jobs.size());
+}
+
+TEST(SplitSpec, CoreWithoutServerReplicaGetsPolicyNone) {
+  model::SystemSpec spec;
+  spec.cores = 2;
+  spec.server.policy = model::ServerPolicy::kNone;
+  spec.horizon = at_tu(6);
+  const auto partition = Partitioner().partition(spec);
+  const auto subs = split_spec(spec, partition);
+  for (const auto& sub : subs) {
+    EXPECT_EQ(sub.server.policy, model::ServerPolicy::kNone);
+  }
+}
+
+// Acceptance: the partitioned RTA verdict must agree with running the
+// uniprocessor RTA independently on every split core.
+TEST(MpFeasibility, AgreesWithPerCoreSingleVmRta) {
+  gen::MpGeneratorParams params;
+  params.cores = 4;
+  params.tasks_per_core = 4;
+  params.per_core_utilization = 0.45;
+  params.task_density = 1.0;
+  const auto spec = gen::generate_mp_system(params);
+
+  const auto verdict = analyze(spec, PackingStrategy::kWorstFitDecreasing);
+  ASSERT_TRUE(verdict.partition.complete());
+  const auto subs = split_spec(spec, verdict.partition);
+  ASSERT_EQ(verdict.per_core.cores.size(), subs.size());
+
+  bool all_cores_feasible = true;
+  for (std::size_t c = 0; c < subs.size(); ++c) {
+    const model::ServerSpec* server =
+        subs[c].server.policy == model::ServerPolicy::kNone
+            ? nullptr
+            : &subs[c].server;
+    const auto expected =
+        analysis::response_times(subs[c].periodic_tasks, server);
+    const auto& got = verdict.per_core.cores[c].response_times;
+    ASSERT_EQ(got.size(), expected.size());
+    bool core_feasible = true;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(got[i].has_value(), expected[i].has_value());
+      if (expected[i].has_value()) EXPECT_EQ(*got[i], *expected[i]);
+      core_feasible = core_feasible && expected[i].has_value();
+    }
+    EXPECT_EQ(verdict.per_core.cores[c].feasible, core_feasible);
+    all_cores_feasible = all_cores_feasible && core_feasible;
+  }
+  EXPECT_EQ(verdict.feasible, all_cores_feasible);
+}
+
+TEST(MpFeasibility, RejectionMakesSystemInfeasible) {
+  auto spec = scenario_spec(2);
+  model::PeriodicTaskSpec hog;
+  hog.name = "hog";
+  hog.period = tu(6);
+  hog.cost = tu(7);  // u > 1
+  spec.periodic_tasks.push_back(hog);
+  const auto verdict = analyze(spec);
+  EXPECT_FALSE(verdict.partition.complete());
+  EXPECT_FALSE(verdict.feasible);
+  // The placed cores can still each be feasible.
+  EXPECT_TRUE(verdict.per_core.feasible);
+}
+
+// Acceptance: a partitioned 4-core run of the paper's scenario workload
+// completes deterministically — same trace hash across two runs, on both
+// engines.
+TEST(MpRun, FourCoreScenarioIsDeterministic) {
+  const auto spec = scenario_spec(4);
+  const auto sim1 = run_partitioned_sim(spec);
+  const auto sim2 = run_partitioned_sim(spec);
+  EXPECT_EQ(common::fingerprint(sim1.merged.timeline),
+            common::fingerprint(sim2.merged.timeline));
+  ASSERT_EQ(sim1.merged.jobs.size(), sim2.merged.jobs.size());
+
+  const auto exec1 = run_partitioned_exec(spec);
+  const auto exec2 = run_partitioned_exec(spec);
+  const auto hash1 = common::fingerprint(exec1.merged.timeline);
+  const auto hash2 = common::fingerprint(exec2.merged.timeline);
+  EXPECT_NE(exec1.merged.timeline.records().size(), 0u);
+  EXPECT_EQ(hash1, hash2);
+  ASSERT_EQ(exec1.merged.jobs.size(), exec2.merged.jobs.size());
+  for (std::size_t i = 0; i < exec1.merged.jobs.size(); ++i) {
+    EXPECT_EQ(exec1.merged.jobs[i].served, exec2.merged.jobs[i].served);
+    EXPECT_EQ(exec1.merged.jobs[i].completion,
+              exec2.merged.jobs[i].completion);
+  }
+}
+
+TEST(MpRun, MergedJobsKeepSpecOrderAndEntitiesAreNamespaced) {
+  const auto spec = scenario_spec(2);
+  const auto run = run_partitioned_exec(spec);
+  ASSERT_EQ(run.merged.jobs.size(), spec.aperiodic_jobs.size());
+  for (std::size_t i = 0; i < spec.aperiodic_jobs.size(); ++i) {
+    EXPECT_EQ(run.merged.jobs[i].name, spec.aperiodic_jobs[i].name);
+  }
+  bool saw_c0 = false, saw_c1 = false;
+  for (const auto& who : run.merged.timeline.entities()) {
+    saw_c0 = saw_c0 || who.rfind("c0/", 0) == 0;
+    saw_c1 = saw_c1 || who.rfind("c1/", 0) == 0;
+  }
+  EXPECT_TRUE(saw_c0);
+  EXPECT_TRUE(saw_c1);
+}
+
+// On the exactly-schedulable scenario the periodic tasks never miss, on
+// any core, under either engine — the partitioned runtime preserves the
+// paper's uniprocessor guarantees core-by-core.
+TEST(MpRun, ScenarioPeriodicsMeetDeadlinesOnAllCores) {
+  const auto spec = scenario_spec(4);
+  const auto exec = run_partitioned_exec(spec);
+  EXPECT_FALSE(exec.merged.periodic_jobs.empty());
+  for (const auto& p : exec.merged.periodic_jobs) {
+    EXPECT_FALSE(p.deadline_missed) << p.task;
+  }
+}
+
+// Partitioned sim of a 1-core spec must match the plain simulator: the mp
+// layer adds routing and namespacing, not behaviour.
+TEST(MpRun, OneCorePartitionedSimMatchesUniprocessorSim) {
+  auto spec = scenario_spec(1);
+  const auto mp_run = run_partitioned_sim(spec);
+  const auto flat = sim::simulate(spec);
+  ASSERT_EQ(mp_run.merged.jobs.size(), flat.jobs.size());
+  for (std::size_t i = 0; i < flat.jobs.size(); ++i) {
+    EXPECT_EQ(mp_run.merged.jobs[i].served, flat.jobs[i].served);
+    EXPECT_EQ(mp_run.merged.jobs[i].completion, flat.jobs[i].completion);
+  }
+}
+
+}  // namespace
+}  // namespace tsf::mp

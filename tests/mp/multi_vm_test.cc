@@ -1,0 +1,177 @@
+// MultiVm lock-step semantics: advancing N per-core VMs in shared epochs
+// must be observationally identical to running each core's VM on its own,
+// and must be insensitive to the epoch size.
+#include "mp/multi_vm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/trace.h"
+#include "mp/mp_system.h"
+#include "mp/partition.h"
+
+namespace tsf::mp {
+namespace {
+
+using common::Duration;
+using common::TimePoint;
+
+Duration tu(std::int64_t n) { return Duration::time_units(n); }
+TimePoint at_tu(std::int64_t n) {
+  return TimePoint::origin() + Duration::time_units(n);
+}
+
+model::SystemSpec two_core_spec() {
+  model::SystemSpec spec;
+  spec.name = "mv";
+  spec.cores = 2;
+  spec.server.policy = model::ServerPolicy::kDeferrable;
+  spec.server.capacity = tu(2);
+  spec.server.period = tu(6);
+  spec.server.priority = 30;
+  for (int c = 0; c < 2; ++c) {
+    model::PeriodicTaskSpec t;
+    t.name = "tau" + std::to_string(c);
+    t.period = tu(8);
+    t.cost = tu(3);
+    t.priority = 10;
+    spec.periodic_tasks.push_back(t);
+  }
+  for (int j = 0; j < 6; ++j) {
+    model::AperiodicJobSpec job;
+    job.name = "a" + std::to_string(j);
+    job.release = at_tu(1 + 3 * j);
+    job.cost = tu(1);
+    spec.aperiodic_jobs.push_back(job);
+  }
+  spec.horizon = at_tu(24);
+  return spec;
+}
+
+TEST(MultiVm, LockstepMatchesIndependentRunExec) {
+  const auto spec = two_core_spec();
+  const auto partition = Partitioner().partition(spec);
+  ASSERT_TRUE(partition.complete());
+  const auto subs = split_spec(spec, partition);
+  ASSERT_EQ(subs.size(), 2u);
+
+  MultiVm machine(subs, exp::ExecOptions{});
+  machine.start();
+  machine.run_until(spec.horizon);
+  const auto lockstep = machine.collect();
+
+  for (std::size_t c = 0; c < subs.size(); ++c) {
+    const auto solo = exp::run_exec(subs[c]);
+    ASSERT_EQ(lockstep[c].jobs.size(), solo.jobs.size());
+    for (std::size_t i = 0; i < solo.jobs.size(); ++i) {
+      EXPECT_EQ(lockstep[c].jobs[i].name, solo.jobs[i].name);
+      EXPECT_EQ(lockstep[c].jobs[i].served, solo.jobs[i].served);
+      EXPECT_EQ(lockstep[c].jobs[i].start, solo.jobs[i].start);
+      EXPECT_EQ(lockstep[c].jobs[i].completion, solo.jobs[i].completion);
+    }
+    EXPECT_EQ(common::fingerprint(lockstep[c].timeline),
+              common::fingerprint(solo.timeline));
+  }
+}
+
+TEST(MultiVm, EpochSizeDoesNotChangeBehaviour) {
+  const auto spec = two_core_spec();
+  const auto partition = Partitioner().partition(spec);
+  const auto subs = split_spec(spec, partition);
+
+  std::vector<std::uint64_t> hashes;
+  for (const auto quantum : {tu(1), tu(5), tu(24)}) {
+    MultiVm machine(subs, exp::ExecOptions{});
+    machine.start();
+    machine.run_until(spec.horizon, quantum);
+    std::uint64_t combined = 0;
+    for (auto& result : machine.collect()) {
+      combined ^= common::fingerprint(result.timeline);
+    }
+    hashes.push_back(combined);
+  }
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_EQ(hashes[0], hashes[2]);
+}
+
+// A driver pause must not rotate the running fiber behind equal-priority
+// waiters: with two same-priority tasks on one core, lock-step epochs of
+// any size must reproduce the solo run exactly (regression: the freeze
+// path used to re-enqueue with a fresh ready_seq_, so every epoch boundary
+// round-robined the two tasks).
+TEST(MultiVm, EqualPriorityTasksSurviveEpochBoundaries) {
+  model::SystemSpec spec;
+  spec.name = "eq";
+  spec.cores = 1;
+  spec.server.policy = model::ServerPolicy::kNone;
+  for (int i = 0; i < 2; ++i) {
+    model::PeriodicTaskSpec t;
+    t.name = "tau" + std::to_string(i);
+    t.period = tu(10);
+    t.cost = tu(4);
+    t.priority = 5;  // same priority on the same core
+    spec.periodic_tasks.push_back(t);
+  }
+  spec.horizon = at_tu(20);
+
+  const auto solo = exp::run_exec(spec);
+  MultiVm machine({spec}, exp::ExecOptions{});
+  machine.start();
+  machine.run_until(spec.horizon, tu(1));  // pause at every single tu
+  const auto lockstep = machine.collect();
+  EXPECT_EQ(common::fingerprint(lockstep[0].timeline),
+            common::fingerprint(solo.timeline));
+  EXPECT_EQ(lockstep[0].timeline.busy_intervals("tau0"),
+            solo.timeline.busy_intervals("tau0"));
+}
+
+// A fiber mid-work() at the final horizon must still close its busy
+// interval there (regression: the seamless-freeze change used to leave the
+// trace open, and busy_intervals drops unterminated intervals).
+TEST(MultiVm, FrozenFiberIntervalClosesAtFinalHorizon) {
+  model::SystemSpec spec;
+  spec.name = "cut";
+  spec.cores = 1;
+  spec.server.policy = model::ServerPolicy::kNone;
+  model::PeriodicTaskSpec t;
+  t.name = "tau";
+  t.period = tu(10);
+  t.cost = tu(4);
+  t.priority = 5;
+  spec.periodic_tasks.push_back(t);
+  spec.horizon = at_tu(3);  // cuts the first job mid-execution
+
+  MultiVm machine({spec}, exp::ExecOptions{});
+  machine.start();
+  machine.run_until(spec.horizon, tu(1));
+  const auto results = machine.collect();
+  const auto busy = results[0].timeline.busy_intervals("tau");
+  ASSERT_EQ(busy.size(), 1u);
+  EXPECT_EQ(busy[0].begin, at_tu(0));
+  EXPECT_EQ(busy[0].end, at_tu(3));
+}
+
+TEST(MultiVm, ResumableAcrossMultipleRunUntilCalls) {
+  const auto spec = two_core_spec();
+  const auto partition = Partitioner().partition(spec);
+  const auto subs = split_spec(spec, partition);
+
+  MultiVm machine(subs, exp::ExecOptions{});
+  machine.start();
+  machine.run_until(at_tu(7));
+  EXPECT_EQ(machine.vm(0).now(), at_tu(7));
+  EXPECT_EQ(machine.vm(1).now(), at_tu(7));
+  machine.run_until(spec.horizon);
+  const auto results = machine.collect();
+
+  MultiVm oneshot(subs, exp::ExecOptions{});
+  oneshot.start();
+  oneshot.run_until(spec.horizon);
+  const auto expected = oneshot.collect();
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    EXPECT_EQ(common::fingerprint(results[c].timeline),
+              common::fingerprint(expected[c].timeline));
+  }
+}
+
+}  // namespace
+}  // namespace tsf::mp

@@ -1,0 +1,191 @@
+// Partitioner edge cases: empty tasksets, overloaded items, overloaded
+// systems, pinning, heuristic differences, and determinism.
+#include "mp/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+
+namespace tsf::mp {
+namespace {
+
+using common::Duration;
+
+model::PeriodicTaskSpec task(const std::string& name, std::int64_t cost_tu,
+                             std::int64_t period_tu, int affinity = -1) {
+  model::PeriodicTaskSpec t;
+  t.name = name;
+  t.cost = Duration::time_units(cost_tu);
+  t.period = Duration::time_units(period_tu);
+  t.affinity = affinity;
+  return t;
+}
+
+model::SystemSpec bare_spec(int cores) {
+  model::SystemSpec spec;
+  spec.name = "t";
+  spec.cores = cores;
+  spec.server.policy = model::ServerPolicy::kNone;
+  return spec;
+}
+
+TEST(Partitioner, EmptyTasksetIsCompleteAndIdle) {
+  const auto partition = Partitioner().partition(bare_spec(4));
+  EXPECT_TRUE(partition.complete());
+  ASSERT_EQ(partition.cores.size(), 4u);
+  for (const auto& core : partition.cores) {
+    EXPECT_TRUE(core.tasks.empty());
+    EXPECT_FALSE(core.has_server);
+    EXPECT_DOUBLE_EQ(core.utilization, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(partition.total_utilization(), 0.0);
+}
+
+TEST(Partitioner, SingleTaskOverUtilizationIsRejected) {
+  auto spec = bare_spec(4);
+  spec.periodic_tasks.push_back(task("hog", 7, 6));  // u > 1: fits nowhere
+  const auto partition = Partitioner().partition(spec);
+  EXPECT_FALSE(partition.complete());
+  ASSERT_EQ(partition.rejected.size(), 1u);
+  EXPECT_EQ(partition.rejected[0].item.name, "hog");
+  EXPECT_EQ(partition.rejected[0].reason, "does not fit on any core");
+  for (const auto& core : partition.cores) EXPECT_TRUE(core.tasks.empty());
+}
+
+TEST(Partitioner, OverloadedSystemPopulatesRejectionList) {
+  auto spec = bare_spec(2);
+  for (int i = 0; i < 5; ++i) {
+    spec.periodic_tasks.push_back(task("t" + std::to_string(i), 3, 6));
+  }
+  // 5 x 0.5 = 2.5 > 2 cores: exactly one task cannot be placed.
+  const auto partition = Partitioner().partition(spec);
+  EXPECT_FALSE(partition.complete());
+  ASSERT_EQ(partition.rejected.size(), 1u);
+  std::size_t placed = 0;
+  for (const auto& core : partition.cores) placed += core.tasks.size();
+  EXPECT_EQ(placed, 4u);
+}
+
+TEST(Partitioner, ServerReplicaOnEveryCore) {
+  auto spec = bare_spec(3);
+  spec.server.policy = model::ServerPolicy::kPolling;
+  spec.server.capacity = Duration::time_units(2);
+  spec.server.period = Duration::time_units(6);
+  const auto partition = Partitioner().partition(spec);
+  EXPECT_TRUE(partition.complete());
+  for (const auto& core : partition.cores) {
+    EXPECT_TRUE(core.has_server);
+    EXPECT_NEAR(core.utilization, 1.0 / 3.0, 1e-12);
+  }
+}
+
+TEST(Partitioner, AffinityIsRespectedAndValidated) {
+  auto spec = bare_spec(2);
+  spec.periodic_tasks.push_back(task("pinned", 1, 6, 1));
+  spec.periodic_tasks.push_back(task("free", 1, 6));
+  spec.periodic_tasks.push_back(task("offgrid", 1, 6, 7));
+  const auto partition = Partitioner().partition(spec);
+  ASSERT_EQ(partition.rejected.size(), 1u);
+  EXPECT_EQ(partition.rejected[0].item.name, "offgrid");
+  EXPECT_EQ(partition.rejected[0].reason, "affinity beyond the last core");
+  ASSERT_EQ(partition.cores[1].tasks.size(), 1u);
+  EXPECT_EQ(partition.cores[1].tasks[0], 0u);  // "pinned"
+}
+
+TEST(Partitioner, PinnedTaskOnFullCoreIsRejected) {
+  auto spec = bare_spec(2);
+  spec.periodic_tasks.push_back(task("big", 6, 6, 0));    // fills core 0
+  spec.periodic_tasks.push_back(task("late", 3, 6, 0));   // no room left
+  const auto partition = Partitioner().partition(spec);
+  ASSERT_EQ(partition.rejected.size(), 1u);
+  EXPECT_EQ(partition.rejected[0].item.name, "late");
+  EXPECT_EQ(partition.rejected[0].reason, "pinned core has no capacity left");
+}
+
+TEST(Partitioner, StrategiesPlaceDifferently) {
+  auto spec = bare_spec(2);
+  spec.periodic_tasks.push_back(task("a", 6, 10));  // 0.6
+  spec.periodic_tasks.push_back(task("b", 6, 10));  // 0.6
+  spec.periodic_tasks.push_back(task("c", 2, 10));  // 0.2
+  spec.periodic_tasks.push_back(task("d", 2, 10));  // 0.2
+
+  const auto ffd =
+      Partitioner(PackingStrategy::kFirstFitDecreasing).partition(spec);
+  const auto wfd =
+      Partitioner(PackingStrategy::kWorstFitDecreasing).partition(spec);
+  const auto bfd =
+      Partitioner(PackingStrategy::kBestFitDecreasing).partition(spec);
+
+  ASSERT_TRUE(ffd.complete());
+  ASSERT_TRUE(wfd.complete());
+  ASSERT_TRUE(bfd.complete());
+  // First-fit piles the small tasks onto core 0; worst-fit balances them.
+  EXPECT_NEAR(ffd.max_utilization(), 1.0, 1e-12);
+  EXPECT_NEAR(wfd.max_utilization(), 0.8, 1e-12);
+  EXPECT_NEAR(wfd.cores[0].utilization, wfd.cores[1].utilization, 1e-12);
+  // Best-fit packs the fullest core that still has room.
+  EXPECT_NEAR(bfd.max_utilization(), 1.0, 1e-12);
+}
+
+TEST(Partitioner, ExactlyFullCoreFitsDespiteRounding) {
+  auto spec = bare_spec(1);
+  spec.server.policy = model::ServerPolicy::kPolling;
+  spec.server.capacity = Duration::time_units(3);
+  spec.server.period = Duration::time_units(6);
+  spec.periodic_tasks.push_back(task("tau1", 2, 6));
+  spec.periodic_tasks.push_back(task("tau2", 1, 6));
+  // 3/6 + 2/6 + 1/6 == 1.0 exactly: must not be rejected by fp rounding.
+  const auto partition = Partitioner().partition(spec);
+  EXPECT_TRUE(partition.complete());
+  EXPECT_NEAR(partition.cores[0].utilization, 1.0, 1e-12);
+}
+
+TEST(Partitioner, JobsRoundRobinOverServingCores) {
+  auto spec = bare_spec(3);
+  spec.server.policy = model::ServerPolicy::kPolling;
+  spec.server.capacity = Duration::time_units(1);
+  spec.server.period = Duration::time_units(6);
+  for (int i = 0; i < 7; ++i) {
+    model::AperiodicJobSpec job;
+    job.name = "a" + std::to_string(i);
+    job.release = common::TimePoint::origin() + Duration::time_units(i);
+    job.cost = Duration::time_units(1);
+    spec.aperiodic_jobs.push_back(job);
+  }
+  spec.aperiodic_jobs[3].affinity = 2;  // pin one
+  const auto partition = Partitioner().partition(spec);
+  std::size_t routed = 0;
+  for (const auto& core : partition.cores) routed += core.jobs.size();
+  EXPECT_EQ(routed, 7u);
+  // Pinned job on its core; the other six spread 2-2-2.
+  EXPECT_EQ(partition.cores[0].jobs.size(), 2u);
+  EXPECT_EQ(partition.cores[1].jobs.size(), 2u);
+  EXPECT_EQ(partition.cores[2].jobs.size(), 3u);
+}
+
+TEST(Partitioner, AssignmentIsDeterministicAcrossRuns) {
+  gen::MpGeneratorParams params;
+  params.cores = 4;
+  params.tasks_per_core = 5;
+  params.task_density = 2.0;
+  const auto spec = gen::generate_mp_system(params);
+  for (const auto strategy :
+       {PackingStrategy::kFirstFitDecreasing,
+        PackingStrategy::kWorstFitDecreasing,
+        PackingStrategy::kBestFitDecreasing}) {
+    const auto first = Partitioner(strategy).partition(spec);
+    const auto second = Partitioner(strategy).partition(spec);
+    ASSERT_EQ(first.cores.size(), second.cores.size());
+    for (std::size_t c = 0; c < first.cores.size(); ++c) {
+      EXPECT_EQ(first.cores[c].tasks, second.cores[c].tasks);
+      EXPECT_EQ(first.cores[c].jobs, second.cores[c].jobs);
+      EXPECT_EQ(first.cores[c].has_server, second.cores[c].has_server);
+      EXPECT_DOUBLE_EQ(first.cores[c].utilization,
+                       second.cores[c].utilization);
+    }
+    ASSERT_EQ(first.rejected.size(), second.rejected.size());
+  }
+}
+
+}  // namespace
+}  // namespace tsf::mp
