@@ -97,6 +97,18 @@ void render_partition(std::ostream& os, const CliConfig& config,
      << "\n\n";
 }
 
+void write_vcd(std::ostream& os, const std::string& path,
+               const common::Timeline& timeline,
+               const std::vector<std::string>& rows) {
+  std::ofstream vcd(path);
+  if (vcd) {
+    vcd << common::to_vcd(timeline, rows);
+    os << "execution trace written to " << path << " (VCD)\n";
+  } else {
+    os << "error: cannot write " << path << '\n';
+  }
+}
+
 }  // namespace
 
 std::string run_and_report(const CliConfig& config) {
@@ -115,28 +127,47 @@ std::string run_and_report(const CliConfig& config) {
     mp::MpRunOptions mp_options;
     mp_options.strategy = config.partition;
     mp_options.exec = config.exec_options;
+    mp_options.quantum = config.quantum;
     if (config.mode == RunMode::kSim || config.mode == RunMode::kBoth) {
       const auto run = mp::run_partitioned_sim(config.spec, verdict.partition,
                                                mp_options);
       render_run(os, config, "partitioned simulation", run.merged);
+      if (config.spec.uses_channels()) {
+        os << "note: the simulator has no channel fabric — triggered and"
+              " migratable jobs stay unserved, fires are ignored\n\n";
+      }
     }
     if (config.mode == RunMode::kExec || config.mode == RunMode::kBoth) {
       const auto run = mp::run_partitioned_exec(
           config.spec, verdict.partition, mp_options);
       render_run(os, config, "partitioned execution (lock-step VMs)",
                  run.merged);
+      if (!run.channel_deliveries.empty() || run.channel_in_flight > 0) {
+        const auto ch = exp::compute_channel_metrics(run.channel_deliveries,
+                                                     run.merged);
+        os << "cross-core channels: " << ch.delivered << " delivered, "
+           << ch.failed << " failed, " << run.channel_in_flight
+           << " in flight at horizon\n";
+        if (ch.delivered > 0) {
+          os << "channel latency (quantum "
+             << common::to_string(config.quantum) << "): mean "
+             << common::fmt_fixed(ch.latency_mean_tu, 2) << "tu, p50 "
+             << common::fmt_fixed(ch.latency_p50_tu, 2) << "tu, p95 "
+             << common::fmt_fixed(ch.latency_p95_tu, 2) << "tu, p99 "
+             << common::fmt_fixed(ch.latency_p99_tu, 2) << "tu\n";
+        }
+        if (ch.e2e_samples > 0) {
+          os << "cross-core response (post to completion): p50 "
+             << common::fmt_fixed(ch.e2e_p50_tu, 2) << "tu, p95 "
+             << common::fmt_fixed(ch.e2e_p95_tu, 2) << "tu, p99 "
+             << common::fmt_fixed(ch.e2e_p99_tu, 2) << "tu\n";
+        }
+      }
       os << "trace fingerprint: " << std::hex
          << common::fingerprint(run.merged.timeline) << std::dec << "\n";
       if (!config.vcd_path.empty()) {
-        std::ofstream vcd(config.vcd_path);
-        if (vcd) {
-          vcd << common::to_vcd(run.merged.timeline,
-                                run.merged.timeline.entities());
-          os << "execution trace written to " << config.vcd_path
-             << " (VCD)\n";
-        } else {
-          os << "error: cannot write " << config.vcd_path << '\n';
-        }
+        write_vcd(os, config.vcd_path, run.merged.timeline,
+                  run.merged.timeline.entities());
       }
     }
     return os.str();
@@ -145,6 +176,10 @@ std::string run_and_report(const CliConfig& config) {
   if (config.mode == RunMode::kSim || config.mode == RunMode::kBoth) {
     render_run(os, config, "simulation (theoretical policies)",
                sim::simulate(config.spec));
+    if (config.spec.uses_channels()) {
+      os << "note: the simulator has no channel fabric — triggered jobs"
+            " stay unserved and fires are ignored\n\n";
+    }
   }
   if (config.mode == RunMode::kExec || config.mode == RunMode::kBoth) {
     const auto result = exp::run_exec(config.spec, config.exec_options);
@@ -157,13 +192,7 @@ std::string run_and_report(const CliConfig& config) {
       for (const auto& task : config.spec.periodic_tasks) {
         rows.push_back(task.name);
       }
-      std::ofstream vcd(config.vcd_path);
-      if (vcd) {
-        vcd << common::to_vcd(result.timeline, rows);
-        os << "execution trace written to " << config.vcd_path << " (VCD)\n";
-      } else {
-        os << "error: cannot write " << config.vcd_path << '\n';
-      }
+      write_vcd(os, config.vcd_path, result.timeline, rows);
     }
   }
   return os.str();

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 namespace tsf::cli {
@@ -32,6 +33,9 @@ struct Parser {
   model::PeriodicTaskSpec* task = nullptr;
   model::AperiodicJobSpec* job = nullptr;
   bool saw_horizon = false;
+  // Job names whose [job] section set an explicit release (a triggered job
+  // must not have one — its release comes from a cross-core fire).
+  std::set<std::string> jobs_with_release;
 
   void error(int line, const std::string& message) {
     out.errors.push_back("line " + std::to_string(line) + ": " + message);
@@ -179,7 +183,18 @@ struct Parser {
       Duration offset;
       if (parse_duration(line, value, &offset)) {
         job->release = TimePoint::origin() + offset;
+        jobs_with_release.insert(job->name);
       }
+    } else if (key == "fires") {
+      if (value.empty()) {
+        error(line, "fires needs a job name");
+      } else {
+        job->fires = value;
+      }
+    } else if (key == "triggered") {
+      job->triggered = (value == "yes" || value == "true");
+    } else if (key == "migrate") {
+      job->migrate = (value == "yes" || value == "true");
     } else if (key == "cost") {
       parse_duration(line, value, &job->cost);
     } else if (key == "declared") {
@@ -238,6 +253,17 @@ struct Parser {
           out.config.spec.cores = cores;
         }
       }
+    } else if (key == "quantum") {
+      Duration q;
+      if (parse_duration(line, value, &q)) {
+        if (q.is_zero()) {
+          error(line, "quantum must be positive");
+        } else {
+          out.config.quantum = q;
+        }
+      }
+    } else if (key == "channel_latency") {
+      parse_duration(line, value, &out.config.spec.channel_latency);
     } else if (key == "partition") {
       if (value == "ffd" || value == "first-fit") {
         out.config.partition = mp::PackingStrategy::kFirstFitDecreasing;
@@ -307,6 +333,43 @@ struct Parser {
     for (const auto& j : out.config.spec.aperiodic_jobs) {
       if (j.cost.is_zero()) {
         out.errors.push_back("job '" + j.name + "' needs a positive cost");
+      }
+    }
+
+    // Channel semantics: fires targets must resolve, and the channel roles
+    // must be consistent (routing is by job name, so names must be unique).
+    std::set<std::string> names;
+    for (const auto& j : out.config.spec.aperiodic_jobs) {
+      if (!names.insert(j.name).second) {
+        out.errors.push_back("duplicate job name '" + j.name + "'");
+      }
+    }
+    const bool has_channel_jobs = out.config.spec.uses_channels();
+    if (has_channel_jobs &&
+        out.config.spec.server.policy == model::ServerPolicy::kNone) {
+      out.errors.push_back(
+          "fires/triggered/migrate jobs need an aperiodic server");
+    }
+    for (const auto& j : out.config.spec.aperiodic_jobs) {
+      if (!j.fires.empty()) {
+        if (j.fires == j.name) {
+          out.errors.push_back("job '" + j.name + "' cannot fire itself");
+        } else if (names.find(j.fires) == names.end()) {
+          out.errors.push_back("job '" + j.name + "' fires unknown job '" +
+                               j.fires + "'");
+        }
+      }
+      if (j.triggered && jobs_with_release.count(j.name) > 0) {
+        out.errors.push_back("triggered job '" + j.name +
+                             "' cannot also have a release");
+      }
+      if (j.migrate && j.triggered) {
+        out.errors.push_back("job '" + j.name +
+                             "' cannot be both migrate and triggered");
+      }
+      if (j.migrate && j.affinity >= 0) {
+        out.errors.push_back("job '" + j.name +
+                             "' cannot both migrate and pin an affinity");
       }
     }
   }

@@ -22,6 +22,12 @@
 //     cost     = 2
 //     declared = 2                # optional, defaults to cost
 //     affinity = 1                # optional core routing (multi-core runs)
+//     fires    = h2               # fire job h2's event on completion
+//     migrate  = yes              # released on the least-loaded core
+//
+//     [job h2]
+//     triggered = yes             # no release timer; released by a fire
+//     cost      = 1
 //
 //     [run]
 //     horizon  = 18
@@ -29,6 +35,8 @@
 //     overheads = ideal           # ideal|paper
 //     cores    = 4                # optional; > 1 → partitioned runtime
 //     partition = ffd             # ffd|wfd|bfd bin-packing heuristic
+//     quantum  = 0.5              # lock-step epoch of the multi-core VMs
+//     channel_latency = 0.25      # min cross-core message in-flight time
 #pragma once
 
 #include <string>
@@ -53,6 +61,9 @@ struct CliConfig {
   std::string vcd_path;
   // Bin-packing heuristic for multi-core specs (spec.cores > 1).
   mp::PackingStrategy partition = mp::PackingStrategy::kFirstFitDecreasing;
+  // Lock-step epoch of the partitioned execution (mp::MultiVm). Also the
+  // granularity at which cross-core channel messages are delivered.
+  common::Duration quantum = common::Duration::time_units(1);
 };
 
 struct ParseOutcome {

@@ -1,0 +1,86 @@
+// Cross-core communication interfaces between per-core execution worlds.
+//
+// The partitioned runtime (tsf::mp) advances one VirtualMachine per core in
+// deterministic lock-step epochs; cross-core traffic rides those epoch
+// boundaries. This header holds the vocabulary shared by both sides of that
+// boundary: the per-core *port* a handler posts into (implemented by
+// mp::ChannelFabric), and the per-core *endpoint* the fabric delivers into
+// (implemented by exp::ExecSystem). Keeping the interfaces here — below the
+// mp layer — lets the exec runner stay ignorant of mailboxes, epochs and
+// routing while the fabric stays ignorant of servers, fibers and timers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/time.h"
+
+namespace tsf::exp {
+
+// A job handed across cores by the migration channel: enough of the spec to
+// rebuild a servable handler on the receiving core. `actual_cost` already
+// includes any execution-time jitter (applied once, deterministically, when
+// the run is set up — not per delivery attempt).
+struct MigratedJob {
+  std::string name;
+  common::Duration declared_cost = common::Duration::zero();
+  common::Duration actual_cost = common::Duration::zero();
+  // Propagated fires target: a migrated job may itself fire another job's
+  // event on completion.
+  std::string fires;
+};
+
+// One core's outbound side of the channel fabric. A handler that completes a
+// job with a `fires` target posts here; delivery happens at a later epoch
+// boundary, never synchronously.
+class CrossCorePort {
+ public:
+  virtual ~CrossCorePort() = default;
+  // Posts a fire of `job`'s event (resolved to its core by the fabric's
+  // routing table) at virtual instant `now`.
+  virtual void fire_remote(const std::string& job, common::TimePoint now) = 0;
+};
+
+// One core's inbound side: the fabric calls these while every VM is paused
+// at an epoch boundary, so the effects (releases, server wake-ups) are
+// processed when the core's VM resumes — deterministically at the boundary
+// instant.
+class CoreEndpoint {
+ public:
+  virtual ~CoreEndpoint() = default;
+  // Fires the local event of `job`. Returns false when this core hosts no
+  // such event (the fabric counts the message as undeliverable).
+  virtual bool deliver_fire(const std::string& job) = 0;
+  // Instantiates a migrated job on this core (handler + event bound to the
+  // local server) and releases it immediately.
+  virtual void deliver_migrated(const MigratedJob& job) = 0;
+  // Whether this core has an aperiodic server (migration targets only
+  // serving cores).
+  virtual bool serves_aperiodics() const = 0;
+  // Current pending-queue depth — the load signal behind least-loaded
+  // migration.
+  virtual std::size_t queue_depth() const = 0;
+};
+
+// One message's life, recorded by the fabric for the latency metrics: when
+// it was posted, when (and whether) it was delivered, and between which
+// cores. `from_core == kNoCore` marks a migration release (posted by the
+// fabric itself at the job's release instant, not by a core).
+struct ChannelDelivery {
+  enum class Kind { kFire, kMigrate };
+  static constexpr std::size_t kNoCore = static_cast<std::size_t>(-1);
+
+  Kind kind = Kind::kFire;
+  std::string job;  // target job name
+  std::size_t from_core = kNoCore;
+  std::size_t to_core = kNoCore;
+  common::TimePoint posted = common::TimePoint::never();
+  common::TimePoint delivered = common::TimePoint::never();
+  bool ok = false;  // delivered to a live endpoint before the horizon
+
+  common::Duration latency() const {
+    return ok ? delivered - posted : common::Duration::infinite();
+  }
+};
+
+}  // namespace tsf::exp

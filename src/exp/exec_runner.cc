@@ -69,8 +69,8 @@ std::unique_ptr<core::TaskServer> make_server(
 
 ExecSystem::ExecSystem(rtsj::vm::VirtualMachine& vm,
                        const model::SystemSpec& spec,
-                       const ExecOptions& options)
-    : vm_(vm), spec_(spec) {
+                       const ExecOptions& options, CrossCorePort* port)
+    : vm_(vm), spec_(spec), port_(port) {
   TSF_ASSERT(!spec_.horizon.is_never(), "exec needs a finite horizon");
 
   server_ = make_server(vm_, spec_.server, options);
@@ -96,7 +96,8 @@ ExecSystem::ExecSystem(rtsj::vm::VirtualMachine& vm,
         }));
   }
 
-  // Aperiodic jobs: one SAE + SAEH + one-shot timer each.
+  // Aperiodic jobs: one SAE + SAEH each; a release timer unless the job is
+  // triggered (released only by a channel delivery or another job's fire).
   common::Rng jitter_rng(options.jitter_seed);
   if (server_ != nullptr) {
     for (const auto& job : spec_.aperiodic_jobs) {
@@ -107,20 +108,75 @@ ExecSystem::ExecSystem(rtsj::vm::VirtualMachine& vm,
         actual = common::max(Duration::ticks(1),
                              Duration::from_tu(job.cost.to_tu() * factor));
       }
-      handlers_.push_back(std::make_unique<core::ServableAsyncEventHandler>(
-          core::ServableAsyncEventHandler::pure_work(
-              job.name, job.effective_declared_cost(), actual)));
-      handlers_.back()->set_server(server_.get());
-      events_.push_back(
-          std::make_unique<core::ServableAsyncEvent>(vm_, job.name + ".e"));
-      events_.back()->add_handler(handlers_.back().get());
-      timers_.push_back(std::make_unique<rtsj::OneShotTimer>(
-          vm_, job.release, events_.back().get()));
+      build_job(job.name, job.effective_declared_cost(), actual, job.fires,
+                /*with_timer=*/!job.triggered, job.release);
     }
   }
 }
 
 ExecSystem::~ExecSystem() = default;
+
+void ExecSystem::build_job(const std::string& name, common::Duration declared,
+                           common::Duration actual, const std::string& fires,
+                           bool with_timer, common::TimePoint release) {
+  core::ServableAsyncEventHandler::Logic logic;
+  if (fires.empty()) {
+    logic = [actual](rtsj::Timed& timed) { timed.work(actual); };
+  } else {
+    // The fire happens only on completion: an interrupted handler (Timed
+    // budget exhausted) unwinds before reaching it, so a half-served job
+    // never signals downstream work.
+    logic = [this, actual, fires](rtsj::Timed& timed) {
+      timed.work(actual);
+      fire_target(fires);
+    };
+  }
+  handlers_.push_back(std::make_unique<core::ServableAsyncEventHandler>(
+      name, declared, std::move(logic)));
+  handlers_.back()->set_server(server_.get());
+  events_.push_back(
+      std::make_unique<core::ServableAsyncEvent>(vm_, name + ".e"));
+  events_.back()->add_handler(handlers_.back().get());
+  events_by_job_[name] = events_.back().get();
+  if (with_timer) {
+    timers_.push_back(std::make_unique<rtsj::OneShotTimer>(
+        vm_, release, events_.back().get()));
+  }
+}
+
+void ExecSystem::fire_target(const std::string& job) {
+  if (port_ != nullptr) {
+    port_->fire_remote(job, vm_.now());
+    return;
+  }
+  // No fabric: resolve locally; a target living outside this world (a solo
+  // re-run of one core's sub-spec) simply has nobody listening.
+  auto it = events_by_job_.find(job);
+  if (it != events_by_job_.end()) it->second->fire();
+}
+
+bool ExecSystem::deliver_fire(const std::string& job) {
+  auto it = events_by_job_.find(job);
+  if (it == events_by_job_.end()) return false;
+  it->second->fire();
+  return true;
+}
+
+void ExecSystem::deliver_migrated(const MigratedJob& job) {
+  TSF_ASSERT(server_ != nullptr,
+             "migrated job " << job.name << " delivered to a serverless core");
+  TSF_ASSERT(events_by_job_.find(job.name) == events_by_job_.end(),
+             "migrated job " << job.name << " delivered twice");
+  build_job(job.name, job.declared_cost, job.actual_cost, job.fires,
+            /*with_timer=*/false, common::TimePoint::origin());
+  events_by_job_[job.name]->fire();
+}
+
+bool ExecSystem::serves_aperiodics() const { return server_ != nullptr; }
+
+std::size_t ExecSystem::queue_depth() const {
+  return server_ != nullptr ? server_->pending_count() : 0;
+}
 
 void ExecSystem::start() {
   for (auto& timer : timers_) timer->start();
@@ -130,12 +186,15 @@ void ExecSystem::start() {
 
 model::RunResult ExecSystem::collect() {
   // Collect outcomes in spec order; anything the server never saw (or that
-  // has no server at all) counts as released-but-unserved.
-  std::map<std::string, model::JobOutcome> by_name;
+  // has no server at all) counts as released-but-unserved. A job can have
+  // several outcomes (a triggered job fired more than once), so group by
+  // name: the first release fills the spec-ordered slot, the rest — plus
+  // jobs that aren't in this core's spec at all (migrated in mid-run) —
+  // are appended after the spec-ordered block, in name order.
+  std::map<std::string, std::vector<model::JobOutcome>> by_name;
   if (server_ != nullptr) {
     for (auto& o : server_->final_outcomes()) {
-      TSF_ASSERT(by_name.emplace(o.name, o).second,
-                 "duplicate aperiodic job name " << o.name);
+      by_name[o.name].push_back(o);
     }
     result_.server_activations = server_->activation_count();
     result_.server_dispatches = server_->dispatch_count();
@@ -143,15 +202,21 @@ model::RunResult ExecSystem::collect() {
   result_.jobs.reserve(spec_.aperiodic_jobs.size());
   for (const auto& job : spec_.aperiodic_jobs) {
     auto it = by_name.find(job.name);
-    if (it != by_name.end()) {
-      result_.jobs.push_back(it->second);
+    if (it != by_name.end() && !it->second.empty()) {
+      result_.jobs.push_back(std::move(it->second.front()));
+      it->second.erase(it->second.begin());
     } else {
+      // Never released (includes a triggered job that was never fired):
+      // recorded against its nominal release, served == false.
       model::JobOutcome o;
       o.name = job.name;
       o.release = job.release;
       o.cost = job.cost;
       result_.jobs.push_back(o);
     }
+  }
+  for (auto& [name, extras] : by_name) {
+    for (auto& o : extras) result_.jobs.push_back(std::move(o));
   }
   result_.timeline = std::move(vm_.timeline());
   return std::move(result_);

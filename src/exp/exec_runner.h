@@ -7,10 +7,13 @@
 // RealtimeThread. The server is built from the spec's ServerSpec.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/time.h"
+#include "exp/cross_core.h"
 #include "model/run_result.h"
 #include "model/spec.h"
 #include "rtsj/vm/vm.h"
@@ -66,28 +69,53 @@ model::RunResult run_exec(const model::SystemSpec& spec,
 //     model::RunResult result = system.collect();   // once, at the end
 //
 // The ExecSystem must be destroyed before its VM.
-class ExecSystem {
+//
+// As a CoreEndpoint it is also one core's terminus of the cross-core
+// channel fabric (multi-core runs): `port` is where handlers whose job has a
+// `fires` target post their outbound fires, and deliver_fire /
+// deliver_migrated are invoked by the fabric at epoch boundaries. With a
+// null port (uniprocessor run_exec), `fires` resolves locally and fires
+// synchronously at handler completion.
+class ExecSystem : public CoreEndpoint {
  public:
   ExecSystem(rtsj::vm::VirtualMachine& vm, const model::SystemSpec& spec,
-             const ExecOptions& options);
-  ~ExecSystem();
+             const ExecOptions& options, CrossCorePort* port = nullptr);
+  ~ExecSystem() override;
   ExecSystem(const ExecSystem&) = delete;
   ExecSystem& operator=(const ExecSystem&) = delete;
 
   void start();
-  // Extracts outcomes (spec order) and moves the VM's timeline out.
-  // Destructive; call once after the final run_until.
+  // Extracts outcomes (spec order; re-fired jobs append extra outcomes after
+  // the spec-ordered block) and moves the VM's timeline out. Destructive;
+  // call once after the final run_until.
   model::RunResult collect();
 
+  // --- CoreEndpoint (called by mp::ChannelFabric at epoch boundaries) ---
+  bool deliver_fire(const std::string& job) override;
+  void deliver_migrated(const MigratedJob& job) override;
+  bool serves_aperiodics() const override;
+  std::size_t queue_depth() const override;
+
  private:
+  // Builds handler + event (+ optional release timer) for one job and
+  // registers the event under the job's name.
+  void build_job(const std::string& name, common::Duration declared,
+                 common::Duration actual, const std::string& fires,
+                 bool with_timer, common::TimePoint release);
+  // Routes a completed handler's `fires` target: through the port when the
+  // fabric is attached, synchronously otherwise.
+  void fire_target(const std::string& job);
+
   rtsj::vm::VirtualMachine& vm_;
   model::SystemSpec spec_;
   model::RunResult result_;
+  CrossCorePort* port_ = nullptr;
   std::unique_ptr<core::TaskServer> server_;
   std::vector<std::unique_ptr<rtsj::RealtimeThread>> threads_;
   std::vector<std::unique_ptr<core::ServableAsyncEventHandler>> handlers_;
   std::vector<std::unique_ptr<core::ServableAsyncEvent>> events_;
   std::vector<std::unique_ptr<rtsj::OneShotTimer>> timers_;
+  std::map<std::string, core::ServableAsyncEvent*> events_by_job_;
 };
 
 }  // namespace tsf::exp

@@ -1,6 +1,8 @@
 #include "exp/metrics.h"
 
 #include <algorithm>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -76,6 +78,52 @@ ResponseDistribution compute_response_distribution(
   d.p99_tu = quantiles.p99();
   d.max_tu = acc.max();
   return d;
+}
+
+ChannelMetrics compute_channel_metrics(
+    const std::vector<ChannelDelivery>& deliveries,
+    const model::RunResult& merged) {
+  ChannelMetrics m;
+  common::Accumulator latency;
+  common::QuantileReservoir latency_q;
+  common::QuantileReservoir e2e_q;
+
+  // A delivery at instant t released its job at t (the fire lands straight
+  // in the server's pending queue), so match (name, release == delivered)
+  // to find the served completion for end-to-end time.
+  std::map<std::string, std::vector<const model::JobOutcome*>> outcomes;
+  for (const auto& job : merged.jobs) outcomes[job.name].push_back(&job);
+
+  for (const auto& d : deliveries) {
+    if (!d.ok) {
+      ++m.failed;
+      continue;
+    }
+    ++m.delivered;
+    latency.add(d.latency().to_tu());
+    latency_q.add(d.latency().to_tu());
+    auto it = outcomes.find(d.job);
+    if (it == outcomes.end()) continue;
+    auto& candidates = it->second;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i]->release == d.delivered && candidates[i]->served) {
+        e2e_q.add((candidates[i]->completion - d.posted).to_tu());
+        ++m.e2e_samples;
+        // Consume the outcome so two same-instant deliveries of one job
+        // don't both claim it.
+        candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  m.latency_mean_tu = latency.mean();
+  m.latency_p50_tu = latency_q.p50();
+  m.latency_p95_tu = latency_q.p95();
+  m.latency_p99_tu = latency_q.p99();
+  m.e2e_p50_tu = e2e_q.p50();
+  m.e2e_p95_tu = e2e_q.p95();
+  m.e2e_p99_tu = e2e_q.p99();
+  return m;
 }
 
 }  // namespace tsf::exp

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "exp/cross_core.h"
 #include "model/run_result.h"
 
 namespace tsf::exp {
@@ -57,5 +58,34 @@ struct ResponseDistribution {
 
 ResponseDistribution compute_response_distribution(
     const std::vector<model::RunResult>& runs);
+
+// Channel-induced latency of cross-core traffic in a partitioned exec run.
+//
+// `latency_*`: posted → delivered, over successfully delivered messages.
+// This is the cost of epoch synchronization: the spec's channel_latency
+// plus the wait for the next MultiVm boundary (the quantization delay that
+// makes the quantum a tuning knob).
+//
+// `e2e_*`: posted → handler completion on the receiving core, over messages
+// whose released job was served before the horizon — the cross-core
+// response time a caller actually observes (channel + queueing + service).
+struct ChannelMetrics {
+  std::size_t delivered = 0;
+  std::size_t failed = 0;  // unroutable or serverless target
+  double latency_mean_tu = 0.0;
+  double latency_p50_tu = 0.0;
+  double latency_p95_tu = 0.0;
+  double latency_p99_tu = 0.0;
+  std::size_t e2e_samples = 0;
+  double e2e_p50_tu = 0.0;
+  double e2e_p95_tu = 0.0;
+  double e2e_p99_tu = 0.0;
+};
+
+// `merged` must be the merged RunResult of the same run the deliveries came
+// from (outcome releases are matched against delivery instants by job name).
+ChannelMetrics compute_channel_metrics(
+    const std::vector<ChannelDelivery>& deliveries,
+    const model::RunResult& merged);
 
 }  // namespace tsf::exp

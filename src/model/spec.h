@@ -84,6 +84,22 @@ struct AperiodicJobSpec {
   // Core routing for the partitioned runtime: -1 lets the partitioner
   // spread jobs round-robin over the serving cores, k >= 0 pins to core k.
   int affinity = -1;
+  // Cross-core channels (tsf::mp, multi-core exec runs only):
+  //
+  // When non-empty, this job's handler fires the named job's event on
+  // completion. If the target lives on another core the fire travels through
+  // the epoch-synchronized channel fabric and is delivered at the first
+  // epoch boundary >= completion + channel_latency; on a uniprocessor run
+  // (or same-core target without a fabric) it fires immediately.
+  std::string fires;
+  // A triggered job has no release timer: it is released only when another
+  // job fires it (its outcome's release is the delivery instant).
+  bool triggered = false;
+  // A migratable job is not routed to a fixed core by the partitioner;
+  // instead the channel fabric delivers it to the least-loaded serving core
+  // (smallest pending queue, ties to the lowest core id) at the first epoch
+  // boundary >= release + channel_latency.
+  bool migrate = false;
 
   Duration effective_declared_cost() const {
     return declared_cost.is_zero() ? cost : declared_cost;
@@ -123,11 +139,24 @@ struct SystemSpec {
   // > 1 enables the partitioned runtime (tsf::mp): tasks are bin-packed
   // onto cores and the server (when present) is replicated on every core.
   int cores = 1;
+  // Minimum in-flight time of a cross-core message before it becomes
+  // eligible for delivery; actual delivery happens at the first epoch
+  // boundary at or after posted + channel_latency (the quantization delay
+  // on top of this is what bench/cross_core.cc measures).
+  Duration channel_latency = Duration::zero();
 
   double periodic_utilization() const {
     double u = 0.0;
     for (const auto& t : periodic_tasks) u += t.cost.to_tu() / t.period.to_tu();
     return u;
+  }
+  // Whether any job uses the channel fabric (remote fires, triggered
+  // releases or migration) — the features the simulator engine ignores.
+  bool uses_channels() const {
+    for (const auto& j : aperiodic_jobs) {
+      if (j.triggered || j.migrate || !j.fires.empty()) return true;
+    }
+    return false;
   }
 };
 

@@ -1,0 +1,141 @@
+// Cross-core event channels over the lock-step epochs of mp::MultiVm.
+//
+// Partitioned cores are deterministic silos; the only instants at which all
+// of them agree on "now" are the epoch boundaries MultiVm drives them to.
+// The ChannelFabric exploits exactly those instants: a handler on core A
+// posts a message (a remote ServableAsyncEvent fire, or a migrating
+// aperiodic job) into the target core's mailbox while its VM runs, and the
+// fabric drains every mailbox when all VMs are paused at the next boundary.
+// Because posts happen in core order within an epoch (MultiVm advances VMs
+// sequentially) and deliveries happen in (due-time, post-sequence) order,
+// multi-core runs with cross-core traffic stay bit-reproducible.
+//
+// Two channel types:
+//  * remote fire — `fires = <job>` in the spec: at handler completion the
+//    named job's event is fired on whichever core hosts it, at the first
+//    epoch boundary >= completion + channel_latency.
+//  * migration — `migrate = yes`: the job is bound to no core; at the first
+//    boundary >= release + channel_latency the fabric releases it on the
+//    least-loaded serving core (smallest pending queue, ties to the lowest
+//    core id), measured at that same boundary.
+//
+// The price of epoch synchronization is quantization delay: a message waits
+// out the remainder of its epoch. drain() records every message's
+// posted/delivered pair so exp::compute_channel_metrics can report the
+// induced latency distribution (p50/p95/p99) — making the MultiVm quantum a
+// measurable tuning knob (bench/cross_core.cc sweeps it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "exp/cross_core.h"
+
+namespace tsf::mp {
+
+struct ChannelConfig {
+  // Minimum in-flight time before a message may be delivered (on top of the
+  // wait for the next epoch boundary). Zero: the next boundary alone.
+  common::Duration latency = common::Duration::zero();
+};
+
+// One core's inbound queue. Messages are kept in post order; due ones are
+// delivered by ChannelFabric::drain at epoch boundaries.
+class Mailbox {
+ public:
+  struct Message {
+    std::string job;
+    std::size_t from_core = exp::ChannelDelivery::kNoCore;
+    common::TimePoint posted = common::TimePoint::never();
+    common::TimePoint due = common::TimePoint::never();
+    std::uint64_t seq = 0;
+  };
+
+  void push(Message m) { in_flight_.push_back(std::move(m)); }
+  bool empty() const { return in_flight_.empty(); }
+  std::size_t size() const { return in_flight_.size(); }
+
+  // Removes and returns every message with due <= boundary, preserving post
+  // (seq) order among the taken. The whole queue is scanned: post order is
+  // host core order, not virtual-time order, so due times are not monotone
+  // along the deque and a due message may sit behind a not-yet-due one.
+  std::vector<Message> take_due(common::TimePoint boundary);
+
+ private:
+  std::deque<Message> in_flight_;
+};
+
+class ChannelFabric {
+ public:
+  explicit ChannelFabric(std::size_t cores, ChannelConfig config = {});
+  ~ChannelFabric();
+  ChannelFabric(const ChannelFabric&) = delete;
+  ChannelFabric& operator=(const ChannelFabric&) = delete;
+
+  std::size_t cores() const { return mailboxes_.size(); }
+
+  // --- wiring (done by MultiVm / run_partitioned_exec before start) ---
+
+  // The outbound port handed to core `core`'s ExecSystem.
+  exp::CrossCorePort* port(std::size_t core);
+  // The inbound endpoint deliveries go to.
+  void connect(std::size_t core, exp::CoreEndpoint* endpoint);
+  // Routing-table entry: job `name` lives on `core`.
+  void bind(std::size_t core, const std::string& job);
+  // Registers a migratable job, released into the least-loaded serving core
+  // at the first boundary >= release + latency.
+  void add_migratable(exp::MigratedJob job, common::TimePoint release);
+
+  // --- runtime ---
+
+  // Posts a remote fire (normally reached via port(core)). The target core
+  // comes from the routing table; an unbound name is recorded as a failed
+  // delivery immediately.
+  void post_fire(std::size_t from_core, const std::string& job,
+                 common::TimePoint posted);
+
+  // The epoch hook: delivers every due message into its endpoint, in
+  // (core, post-order) for fires and registration order for migrations.
+  // All VMs must be paused at `boundary`. Returns messages delivered.
+  std::size_t drain(common::TimePoint boundary);
+
+  // --- results ---
+
+  // Every terminal message fate so far (delivered or failed), in delivery
+  // order. Messages still in flight at the end of the run are *not* here;
+  // see in_flight().
+  const std::vector<exp::ChannelDelivery>& deliveries() const {
+    return deliveries_;
+  }
+  std::size_t in_flight() const;
+  std::uint64_t posted_count() const { return next_seq_; }
+
+ private:
+  struct PortImpl;
+
+  struct PendingMigration {
+    exp::MigratedJob job;
+    common::TimePoint release;
+    common::TimePoint due;
+    bool delivered = false;
+  };
+
+  common::TimePoint due_after(common::TimePoint posted) const;
+
+  ChannelConfig config_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<std::unique_ptr<PortImpl>> ports_;
+  std::vector<exp::CoreEndpoint*> endpoints_;
+  std::map<std::string, std::size_t> routes_;  // job name -> hosting core
+  std::vector<PendingMigration> migrations_;
+  std::vector<exp::ChannelDelivery> deliveries_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace tsf::mp

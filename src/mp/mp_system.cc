@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/diag.h"
+#include "common/rng.h"
+#include "mp/channel.h"
 #include "mp/multi_vm.h"
 #include "sim/simulator.h"
 
@@ -33,10 +35,12 @@ std::vector<model::SystemSpec> split_spec(const model::SystemSpec& spec,
     }
     sub.aperiodic_jobs.reserve(core.jobs.size());
     for (std::size_t j : core.jobs) {
+      if (spec.aperiodic_jobs[j].migrate) continue;  // fabric-released
       model::AperiodicJobSpec job = spec.aperiodic_jobs[j];
       job.affinity = static_cast<int>(c);
       sub.aperiodic_jobs.push_back(std::move(job));
     }
+    sub.channel_latency = spec.channel_latency;
     out.push_back(std::move(sub));
   }
   return out;
@@ -49,27 +53,34 @@ model::RunResult merge_results(const model::SystemSpec& spec,
              "one result per core required");
   model::RunResult merged;
 
-  // Aperiodic outcomes, restored to the original spec order.
-  std::map<std::string, const model::JobOutcome*> by_name;
+  // Aperiodic outcomes, restored to the original spec order. One name can
+  // carry several outcomes (a triggered job fired repeatedly): the first
+  // release fills the spec-ordered slot, the rest are appended after it in
+  // name order — deterministic, and the released/served counts stay honest.
+  std::map<std::string, std::vector<const model::JobOutcome*>> by_name;
   for (const auto& result : per_core) {
     for (const auto& outcome : result.jobs) {
-      TSF_ASSERT(by_name.emplace(outcome.name, &outcome).second,
-                 "job " << outcome.name << " ran on two cores");
+      by_name[outcome.name].push_back(&outcome);
     }
   }
   merged.jobs.reserve(spec.aperiodic_jobs.size());
   for (const auto& job : spec.aperiodic_jobs) {
     auto it = by_name.find(job.name);
-    if (it != by_name.end()) {
-      merged.jobs.push_back(*it->second);
+    if (it != by_name.end() && !it->second.empty()) {
+      merged.jobs.push_back(*it->second.front());
+      it->second.erase(it->second.begin());
     } else {
-      // A job can only be missing if its core was never built (defensive).
+      // Never ran anywhere: a migratable job with no serving core, or a
+      // triggered job nobody fired (or a core that was never built).
       model::JobOutcome o;
       o.name = job.name;
       o.release = job.release;
       o.cost = job.cost;
       merged.jobs.push_back(o);
     }
+  }
+  for (const auto& [name, extras] : by_name) {
+    for (const auto* outcome : extras) merged.jobs.push_back(*outcome);
   }
 
   // Periodic outcomes: stable order — by release, then core, then record
@@ -161,11 +172,41 @@ MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
   TSF_ASSERT(!spec.horizon.is_never(), "exec needs a finite horizon");
   MpRunResult out;
   out.partition = std::move(partition);
-  MultiVm machine(split_spec(spec, out.partition), options.exec);
+  const auto subs = split_spec(spec, out.partition);
+
+  ChannelConfig channel;
+  channel.latency = spec.channel_latency;
+  ChannelFabric fabric(subs.size(), channel);
+  // Migratable jobs bypass the static split: the fabric releases each onto
+  // the least-loaded serving core at the first epoch boundary past its
+  // release (+ latency). Execution-time jitter is applied here, once, from
+  // the same seed the per-core systems use — deterministic in spec order.
+  common::Rng jitter_rng(options.exec.jitter_seed);
+  for (const auto& job : spec.aperiodic_jobs) {
+    if (!job.migrate) continue;
+    exp::MigratedJob m;
+    m.name = job.name;
+    m.declared_cost = job.effective_declared_cost();
+    m.actual_cost = job.cost;
+    if (options.exec.cost_jitter > 0.0) {
+      const double factor =
+          jitter_rng.uniform(1.0 - options.exec.cost_jitter,
+                             1.0 + options.exec.cost_jitter);
+      m.actual_cost =
+          common::max(common::Duration::ticks(1),
+                      common::Duration::from_tu(job.cost.to_tu() * factor));
+    }
+    m.fires = job.fires;
+    fabric.add_migratable(std::move(m), job.release);
+  }
+
+  MultiVm machine(subs, options.exec, &fabric);
   machine.start();
   machine.run_until(spec.horizon, options.quantum);
   out.per_core = machine.collect();
   out.merged = merge_results(spec, out.partition, out.per_core);
+  out.channel_deliveries = fabric.deliveries();
+  out.channel_in_flight = fabric.in_flight();
   return out;
 }
 

@@ -11,10 +11,12 @@
 // list into a single system-level verdict.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "analysis/partitioned.h"
 #include "common/time.h"
+#include "exp/cross_core.h"
 #include "exp/exec_runner.h"
 #include "model/run_result.h"
 #include "model/spec.h"
@@ -34,7 +36,9 @@ struct MpRunOptions {
 // tasks and jobs assigned to it, a copy of the server iff the partition
 // placed a replica there, spec.horizon, and cores == 1. Rejected tasks are
 // in no core — they simply don't run, exactly like an offline admission
-// refusal.
+// refusal. Migratable jobs (`migrate`) are in no core either: on the exec
+// path the channel fabric releases them onto the least-loaded core at run
+// time; the simulator path (which has no fabric) leaves them unserved.
 std::vector<model::SystemSpec> split_spec(const model::SystemSpec& spec,
                                           const Partition& partition);
 
@@ -61,6 +65,12 @@ struct MpRunResult {
   Partition partition;
   std::vector<model::RunResult> per_core;  // core order
   model::RunResult merged;
+  // Cross-core channel traffic (exec path only): every terminal message
+  // fate, in delivery order, plus how many messages were still in flight at
+  // the horizon. Feed to exp::compute_channel_metrics for the latency
+  // distribution.
+  std::vector<exp::ChannelDelivery> channel_deliveries;
+  std::size_t channel_in_flight = 0;
 };
 
 // One sim::Simulator per core (theoretical policies, resumable service).

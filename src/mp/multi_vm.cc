@@ -1,6 +1,7 @@
 #include "mp/multi_vm.h"
 
 #include "common/diag.h"
+#include "mp/channel.h"
 
 namespace tsf::mp {
 
@@ -8,15 +9,26 @@ using common::Duration;
 using common::TimePoint;
 
 MultiVm::MultiVm(std::vector<model::SystemSpec> per_core_specs,
-                 const exp::ExecOptions& options) {
+                 const exp::ExecOptions& options, ChannelFabric* fabric)
+    : fabric_(fabric) {
   TSF_ASSERT(!per_core_specs.empty(), "MultiVm needs at least one core");
+  TSF_ASSERT(fabric_ == nullptr || fabric_->cores() == per_core_specs.size(),
+             "channel fabric sized for " << (fabric ? fabric->cores() : 0)
+                                         << " cores, MultiVm has "
+                                         << per_core_specs.size());
   vms_.reserve(per_core_specs.size());
   systems_.reserve(per_core_specs.size());
-  for (const auto& spec : per_core_specs) {
+  for (std::size_t c = 0; c < per_core_specs.size(); ++c) {
+    const auto& spec = per_core_specs[c];
     vms_.push_back(
         std::make_unique<rtsj::vm::VirtualMachine>(options.kernel));
-    systems_.push_back(
-        std::make_unique<exp::ExecSystem>(*vms_.back(), spec, options));
+    systems_.push_back(std::make_unique<exp::ExecSystem>(
+        *vms_.back(), spec, options,
+        fabric_ != nullptr ? fabric_->port(c) : nullptr));
+    if (fabric_ != nullptr) {
+      fabric_->connect(c, systems_.back().get());
+      for (const auto& job : spec.aperiodic_jobs) fabric_->bind(c, job.name);
+    }
   }
 }
 
@@ -31,6 +43,11 @@ void MultiVm::run_until(TimePoint horizon, Duration quantum) {
   while (now_ < horizon) {
     now_ = common::min(now_ + quantum, horizon);
     for (auto& vm : vms_) vm->run_until(now_);
+    // Every core is paused at now_: the deterministic instant at which
+    // cross-core messages posted in earlier epochs become visible. Effects
+    // (event fires, releases, server wake-ups) are enqueued now and
+    // processed when the VMs resume into the next epoch.
+    if (fabric_ != nullptr) fabric_->drain(now_);
   }
 }
 

@@ -26,11 +26,21 @@
 
 namespace tsf::mp {
 
+class ChannelFabric;
+
 class MultiVm {
  public:
   // One VM + ExecSystem per spec. Every spec needs a finite horizon.
-  MultiVm(std::vector<model::SystemSpec> per_core_specs,
-          const exp::ExecOptions& options);
+  //
+  // With a fabric, each core's ExecSystem posts outbound cross-core traffic
+  // through fabric->port(core), every job in the per-core specs is bound
+  // into the fabric's routing table, and run_until drains the fabric's
+  // mailboxes at every epoch boundary (while all VMs are paused there) —
+  // the delivery instant of remote fires and migrations. The fabric must
+  // outlive the MultiVm.
+  explicit MultiVm(std::vector<model::SystemSpec> per_core_specs,
+                   const exp::ExecOptions& options,
+                   ChannelFabric* fabric = nullptr);
   ~MultiVm();
   MultiVm(const MultiVm&) = delete;
   MultiVm& operator=(const MultiVm&) = delete;
@@ -54,6 +64,7 @@ class MultiVm {
   // the VMs they run on, so vms_ is declared first.
   std::vector<std::unique_ptr<rtsj::vm::VirtualMachine>> vms_;
   std::vector<std::unique_ptr<exp::ExecSystem>> systems_;
+  ChannelFabric* fabric_ = nullptr;
   common::TimePoint now_ = common::TimePoint::origin();
 };
 

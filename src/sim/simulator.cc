@@ -19,7 +19,16 @@ Simulator::Simulator(model::SystemSpec spec) : spec_(std::move(spec)) {
   (void)policy;
 
   arrivals_ = spec_.aperiodic_jobs;
-  std::stable_sort(arrivals_.begin(), arrivals_.end(),
+  // Triggered jobs are released only by a cross-core fire, and the
+  // simulator has no channel fabric: park them behind the timed arrivals
+  // so they end the run unserved instead of being released at their
+  // (meaningless) default instant.
+  const auto timed_end = std::stable_partition(
+      arrivals_.begin(), arrivals_.end(),
+      [](const model::AperiodicJobSpec& j) { return !j.triggered; });
+  timed_arrivals_ =
+      static_cast<std::size_t>(std::distance(arrivals_.begin(), timed_end));
+  std::stable_sort(arrivals_.begin(), timed_end,
                    [](const model::AperiodicJobSpec& a,
                       const model::AperiodicJobSpec& b) {
                      return a.release < b.release;
@@ -54,7 +63,7 @@ void Simulator::process_arrivals() {
   // Aperiodic arrivals first, then periodic releases: a Polling Server
   // activating at the same instant as an arrival polls a non-empty queue
   // (this matches the execution engine's kernel-timers-first rule).
-  while (next_arrival_ < arrivals_.size() &&
+  while (next_arrival_ < timed_arrivals_ &&
          arrivals_[next_arrival_].release <= now_) {
     const auto& spec = arrivals_[next_arrival_];
     AperiodicJob j;
@@ -138,7 +147,7 @@ bool Simulator::server_eligible() const {
 
 TimePoint Simulator::next_static_event() const {
   TimePoint t = spec_.horizon;
-  if (next_arrival_ < arrivals_.size()) {
+  if (next_arrival_ < timed_arrivals_) {
     t = common::min(t, arrivals_[next_arrival_].release);
   }
   for (std::size_t i = 0; i < next_release_.size(); ++i) {

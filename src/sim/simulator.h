@@ -64,8 +64,12 @@ class Simulator {
   std::vector<std::deque<PeriodicJob>> ready_periodic_;
   std::vector<common::TimePoint> next_release_;
 
-  // Aperiodic state.
-  std::vector<model::AperiodicJobSpec> arrivals_;  // sorted by release
+  // Aperiodic state. The first timed_arrivals_ entries are timer-released
+  // jobs sorted by release; channel-triggered jobs (which the simulator,
+  // having no channel fabric, can never release) sit behind them so they
+  // keep an outcome row but are never reached by the arrival cursor.
+  std::vector<model::AperiodicJobSpec> arrivals_;
+  std::size_t timed_arrivals_ = 0;
   std::size_t next_arrival_ = 0;
   std::deque<AperiodicJob> aqueue_;
 

@@ -216,6 +216,123 @@ TEST(SpecFile, RejectsNegativeAffinityAndZeroCores) {
   EXPECT_EQ(bad.errors.size(), 2u);
 }
 
+constexpr const char* kChannels = R"(
+[server]
+policy   = deferrable
+capacity = 2
+period   = 6
+priority = 30
+[job ping]
+release  = 1
+cost     = 1
+affinity = 0
+fires    = pong
+[job pong]
+triggered = yes
+cost      = 1
+affinity  = 1
+[job roam]
+release  = 3
+cost     = 1
+migrate  = yes
+[run]
+horizon  = 18
+cores    = 2
+quantum  = 0.5
+channel_latency = 0.25
+mode     = exec
+gantt    = no
+)";
+
+TEST(SpecFile, ParsesChannelKeys) {
+  const auto outcome = parse_spec(kChannels);
+  ASSERT_TRUE(outcome.ok()) << outcome.errors.front();
+  const auto& jobs = outcome.config.spec.aperiodic_jobs;
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].fires, "pong");
+  EXPECT_FALSE(jobs[0].triggered);
+  EXPECT_TRUE(jobs[1].triggered);
+  EXPECT_TRUE(jobs[1].fires.empty());
+  EXPECT_TRUE(jobs[2].migrate);
+  EXPECT_TRUE(outcome.config.spec.uses_channels());
+  EXPECT_EQ(outcome.config.quantum, Duration::ticks(500));
+  EXPECT_EQ(outcome.config.spec.channel_latency, Duration::ticks(250));
+}
+
+TEST(SpecFile, RejectsUnknownFireTargetAndSelfFire) {
+  std::string text = kChannels;
+  auto pos = text.find("fires    = pong");
+  text.replace(pos, 15, "fires    = gone");
+  const auto unknown = parse_spec(text);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.errors.front().find("fires unknown job"),
+            std::string::npos);
+
+  text = kChannels;
+  pos = text.find("fires    = pong");
+  text.replace(pos, 15, "fires    = ping");
+  const auto self = parse_spec(text);
+  ASSERT_FALSE(self.ok());
+  EXPECT_NE(self.errors.front().find("cannot fire itself"),
+            std::string::npos);
+}
+
+TEST(SpecFile, RejectsInconsistentChannelRoles) {
+  // triggered + release
+  auto bad = parse_spec(
+      "[server]\npolicy=polling\ncapacity=2\nperiod=6\n"
+      "[job a]\ntriggered=yes\nrelease=2\ncost=1\n[run]\nhorizon=9\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors.front().find("cannot also have a release"),
+            std::string::npos);
+  // migrate + affinity
+  bad = parse_spec(
+      "[server]\npolicy=polling\ncapacity=2\nperiod=6\n"
+      "[job a]\nmigrate=yes\naffinity=1\ncost=1\n[run]\nhorizon=9\ncores=2\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors.front().find("cannot both migrate and pin"),
+            std::string::npos);
+  // migrate + triggered
+  bad = parse_spec(
+      "[server]\npolicy=polling\ncapacity=2\nperiod=6\n"
+      "[job a]\nmigrate=yes\ntriggered=yes\ncost=1\n[run]\nhorizon=9\n");
+  ASSERT_FALSE(bad.ok());
+  // channel jobs without a server
+  bad = parse_spec(
+      "[server]\npolicy=none\n"
+      "[job a]\nrelease=1\ncost=1\nfires=b\n[job b]\ntriggered=yes\ncost=1\n"
+      "[run]\nhorizon=9\ncores=2\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors.front().find("need an aperiodic server"),
+            std::string::npos);
+  // duplicate job names (channels route by name)
+  bad = parse_spec(
+      "[server]\npolicy=polling\ncapacity=2\nperiod=6\n"
+      "[job a]\nrelease=1\ncost=1\n[job a]\nrelease=2\ncost=1\n"
+      "[run]\nhorizon=9\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors.front().find("duplicate job name"), std::string::npos);
+}
+
+TEST(SpecFile, RejectsZeroQuantum) {
+  const auto bad = parse_spec(
+      "[server]\npolicy=none\n[run]\nhorizon=9\nquantum=0\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors.front().find("quantum must be positive"),
+            std::string::npos);
+}
+
+TEST(Report, ChannelSpecReportsLatencyAndResponse) {
+  auto outcome = parse_spec(kChannels);
+  ASSERT_TRUE(outcome.ok()) << outcome.errors.front();
+  const std::string report = run_and_report(outcome.config);
+  EXPECT_NE(report.find("cross-core channels:"), std::string::npos);
+  EXPECT_NE(report.find("channel latency (quantum 0.5tu)"),
+            std::string::npos);
+  EXPECT_NE(report.find("cross-core response (post to completion)"),
+            std::string::npos);
+}
+
 TEST(Report, MultiCoreReportShowsPartitionAndVerdict) {
   auto outcome = parse_spec(kMultiCore);
   ASSERT_TRUE(outcome.ok()) << outcome.errors.front();

@@ -1,0 +1,84 @@
+// End-to-end: a multi-core spec file with cross-core channels flows through
+// the same path as `tsf_run <spec>` (load_spec_file + run_and_report) and
+// produces (a) a byte-identical report across repeated runs — the
+// determinism contract of the lock-step runtime — and (b) exactly the
+// golden report checked in under tests/integration/golden/ (the partition
+// table, served cross-core jobs, channel latency lines and the trace
+// fingerprint). On mismatch the actual output lands in the test-artifact
+// directory for diffing.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cli/report.h"
+#include "cli/spec_file.h"
+#include "support/artifact_dump.h"
+
+#ifndef TSF_SOURCE_DIR
+#error "TSF_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace tsf::cli {
+namespace {
+
+std::string source_path(const std::string& relative) {
+  return std::string(TSF_SOURCE_DIR) + "/" + relative;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+TEST(SpecRunIntegration, CrossCoreSpecMatchesGoldenReport) {
+  const auto outcome =
+      load_spec_file(source_path("examples/specs/mp_cross_core.tsf"));
+  ASSERT_TRUE(outcome.ok()) << outcome.errors.front();
+  ASSERT_EQ(outcome.config.spec.cores, 2);
+  ASSERT_TRUE(outcome.config.spec.uses_channels());
+
+  // Three full runs: the report (which embeds the trace fingerprint) must
+  // be byte-identical every time.
+  const std::string first = run_and_report(outcome.config);
+  for (int i = 1; i < 3; ++i) {
+    const std::string again = run_and_report(outcome.config);
+    ASSERT_EQ(again, first)
+        << "run " << i << " diverged; dumped "
+        << testing::write_test_artifact("spec_run_repeat.txt", again);
+  }
+
+  // Spot-check the semantics before the byte-compare, so a golden drift
+  // still tells us whether the machinery (not just formatting) broke.
+  EXPECT_NE(first.find("partition (worst-fit-decreasing, 2 cores)"),
+            std::string::npos);
+  EXPECT_NE(first.find("system verdict: feasible"), std::string::npos);
+  EXPECT_NE(first.find("cross-core channels: 3 delivered, 0 failed"),
+            std::string::npos);
+  EXPECT_NE(first.find("channel latency"), std::string::npos);
+  EXPECT_NE(first.find("cross-core response (post to completion)"),
+            std::string::npos);
+  EXPECT_NE(first.find("trace fingerprint: "), std::string::npos);
+  // The triggered jobs on core 1 really got served via the channel.
+  EXPECT_EQ(first.find("unserved"), std::string::npos);
+
+  const std::string golden =
+      slurp(source_path("tests/integration/golden/mp_cross_core.txt"));
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file; regenerate with:\n"
+         "  ./build/tsf_run examples/specs/mp_cross_core.tsf"
+         " > tests/integration/golden/mp_cross_core.txt";
+  EXPECT_EQ(first, golden)
+      << "report drifted from the golden file; actual output dumped to "
+      << testing::write_test_artifact("spec_run_actual.txt", first)
+      << "\nif the change is intentional, regenerate the golden file with:\n"
+         "  ./build/tsf_run examples/specs/mp_cross_core.tsf"
+         " > tests/integration/golden/mp_cross_core.txt";
+}
+
+}  // namespace
+}  // namespace tsf::cli

@@ -1,0 +1,53 @@
+// Failing-test artifacts for determinism diagnostics.
+//
+// A fingerprint mismatch tells you *that* two runs diverged, not *where*.
+// Tests that compare trace fingerprints call dump_timeline_mismatch on
+// failure: it writes both timelines as CSV into $TSF_ARTIFACT_DIR (or
+// ./test-artifacts when unset), where the CI workflow picks them up as
+// build artifacts. Diffing the two CSVs pinpoints the first diverging
+// record.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/trace.h"
+
+namespace tsf::testing {
+
+inline std::filesystem::path artifact_dir() {
+  const char* dir = std::getenv("TSF_ARTIFACT_DIR");
+  return std::filesystem::path(dir != nullptr && *dir != '\0'
+                                   ? dir
+                                   : "test-artifacts");
+}
+
+// Writes `content` to <artifact-dir>/<name>; returns the path written (for
+// the assertion message). Failures to write are swallowed — the artifact is
+// best-effort diagnostics, never the reason a test fails.
+inline std::string write_test_artifact(const std::string& name,
+                                       const std::string& content) {
+  std::error_code ec;
+  const auto dir = artifact_dir();
+  std::filesystem::create_directories(dir, ec);
+  const auto path = dir / name;
+  std::ofstream out(path);
+  if (out) out << content;
+  return path.string();
+}
+
+// Dumps two diverging timelines side by side; returns a message naming the
+// written files, suitable for streaming into an EXPECT_* failure.
+inline std::string dump_timeline_mismatch(const std::string& test_name,
+                                          const common::Timeline& expected,
+                                          const common::Timeline& actual) {
+  const auto a =
+      write_test_artifact(test_name + ".expected.csv", expected.to_csv());
+  const auto b =
+      write_test_artifact(test_name + ".actual.csv", actual.to_csv());
+  return "timelines diverged; dumped " + a + " and " + b;
+}
+
+}  // namespace tsf::testing
