@@ -1,0 +1,185 @@
+// Partitioned vs global vs semi-partitioned scheduling on the same
+// workloads — the comparison chart the paper's evaluation section never
+// had, and the acceptance gate of the scheduling-policy layer.
+//
+// Two workloads:
+//  * PR 1 generator tasksets (gen::generate_mp_system, 4 cores) at two
+//    aperiodic densities — the synthetic traffic the partitioned runtime
+//    was sized with;
+//  * a bursty-aperiodic two-core taskset: clusters of simultaneously
+//    released jobs with heterogeneous costs. Round-robin routing balances
+//    counts, not work, so the partitioned baseline piles the heavy jobs
+//    onto one core while the other drains and idles — exactly the
+//    imbalance work stealing exists for.
+//
+// For every (workload, policy) cell the run is executed twice and must be
+// bit-reproducible (equal trace fingerprints); the bench fails otherwise.
+// Acceptance: on the bursty taskset, semi-partitioned p99 response must
+// not exceed the partitioned p99.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "common/trace.h"
+#include "exp/metrics.h"
+#include "gen/generator.h"
+#include "mp/mp_system.h"
+
+namespace {
+
+using namespace tsf;
+
+common::Duration tu(double x) { return common::Duration::from_tu(x); }
+
+// Bursts of `heavy + light` unpinned jobs every `spacing` tu: the heavy
+// jobs land round-robin on alternating cores, so one core's queue backs up
+// while its neighbour idles between bursts.
+model::SystemSpec bursty_spec(int bursts) {
+  model::SystemSpec spec;
+  spec.name = "bursty";
+  spec.cores = 2;
+  spec.server.policy = model::ServerPolicy::kDeferrable;
+  spec.server.capacity = tu(3);
+  spec.server.period = tu(6);
+  spec.server.priority = 30;
+  for (int c = 0; c < 2; ++c) {
+    model::PeriodicTaskSpec t;
+    t.name = "tau" + std::to_string(c);
+    t.period = tu(8);
+    t.cost = tu(2);
+    t.priority = 10;
+    t.affinity = c;
+    spec.periodic_tasks.push_back(t);
+  }
+  const double spacing = 12.0;
+  for (int b = 0; b < bursts; ++b) {
+    for (int j = 0; j < 6; ++j) {
+      model::AperiodicJobSpec job;
+      job.name = "b" + std::to_string(b) + "_" + std::to_string(j);
+      job.release = common::TimePoint::origin() + tu(1.0 + spacing * b);
+      // Even slots are heavy, odd slots light: round-robin sends all the
+      // heavy ones to one core and all the light ones to the other.
+      job.cost = (j % 2 == 0) ? tu(1.5) : tu(0.25);
+      spec.aperiodic_jobs.push_back(job);
+    }
+  }
+  spec.horizon = common::TimePoint::origin() + tu(1.0 + spacing * bursts + 12);
+  return spec;
+}
+
+struct Cell {
+  exp::ResponseDistribution response;
+  std::size_t served = 0;
+  std::size_t released = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t pool = 0;
+  bool stable = true;
+};
+
+Cell run_cell(const model::SystemSpec& spec, mp::SchedPolicy policy) {
+  mp::MpRunOptions options;
+  options.strategy = mp::PackingStrategy::kWorstFitDecreasing;
+  options.policy = policy;
+  options.quantum = tu(0.5);
+  const auto run = mp::run_partitioned_exec(spec, options);
+  const auto rerun = mp::run_partitioned_exec(spec, options);
+
+  Cell cell;
+  cell.stable = common::fingerprint(run.merged.timeline) ==
+                common::fingerprint(rerun.merged.timeline);
+  cell.response = exp::compute_response_distribution({run.merged});
+  for (const auto& job : run.merged.jobs) {
+    ++cell.released;
+    cell.served += job.served;
+  }
+  cell.steals = run.steals;
+  cell.pool = run.pool_dispatches;
+  return cell;
+}
+
+constexpr mp::SchedPolicy kPolicies[] = {
+    mp::SchedPolicy::kPartitioned,
+    mp::SchedPolicy::kGlobal,
+    mp::SchedPolicy::kSemiPartitioned,
+};
+
+bool compare_on(const std::string& label, const model::SystemSpec& spec,
+                double* partitioned_p99, double* semi_p99) {
+  std::cout << "--- " << label << " ---\n";
+  common::TextTable table;
+  table.add_row({"policy", "served", "p50", "p90", "p99", "max", "steals",
+                 "pool", "deterministic"});
+  bool ok = true;
+  for (const auto policy : kPolicies) {
+    const Cell cell = run_cell(spec, policy);
+    table.add_row({mp::to_string(policy),
+                   std::to_string(cell.served) + "/" +
+                       std::to_string(cell.released),
+                   common::fmt_fixed(cell.response.p50_tu, 2),
+                   common::fmt_fixed(cell.response.p90_tu, 2),
+                   common::fmt_fixed(cell.response.p99_tu, 2),
+                   common::fmt_fixed(cell.response.max_tu, 2),
+                   std::to_string(cell.steals), std::to_string(cell.pool),
+                   cell.stable ? "yes" : "NO"});
+    ok = ok && cell.stable;
+    if (policy == mp::SchedPolicy::kPartitioned && partitioned_p99 != nullptr)
+      *partitioned_p99 = cell.response.p99_tu;
+    if (policy == mp::SchedPolicy::kSemiPartitioned && semi_p99 != nullptr)
+      *semi_p99 = cell.response.p99_tu;
+  }
+  std::cout << table.to_string() << '\n';
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== scheduling-policy comparison"
+               " (partitioned | global | semi-partitioned) ===\n\n";
+  bool ok = true;
+
+  // PR 1 generator tasksets, 4 cores, moderate and saturating densities.
+  for (const double density : {1.0, 4.0}) {
+    gen::MpGeneratorParams params;
+    params.cores = 4;
+    params.task_density = density;
+    params.average_cost_tu = 1.0;
+    params.std_deviation_tu = 0.25;
+    params.server_capacity = common::Duration::time_units(2);
+    params.server_period = common::Duration::time_units(6);
+    params.per_core_utilization = 0.3;
+    params.tasks_per_core = 4;
+    params.horizon_periods = 20;
+    params.seed = 1983;
+    char label[64];
+    std::snprintf(label, sizeof label,
+                  "generator taskset, 4 cores, density %.1f", density);
+    ok = compare_on(label, gen::generate_mp_system(params), nullptr,
+                    nullptr) && ok;
+  }
+
+  // The bursty workload — the acceptance case for work stealing.
+  double partitioned_p99 = 0.0;
+  double semi_p99 = 0.0;
+  ok = compare_on("bursty aperiodics, 2 cores", bursty_spec(8),
+                  &partitioned_p99, &semi_p99) && ok;
+
+  if (semi_p99 > partitioned_p99) {
+    std::cout << "FAIL: semi-partitioned p99 ("
+              << common::fmt_fixed(semi_p99, 2)
+              << "tu) exceeds partitioned p99 ("
+              << common::fmt_fixed(partitioned_p99, 2) << "tu)"
+              << " on the bursty taskset\n";
+    ok = false;
+  } else {
+    std::cout << "semi-partitioned p99 " << common::fmt_fixed(semi_p99, 2)
+              << "tu <= partitioned p99 "
+              << common::fmt_fixed(partitioned_p99, 2)
+              << "tu on the bursty taskset\n";
+  }
+  std::cout << (ok ? "policy comparison: all runs deterministic\n"
+                   : "policy comparison: FAILED\n");
+  return ok ? 0 : 1;
+}

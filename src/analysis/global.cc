@@ -1,0 +1,63 @@
+#include "analysis/global.h"
+
+#include "analysis/rta.h"
+#include "common/diag.h"
+
+namespace tsf::analysis {
+
+using common::Duration;
+
+Duration global_workload_bound(const model::PeriodicTaskSpec& task,
+                               Duration window) {
+  if (window <= Duration::zero()) return Duration::zero();
+  // Densest packing of task jobs into the window: the first job finishes
+  // as late as possible (its deadline), the rest arrive back-to-back.
+  const Duration deadline = task.effective_deadline();
+  const std::int64_t slack = (window + deadline - task.cost).count();
+  const std::int64_t jobs = slack / task.period.count();
+  const Duration tail = Duration::ticks(
+      slack - jobs * task.period.count());
+  return task.cost * jobs + common::min(task.cost, tail);
+}
+
+GlobalFeasibility analyze_global(
+    const std::vector<model::PeriodicTaskSpec>& tasks, std::size_t cores,
+    const model::ServerSpec* server) {
+  TSF_ASSERT(cores > 0, "global analysis needs at least one core");
+  GlobalFeasibility out;
+  out.response_times.reserve(tasks.size());
+  const auto m = static_cast<std::int64_t>(cores);
+
+  for (const auto& task : tasks) {
+    const Duration deadline = task.effective_deadline();
+    Duration r = task.cost;
+    std::optional<Duration> result;
+    for (;;) {
+      Duration interference = Duration::zero();
+      for (const auto& other : tasks) {
+        if (&other == &task || other.priority <= task.priority) continue;
+        interference += global_workload_bound(other, r);
+      }
+      if (server != nullptr &&
+          server->policy != model::ServerPolicy::kNone &&
+          server->policy != model::ServerPolicy::kBackground &&
+          server->priority > task.priority) {
+        // m pinned replicas; server_interference is one replica's bound.
+        interference += server_interference(*server, r) * m;
+      }
+      const Duration next =
+          task.cost + Duration::ticks(interference.count() / m);
+      if (next == r) {
+        result = r;
+        break;
+      }
+      if (next > deadline) break;
+      r = next;
+    }
+    out.response_times.push_back(result);
+    out.feasible = out.feasible && result.has_value();
+  }
+  return out;
+}
+
+}  // namespace tsf::analysis

@@ -1,0 +1,49 @@
+// Global fixed-priority feasibility on m cores — the analysis-side
+// companion of the mp runtime's `global` scheduling policy.
+//
+// Bertogna-Cirinei style response-time analysis: task k's response is the
+// fixpoint of
+//
+//     R_k = C_k + floor( sum_{i in hp(k)} W_i(R_k) / m )
+//
+// where W_i(L) bounds task i's interfering workload in any window of length
+// L (jobs counted via the carry-in-free bound N_i(L) = floor((L + D_i -
+// C_i) / T_i), the last one clipped to the window's tail). It is sufficient,
+// not exact — global schedulability has no tractable exact test — and is
+// reported beside the partitioned verdict so a spec's feasibility can be
+// compared across the two scheduling views.
+//
+// The aperiodic server is folded in as m additional interfering "tasks"
+// (one replica per core, capacity/period each, at the server's priority):
+// in the implemented runtime the replicas stay pinned, so from a globally
+// scheduled task's perspective every core loses one replica's worth of
+// service — summing m replicas and dividing by m charges exactly that.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "model/spec.h"
+
+namespace tsf::analysis {
+
+struct GlobalFeasibility {
+  // Response-time bound per task, aligned with the input task list;
+  // nullopt where the bound exceeds the task's deadline.
+  std::vector<std::optional<common::Duration>> response_times;
+  bool feasible = true;
+};
+
+// Analyzes `tasks` under global fixed-priority scheduling on `cores`
+// processors. `server` may be nullptr (no aperiodic service).
+GlobalFeasibility analyze_global(
+    const std::vector<model::PeriodicTaskSpec>& tasks, std::size_t cores,
+    const model::ServerSpec* server = nullptr);
+
+// The workload bound W_i(L) above, exposed for tests: the most task `i`
+// can execute inside any window of length `window`.
+common::Duration global_workload_bound(const model::PeriodicTaskSpec& task,
+                                       common::Duration window);
+
+}  // namespace tsf::analysis

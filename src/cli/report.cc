@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/global.h"
 #include "common/table.h"
 #include "common/trace.h"
 #include "exp/metrics.h"
@@ -94,7 +95,26 @@ void render_partition(std::ostream& os, const CliConfig& config,
        << rejection.reason << '\n';
   }
   os << "system verdict: " << (verdict.feasible ? "feasible" : "INFEASIBLE")
-     << "\n\n";
+     << '\n';
+  if (config.policy != mp::SchedPolicy::kPartitioned) {
+    os << "scheduling policy: " << mp::to_string(config.policy) << '\n';
+    // The comparison verdict: would the periodic load also be schedulable
+    // under global fixed priorities on this many cores?
+    const auto global = analysis::analyze_global(
+        config.spec.periodic_tasks,
+        static_cast<std::size_t>(config.spec.cores), &config.spec.server);
+    common::Duration worst = common::Duration::zero();
+    for (const auto& r : global.response_times) {
+      if (r.has_value()) worst = common::max(worst, *r);
+    }
+    os << "global RTA (Bertogna-style bound): "
+       << (global.feasible ? "feasible" : "INFEASIBLE");
+    if (global.feasible && !config.spec.periodic_tasks.empty()) {
+      os << ", worst response " << common::to_string(worst);
+    }
+    os << '\n';
+  }
+  os << '\n';
 }
 
 void write_vcd(std::ostream& os, const std::string& path,
@@ -126,6 +146,7 @@ std::string run_and_report(const CliConfig& config) {
     render_partition(os, config, verdict);
     mp::MpRunOptions mp_options;
     mp_options.strategy = config.partition;
+    mp_options.policy = config.policy;
     mp_options.exec = config.exec_options;
     mp_options.quantum = config.quantum;
     if (config.mode == RunMode::kSim || config.mode == RunMode::kBoth) {
@@ -136,13 +157,23 @@ std::string run_and_report(const CliConfig& config) {
         os << "note: the simulator has no channel fabric — triggered and"
               " migratable jobs stay unserved, fires are ignored\n\n";
       }
+      if (config.policy != mp::SchedPolicy::kPartitioned) {
+        os << "note: the simulator always runs the static partition — the "
+           << mp::to_string(config.policy)
+           << " policy applies to the execution engine only\n\n";
+      }
     }
     if (config.mode == RunMode::kExec || config.mode == RunMode::kBoth) {
       const auto run = mp::run_partitioned_exec(
           config.spec, verdict.partition, mp_options);
-      render_run(os, config, "partitioned execution (lock-step VMs)",
-                 run.merged);
-      if (!run.channel_deliveries.empty() || run.channel_in_flight > 0) {
+      const std::string exec_label =
+          config.policy == mp::SchedPolicy::kPartitioned
+              ? "partitioned execution (lock-step VMs)"
+              : std::string(mp::to_string(config.policy)) +
+                    " execution (lock-step VMs)";
+      render_run(os, config, exec_label, run.merged);
+      if (!run.channel_deliveries.empty() || run.channel_in_flight > 0 ||
+          config.policy != mp::SchedPolicy::kPartitioned) {
         const auto ch = exp::compute_channel_metrics(run.channel_deliveries,
                                                      run.merged);
         os << "cross-core channels: " << ch.delivered << " delivered, "
@@ -161,6 +192,17 @@ std::string run_and_report(const CliConfig& config) {
              << common::fmt_fixed(ch.e2e_p50_tu, 2) << "tu, p95 "
              << common::fmt_fixed(ch.e2e_p95_tu, 2) << "tu, p99 "
              << common::fmt_fixed(ch.e2e_p99_tu, 2) << "tu\n";
+        }
+        if (config.policy != mp::SchedPolicy::kPartitioned) {
+          os << "scheduling (" << mp::to_string(config.policy) << "): "
+             << ch.pool_dispatches << " pool dispatches, " << ch.steals
+             << " steals";
+          if (ch.pool_dispatches + ch.steals > 0) {
+            os << ", wait mean "
+               << common::fmt_fixed(ch.sched_wait_mean_tu, 2) << "tu, p99 "
+               << common::fmt_fixed(ch.sched_wait_p99_tu, 2) << "tu";
+          }
+          os << '\n';
         }
       }
       os << "trace fingerprint: " << std::hex

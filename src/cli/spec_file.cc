@@ -71,6 +71,20 @@ struct Parser {
     return true;
   }
 
+  bool parse_bool(int line, const std::string& value, bool* dst) {
+    if (value == "yes" || value == "true") {
+      *dst = true;
+      return true;
+    }
+    if (value == "no" || value == "false") {
+      *dst = false;
+      return true;
+    }
+    // A typo ('ture', '1') must not silently mean "no".
+    error(line, "expected yes|no, got '" + value + "'");
+    return false;
+  }
+
   void open_section(int line, const std::string& header) {
     task = nullptr;
     job = nullptr;
@@ -134,7 +148,7 @@ struct Parser {
     } else if (key == "margin") {
       parse_duration(line, value, &server.admission_margin);
     } else if (key == "strict") {
-      server.strict_capacity = (value == "yes" || value == "true");
+      parse_bool(line, value, &server.strict_capacity);
     } else if (key == "queue") {
       if (value == "fifo") {
         server.queue = model::QueueDiscipline::kStrictFifo;
@@ -192,9 +206,9 @@ struct Parser {
         job->fires = value;
       }
     } else if (key == "triggered") {
-      job->triggered = (value == "yes" || value == "true");
+      parse_bool(line, value, &job->triggered);
     } else if (key == "migrate") {
-      job->migrate = (value == "yes" || value == "true");
+      parse_bool(line, value, &job->migrate);
     } else if (key == "cost") {
       parse_duration(line, value, &job->cost);
     } else if (key == "declared") {
@@ -243,7 +257,7 @@ struct Parser {
         error(line, "unknown overheads profile '" + value + "'");
       }
     } else if (key == "gantt") {
-      out.config.gantt = (value == "yes" || value == "true");
+      parse_bool(line, value, &out.config.gantt);
     } else if (key == "cores") {
       int cores = 1;
       if (parse_int(line, value, &cores)) {
@@ -264,6 +278,14 @@ struct Parser {
       }
     } else if (key == "channel_latency") {
       parse_duration(line, value, &out.config.spec.channel_latency);
+    } else if (key == "policy") {
+      const auto policy = mp::parse_sched_policy(value);
+      if (policy.has_value()) {
+        out.config.policy = *policy;
+      } else {
+        error(line, "unknown scheduling policy '" + value +
+                        "' (partitioned|global|semi)");
+      }
     } else if (key == "partition") {
       if (value == "ffd" || value == "first-fit") {
         out.config.partition = mp::PackingStrategy::kFirstFitDecreasing;
@@ -318,6 +340,12 @@ struct Parser {
                              std::to_string(out.config.spec.cores) +
                              " core(s)");
       }
+    }
+    if (out.config.policy != mp::SchedPolicy::kPartitioned &&
+        out.config.spec.cores <= 1) {
+      out.errors.push_back(std::string("scheduling policy '") +
+                           mp::to_string(out.config.policy) +
+                           "' needs a multi-core run (cores > 1)");
     }
     const auto& server = out.config.spec.server;
     if (server.policy != model::ServerPolicy::kNone &&

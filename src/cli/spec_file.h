@@ -35,6 +35,7 @@
 //     overheads = ideal           # ideal|paper
 //     cores    = 4                # optional; > 1 → partitioned runtime
 //     partition = ffd             # ffd|wfd|bfd bin-packing heuristic
+//     policy   = semi             # partitioned|global|semi job scheduling
 //     quantum  = 0.5              # lock-step epoch of the multi-core VMs
 //     channel_latency = 0.25      # min cross-core message in-flight time
 #pragma once
@@ -46,6 +47,7 @@
 #include "exp/tables.h"
 #include "model/spec.h"
 #include "mp/partition.h"
+#include "mp/sched_policy.h"
 
 namespace tsf::cli {
 
@@ -61,6 +63,10 @@ struct CliConfig {
   std::string vcd_path;
   // Bin-packing heuristic for multi-core specs (spec.cores > 1).
   mp::PackingStrategy partition = mp::PackingStrategy::kFirstFitDecreasing;
+  // Run-time job scheduling across cores (exec path of multi-core specs):
+  // the static partition, a global shared ready pool, or semi-partitioned
+  // work stealing.
+  mp::SchedPolicy policy = mp::SchedPolicy::kPartitioned;
   // Lock-step epoch of the partitioned execution (mp::MultiVm). Also the
   // granularity at which cross-core channel messages are delivered.
   common::Duration quantum = common::Duration::time_units(1);

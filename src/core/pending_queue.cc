@@ -11,6 +11,22 @@ namespace {
 rtsj::RelativeTime declared(const Request& r) {
   return r.handler->cost();
 }
+
+// Shared steal scan over one deque: removes the request `before` ranks
+// first among the `eligible` ones.
+std::optional<Request> steal_from(std::deque<Request>& q,
+                                  const StealEligibleFn& eligible,
+                                  const StealBeforeFn& before) {
+  auto best = q.end();
+  for (auto it = q.begin(); it != q.end(); ++it) {
+    if (!eligible(*it)) continue;
+    if (best == q.end() || before(*it, *best)) best = it;
+  }
+  if (best == q.end()) return std::nullopt;
+  Request r = std::move(*best);
+  q.erase(best);
+  return r;
+}
 }  // namespace
 
 std::unique_ptr<PendingQueue> PendingQueue::make(
@@ -39,6 +55,11 @@ std::vector<Request> StrictFifoQueue::drain() {
   return out;
 }
 
+std::optional<Request> StrictFifoQueue::steal(const StealEligibleFn& eligible,
+                                              const StealBeforeFn& before) {
+  return steal_from(q_, eligible, before);
+}
+
 std::optional<Request> FifoFirstFitQueue::pop_fitting(const FitsFn& fits) {
   for (auto it = q_.begin(); it != q_.end(); ++it) {
     if (fits(declared(*it))) {
@@ -54,6 +75,11 @@ std::vector<Request> FifoFirstFitQueue::drain() {
   std::vector<Request> out(q_.begin(), q_.end());
   q_.clear();
   return out;
+}
+
+std::optional<Request> FifoFirstFitQueue::steal(
+    const StealEligibleFn& eligible, const StealBeforeFn& before) {
+  return steal_from(q_, eligible, before);
 }
 
 ListOfListsQueue::ListOfListsQueue(rtsj::RelativeTime capacity)
@@ -108,6 +134,41 @@ std::vector<Request> ListOfListsQueue::drain() {
   out.insert(out.end(), unservable_.begin(), unservable_.end());
   unservable_.clear();
   return out;
+}
+
+std::optional<Request> ListOfListsQueue::steal(
+    const StealEligibleFn& eligible, const StealBeforeFn& before) {
+  // Two passes keep every untaken request exactly where it was: first find
+  // the winner across the active list and all future buckets, then remove
+  // it by its (unique) release seq.
+  const Request* best = nullptr;
+  for (const auto& r : active_) {
+    if (eligible(r) && (best == nullptr || before(r, *best))) best = &r;
+  }
+  for (const auto& bucket : buckets_) {
+    for (const auto& r : bucket.items) {
+      if (eligible(r) && (best == nullptr || before(r, *best))) best = &r;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  const std::uint64_t seq = best->seq;
+  for (auto it = active_.begin(); it != active_.end(); ++it) {
+    if (it->seq != seq) continue;
+    Request r = std::move(*it);
+    active_.erase(it);
+    return r;
+  }
+  for (auto bucket = buckets_.begin(); bucket != buckets_.end(); ++bucket) {
+    for (auto it = bucket->items.begin(); it != bucket->items.end(); ++it) {
+      if (it->seq != seq) continue;
+      Request r = std::move(*it);
+      bucket->load -= declared(r);
+      bucket->items.erase(it);
+      if (bucket->items.empty()) buckets_.erase(bucket);
+      return r;
+    }
+  }
+  return std::nullopt;  // unreachable: the winner was just seen above
 }
 
 void ListOfListsQueue::begin_instance() {

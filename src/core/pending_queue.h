@@ -33,6 +33,11 @@ struct Request {
 // dispatched right now (the servers encode their capacity rules here).
 using FitsFn = std::function<bool(rtsj::RelativeTime declared_cost)>;
 
+// Work-stealing selectors (mp semi-partitioned policy): which pending
+// requests may leave this core, and which of two ranks first.
+using StealEligibleFn = std::function<bool(const Request&)>;
+using StealBeforeFn = std::function<bool(const Request&, const Request&)>;
+
 class PendingQueue {
  public:
   virtual ~PendingQueue() = default;
@@ -45,6 +50,12 @@ class PendingQueue {
   virtual std::size_t size() const = 0;
   // Removes and returns everything still pending (end-of-run accounting).
   virtual std::vector<Request> drain() = 0;
+  // Removes and returns the request that `before` ranks first among those
+  // `eligible`, or nullopt when none is eligible — the victim side of the
+  // semi-partitioned work stealer. Only pending (never running) requests
+  // live in the queue, so a stolen job can never be mid-dispatch.
+  virtual std::optional<Request> steal(const StealEligibleFn& eligible,
+                                       const StealBeforeFn& before) = 0;
   // Called by instance-based servers at each activation; only the
   // list-of-lists queue reacts (it rotates to the next instance bucket).
   virtual void begin_instance() {}
@@ -61,6 +72,8 @@ class StrictFifoQueue : public PendingQueue {
   bool empty() const override { return q_.empty(); }
   std::size_t size() const override { return q_.size(); }
   std::vector<Request> drain() override;
+  std::optional<Request> steal(const StealEligibleFn& eligible,
+                               const StealBeforeFn& before) override;
 
  private:
   std::deque<Request> q_;
@@ -74,6 +87,8 @@ class FifoFirstFitQueue : public PendingQueue {
   bool empty() const override { return q_.empty(); }
   std::size_t size() const override { return q_.size(); }
   std::vector<Request> drain() override;
+  std::optional<Request> steal(const StealEligibleFn& eligible,
+                               const StealBeforeFn& before) override;
 
  private:
   std::deque<Request> q_;
@@ -97,6 +112,12 @@ class ListOfListsQueue : public PendingQueue {
   bool empty() const override;
   std::size_t size() const override;
   std::vector<Request> drain() override;
+  // Scans the active list and every future bucket (bucket loads are
+  // adjusted; an underfull bucket is harmless). Unservable requests are
+  // excluded — the thief's server replica has the same capacity, so they
+  // could not be served there either.
+  std::optional<Request> steal(const StealEligibleFn& eligible,
+                               const StealBeforeFn& before) override;
   // Rotates: unserved leftovers of the active list are re-registered, then
   // the first future bucket becomes the active list.
   void begin_instance() override;

@@ -17,16 +17,26 @@ TaskServer::TaskServer(rtsj::vm::VirtualMachine& machine,
 
 void TaskServer::servable_event_released(
     ServableAsyncEventHandler* handler) {
+  servable_event_released(handler, vm_.now());
+}
+
+void TaskServer::servable_event_released(ServableAsyncEventHandler* handler,
+                                         rtsj::AbsoluteTime release) {
   TSF_ASSERT(handler != nullptr, "null handler released");
   Request r;
   r.handler = handler;
-  r.release = vm_.now();
+  r.release = release;
   r.seq = next_seq_++;
   ++released_;
   vm_.timeline().record(vm_.now(), common::TraceKind::kRelease,
                         handler->name());
   queue_->push(r);
   on_release(r);
+}
+
+std::optional<Request> TaskServer::steal_pending_request(
+    const StealEligibleFn& eligible, const StealBeforeFn& before) {
+  return queue_->steal(eligible, before);
 }
 
 TaskServer::DispatchResult TaskServer::dispatch(const Request& request,

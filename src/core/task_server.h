@@ -38,6 +38,18 @@ class TaskServer : public rtsj::Schedulable, public rtsj::Scheduler {
 
   // Called by ServableAsyncEvent::fire() for each bound servable handler.
   void servable_event_released(ServableAsyncEventHandler* handler);
+  // Same, but the request carries an explicit release instant instead of
+  // the VM clock — the delivery half of cross-core pool dispatch / work
+  // stealing, where the job's true release happened elsewhere (or earlier).
+  void servable_event_released(ServableAsyncEventHandler* handler,
+                               rtsj::AbsoluteTime release);
+
+  // The victim half of the semi-partitioned work stealer: removes the
+  // pending request `before` ranks first among the `eligible` ones. Only
+  // queued (never running) requests can be taken; the caller re-creates the
+  // job on the thief core. Returns nullopt when nothing is eligible.
+  std::optional<Request> steal_pending_request(const StealEligibleFn& eligible,
+                                               const StealBeforeFn& before);
 
   const TaskServerParameters& params() const { return params_; }
   rtsj::RelativeTime remaining_capacity() const { return remaining_; }

@@ -11,16 +11,18 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 
 #include "common/time.h"
 
 namespace tsf::exp {
 
-// A job handed across cores by the migration channel: enough of the spec to
-// rebuild a servable handler on the receiving core. `actual_cost` already
-// includes any execution-time jitter (applied once, deterministically, when
-// the run is set up — not per delivery attempt).
+// A job handed across cores by the migration channel, the global ready pool
+// or the semi-partitioned work stealer: enough of the spec to rebuild a
+// servable handler on the receiving core. `actual_cost` already includes any
+// execution-time jitter (applied once, deterministically, when the run is
+// set up — not per delivery attempt).
 struct MigratedJob {
   std::string name;
   common::Duration declared_cost = common::Duration::zero();
@@ -28,6 +30,37 @@ struct MigratedJob {
   // Propagated fires target: a migrated job may itself fire another job's
   // event on completion.
   std::string fires;
+  // Scheduling value (ready-pool / steal ordering); zero means "use the
+  // declared cost", mirroring AperiodicJobSpec::effective_value().
+  double value = 0.0;
+
+  double effective_value() const {
+    return value == 0.0 ? declared_cost.to_tu() : value;
+  }
+};
+
+// The shared ordering key of the global ready pool and the steal chooser:
+// `a` is scheduled before `b` iff it has the higher value, breaking ties by
+// earlier release and then by name. Deliberately independent of spec
+// declaration order, which keeps the declaration-order-invariance
+// determinism property true under the global/semi-partitioned policies.
+inline bool schedules_before(double value_a, common::TimePoint release_a,
+                             const std::string& name_a, double value_b,
+                             common::TimePoint release_b,
+                             const std::string& name_b) {
+  if (value_a != value_b) return value_a > value_b;
+  if (release_a != release_b) return release_a < release_b;
+  return name_a < name_b;
+}
+
+// A pending request removed from a core's queue by the work stealer:
+// the job identity plus its original release instant, preserved so the
+// outcome on the thief core keeps the true response time (and so
+// mp::merge_results can deduplicate by (job, release) against the home
+// core's bookkeeping).
+struct StolenJob {
+  MigratedJob job;
+  common::TimePoint release = common::TimePoint::never();
 };
 
 // One core's outbound side of the channel fabric. A handler that completes a
@@ -58,8 +91,23 @@ class CoreEndpoint {
   // serving cores).
   virtual bool serves_aperiodics() const = 0;
   // Current pending-queue depth — the load signal behind least-loaded
-  // migration.
+  // migration, shared-pool dispatch and steal-victim selection.
   virtual std::size_t queue_depth() const = 0;
+
+  // --- scheduling-policy hooks (mp::SchedPolicyEngine; defaults keep
+  //     plain endpoints — tests, uniprocessor worlds — working unchanged)
+
+  // Instantiates (or re-uses) `job`'s handler on this core and releases it
+  // carrying the given original release instant. Unlike deliver_migrated the
+  // outcome keeps the job's true release, so its response time includes the
+  // time spent waiting in the shared pool or the victim's queue.
+  virtual void deliver_job(const MigratedJob& job, common::TimePoint release) {
+    (void)release;
+    deliver_migrated(job);
+  }
+  // Removes and returns the highest-priority *stealable* pending request
+  // (unpinned job, not currently being served), or nullopt when none exists.
+  virtual std::optional<StolenJob> steal_pending() { return std::nullopt; }
 };
 
 // One message's life, recorded by the fabric for the latency metrics: when
@@ -67,7 +115,13 @@ class CoreEndpoint {
 // cores. `from_core == kNoCore` marks a migration release (posted by the
 // fabric itself at the job's release instant, not by a core).
 struct ChannelDelivery {
-  enum class Kind { kFire, kMigrate };
+  // kFire / kMigrate: PR 2 channel messages (posted → delivered is wire +
+  // quantization latency). kPool: a shared-ready-pool dispatch under the
+  // global policy (posted = the job's release; the gap is pool wait).
+  // kSteal: a work-steal under the semi-partitioned policy (posted = the
+  // job's original release on the victim core; the gap is the queue wait
+  // before the steal).
+  enum class Kind { kFire, kMigrate, kPool, kSteal };
   static constexpr std::size_t kNoCore = static_cast<std::size_t>(-1);
 
   Kind kind = Kind::kFire;

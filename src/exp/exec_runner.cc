@@ -21,6 +21,15 @@ namespace tsf::exp {
 using common::Duration;
 using common::TimePoint;
 
+common::Duration jittered_cost(common::Rng& rng, const ExecOptions& options,
+                               common::Duration cost) {
+  if (options.cost_jitter <= 0.0) return cost;
+  const double factor = rng.uniform(1.0 - options.cost_jitter,
+                                    1.0 + options.cost_jitter);
+  return common::max(common::Duration::ticks(1),
+                     common::Duration::from_tu(cost.to_tu() * factor));
+}
+
 ExecOptions ideal_execution_options() { return ExecOptions{}; }
 
 ExecOptions paper_execution_options() {
@@ -101,15 +110,13 @@ ExecSystem::ExecSystem(rtsj::vm::VirtualMachine& vm,
   common::Rng jitter_rng(options.jitter_seed);
   if (server_ != nullptr) {
     for (const auto& job : spec_.aperiodic_jobs) {
-      Duration actual = job.cost;
-      if (options.cost_jitter > 0.0) {
-        const double factor = jitter_rng.uniform(1.0 - options.cost_jitter,
-                                                 1.0 + options.cost_jitter);
-        actual = common::max(Duration::ticks(1),
-                             Duration::from_tu(job.cost.to_tu() * factor));
-      }
+      const Duration actual = jittered_cost(jitter_rng, options, job.cost);
+      // The raw spec value (not effective_value): zero falls back to the
+      // declared cost inside the scheduling comparators, uniformly with
+      // pool/migrated jobs.
       build_job(job.name, job.effective_declared_cost(), actual, job.fires,
-                /*with_timer=*/!job.triggered, job.release);
+                /*with_timer=*/!job.triggered, job.release, job.value,
+                /*stealable=*/job.affinity < 0);
     }
   }
 }
@@ -118,7 +125,8 @@ ExecSystem::~ExecSystem() = default;
 
 void ExecSystem::build_job(const std::string& name, common::Duration declared,
                            common::Duration actual, const std::string& fires,
-                           bool with_timer, common::TimePoint release) {
+                           bool with_timer, common::TimePoint release,
+                           double value, bool stealable) {
   core::ServableAsyncEventHandler::Logic logic;
   if (fires.empty()) {
     logic = [actual](rtsj::Timed& timed) { timed.work(actual); };
@@ -138,6 +146,8 @@ void ExecSystem::build_job(const std::string& name, common::Duration declared,
       std::make_unique<core::ServableAsyncEvent>(vm_, name + ".e"));
   events_.back()->add_handler(handlers_.back().get());
   events_by_job_[name] = events_.back().get();
+  handlers_by_job_[name] = handlers_.back().get();
+  job_info_[name] = JobInfo{declared, actual, fires, value, stealable};
   if (with_timer) {
     timers_.push_back(std::make_unique<rtsj::OneShotTimer>(
         vm_, release, events_.back().get()));
@@ -168,7 +178,8 @@ void ExecSystem::deliver_migrated(const MigratedJob& job) {
   TSF_ASSERT(events_by_job_.find(job.name) == events_by_job_.end(),
              "migrated job " << job.name << " delivered twice");
   build_job(job.name, job.declared_cost, job.actual_cost, job.fires,
-            /*with_timer=*/false, common::TimePoint::origin());
+            /*with_timer=*/false, common::TimePoint::origin(), job.value,
+            /*stealable=*/true);
   events_by_job_[job.name]->fire();
 }
 
@@ -176,6 +187,56 @@ bool ExecSystem::serves_aperiodics() const { return server_ != nullptr; }
 
 std::size_t ExecSystem::queue_depth() const {
   return server_ != nullptr ? server_->pending_count() : 0;
+}
+
+void ExecSystem::deliver_job(const MigratedJob& job,
+                             common::TimePoint release) {
+  TSF_ASSERT(server_ != nullptr,
+             "job " << job.name << " delivered to a serverless core");
+  // A re-delivery (a job stolen to this core twice, or stolen back) reuses
+  // the handler already built here; costs are identical by construction.
+  if (handlers_by_job_.find(job.name) == handlers_by_job_.end()) {
+    build_job(job.name, job.declared_cost, job.actual_cost, job.fires,
+              /*with_timer=*/false, release, job.value, /*stealable=*/true);
+  }
+  stolen_away_.erase(job.name);  // stolen back: this core owns a release again
+  // Release directly through the server with the preserved instant: the
+  // event's own fire() would stamp the VM clock and lose the original
+  // release (and with it the honest response time and the (job, release)
+  // dedupe key merge_results relies on).
+  server_->servable_event_released(handlers_by_job_[job.name], release);
+}
+
+std::optional<StolenJob> ExecSystem::steal_pending() {
+  if (server_ == nullptr) return std::nullopt;
+  const auto info_of =
+      [this](const core::Request& r) -> const JobInfo& {
+    auto it = job_info_.find(r.handler->name());
+    TSF_ASSERT(it != job_info_.end(),
+               "pending request for unknown job " << r.handler->name());
+    return it->second;
+  };
+  auto request = server_->steal_pending_request(
+      [&](const core::Request& r) { return info_of(r).stealable; },
+      [&](const core::Request& a, const core::Request& b) {
+        const JobInfo& ia = info_of(a);
+        const JobInfo& ib = info_of(b);
+        const double va = ia.value == 0.0 ? ia.declared.to_tu() : ia.value;
+        const double vb = ib.value == 0.0 ? ib.declared.to_tu() : ib.value;
+        return schedules_before(va, a.release, a.handler->name(), vb,
+                                b.release, b.handler->name());
+      });
+  if (!request.has_value()) return std::nullopt;
+  stolen_away_.insert(request->handler->name());
+  const JobInfo& info = info_of(*request);
+  StolenJob stolen;
+  stolen.job.name = request->handler->name();
+  stolen.job.declared_cost = info.declared;
+  stolen.job.actual_cost = info.actual;
+  stolen.job.fires = info.fires;
+  stolen.job.value = info.value;
+  stolen.release = request->release;
+  return stolen;
 }
 
 void ExecSystem::start() {
@@ -205,9 +266,10 @@ model::RunResult ExecSystem::collect() {
     if (it != by_name.end() && !it->second.empty()) {
       result_.jobs.push_back(std::move(it->second.front()));
       it->second.erase(it->second.begin());
-    } else {
+    } else if (stolen_away_.count(job.name) == 0) {
       // Never released (includes a triggered job that was never fired):
-      // recorded against its nominal release, served == false.
+      // recorded against its nominal release, served == false. Jobs a
+      // steal moved to another core are skipped — the thief books them.
       model::JobOutcome o;
       o.name = job.name;
       o.release = job.release;

@@ -9,9 +9,11 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/time.h"
 #include "exp/cross_core.h"
 #include "model/run_result.h"
@@ -45,6 +47,15 @@ struct ExecOptions {
   double cost_jitter = 0.0;
   std::uint64_t jitter_seed = 7;
 };
+
+// One job's actual demand under ExecOptions::cost_jitter: the cost scaled
+// by uniform(1 - jitter, 1 + jitter), floored at one tick. Draws from `rng`
+// only when jitter is enabled, so callers' RNG streams are unaffected by
+// jitterless runs. Shared by the per-core ExecSystems and the fabric-side
+// job registration (migratables, ready-pool jobs) so every job sees the
+// same jitter model regardless of which path releases it.
+common::Duration jittered_cost(common::Rng& rng, const ExecOptions& options,
+                               common::Duration cost);
 
 // An ideal machine: every overhead zero. The residual differences from the
 // simulation are then purely the policy adaptations (non-resumable
@@ -90,18 +101,35 @@ class ExecSystem : public CoreEndpoint {
   // call once after the final run_until.
   model::RunResult collect();
 
-  // --- CoreEndpoint (called by mp::ChannelFabric at epoch boundaries) ---
+  // --- CoreEndpoint (called by mp::ChannelFabric / the scheduling-policy
+  //     engine at epoch boundaries) ---
   bool deliver_fire(const std::string& job) override;
   void deliver_migrated(const MigratedJob& job) override;
   bool serves_aperiodics() const override;
   std::size_t queue_depth() const override;
+  void deliver_job(const MigratedJob& job,
+                   common::TimePoint release) override;
+  std::optional<StolenJob> steal_pending() override;
 
  private:
+  // What deliver_job / steal_pending need to rebuild a job elsewhere: the
+  // identity build_job was given, plus whether the work stealer may take a
+  // pending release of it (spec affinity == -1; delivered jobs are always
+  // unpinned by construction).
+  struct JobInfo {
+    common::Duration declared = common::Duration::zero();
+    common::Duration actual = common::Duration::zero();
+    std::string fires;
+    double value = 0.0;  // scheduling value (0 = declared cost)
+    bool stealable = false;
+  };
+
   // Builds handler + event (+ optional release timer) for one job and
   // registers the event under the job's name.
   void build_job(const std::string& name, common::Duration declared,
                  common::Duration actual, const std::string& fires,
-                 bool with_timer, common::TimePoint release);
+                 bool with_timer, common::TimePoint release,
+                 double value = 0.0, bool stealable = false);
   // Routes a completed handler's `fires` target: through the port when the
   // fabric is attached, synchronously otherwise.
   void fire_target(const std::string& job);
@@ -116,6 +144,12 @@ class ExecSystem : public CoreEndpoint {
   std::vector<std::unique_ptr<core::ServableAsyncEvent>> events_;
   std::vector<std::unique_ptr<rtsj::OneShotTimer>> timers_;
   std::map<std::string, core::ServableAsyncEvent*> events_by_job_;
+  std::map<std::string, core::ServableAsyncEventHandler*> handlers_by_job_;
+  std::map<std::string, JobInfo> job_info_;
+  // Jobs a steal removed from this core's queue (and that never came
+  // back): their fate is recorded by the thief core, so collect() must not
+  // book the usual never-ran placeholder for them.
+  std::set<std::string> stolen_away_;
 };
 
 }  // namespace tsf::exp

@@ -87,14 +87,34 @@ ChannelMetrics compute_channel_metrics(
   common::Accumulator latency;
   common::QuantileReservoir latency_q;
   common::QuantileReservoir e2e_q;
+  common::Accumulator sched_wait;
+  common::QuantileReservoir sched_wait_q;
 
-  // A delivery at instant t released its job at t (the fire lands straight
-  // in the server's pending queue), so match (name, release == delivered)
-  // to find the served completion for end-to-end time.
+  // A channel delivery at instant t released its job at t (the fire lands
+  // straight in the server's pending queue), so match (name, release ==
+  // delivered) to find the served completion for end-to-end time. Pool
+  // dispatches and steals are *not* channel messages: their posted →
+  // completion span equals the job's ordinary response time (the outcome
+  // keeps the original release), which the response distribution already
+  // reports — so they contribute only their counts and wait distribution
+  // here, never to latency_* or e2e_*.
   std::map<std::string, std::vector<const model::JobOutcome*>> outcomes;
   for (const auto& job : merged.jobs) outcomes[job.name].push_back(&job);
 
   for (const auto& d : deliveries) {
+    if (d.kind == ChannelDelivery::Kind::kPool ||
+        d.kind == ChannelDelivery::Kind::kSteal) {
+      // A failed pool dispatch (no serving core anywhere) is a scheduler
+      // placement failure, not a channel failure — it must not inflate the
+      // 'cross-core channels: N failed' line. The job stays visible as an
+      // unserved outcome in the merged result.
+      if (!d.ok) continue;
+      if (d.kind == ChannelDelivery::Kind::kPool) ++m.pool_dispatches;
+      if (d.kind == ChannelDelivery::Kind::kSteal) ++m.steals;
+      sched_wait.add(d.latency().to_tu());
+      sched_wait_q.add(d.latency().to_tu());
+      continue;
+    }
     if (!d.ok) {
       ++m.failed;
       continue;
@@ -123,6 +143,8 @@ ChannelMetrics compute_channel_metrics(
   m.e2e_p50_tu = e2e_q.p50();
   m.e2e_p95_tu = e2e_q.p95();
   m.e2e_p99_tu = e2e_q.p99();
+  m.sched_wait_mean_tu = sched_wait.mean();
+  m.sched_wait_p99_tu = sched_wait_q.p99();
   return m;
 }
 

@@ -69,6 +69,10 @@ ResponseDistribution compute_response_distribution(
 // `e2e_*`: posted → handler completion on the receiving core, over messages
 // whose released job was served before the horizon — the cross-core
 // response time a caller actually observes (channel + queueing + service).
+// Scheduling-policy records (kPool / kSteal) are counted separately: their
+// posted → delivered gap is not wire latency but the time the job waited in
+// the shared pool / the victim's queue before the scheduler moved it, so
+// they get their own wait distribution instead of polluting `latency_*`.
 struct ChannelMetrics {
   std::size_t delivered = 0;
   std::size_t failed = 0;  // unroutable or serverless target
@@ -80,6 +84,11 @@ struct ChannelMetrics {
   double e2e_p50_tu = 0.0;
   double e2e_p95_tu = 0.0;
   double e2e_p99_tu = 0.0;
+  // Run-time job movement by the scheduling policy.
+  std::size_t pool_dispatches = 0;
+  std::size_t steals = 0;
+  double sched_wait_mean_tu = 0.0;  // over pool dispatches + steals
+  double sched_wait_p99_tu = 0.0;
 };
 
 // `merged` must be the merged RunResult of the same run the deliveries came

@@ -58,14 +58,30 @@ void ChannelFabric::connect(std::size_t core, exp::CoreEndpoint* endpoint) {
   endpoints_[core] = endpoint;
 }
 
+exp::CoreEndpoint* ChannelFabric::endpoint(std::size_t core) const {
+  TSF_ASSERT(core < endpoints_.size(), "endpoint for core beyond the fabric");
+  return endpoints_[core];
+}
+
 void ChannelFabric::bind(std::size_t core, const std::string& job) {
   TSF_ASSERT(core < mailboxes_.size(), "binding to a core beyond the fabric");
   const auto [it, inserted] = routes_.emplace(job, core);
   TSF_ASSERT(inserted || it->second == core,
              "job " << job << " bound to two cores");
+  // Fires that arrived while the name was only expected now have a home;
+  // they are delivered at the first boundary >= their (already computed)
+  // due time, exactly as if they had been routable when posted.
+  auto waiting = deferred_.find(job);
+  if (waiting != deferred_.end()) {
+    for (auto& m : waiting->second) mailboxes_[core].push(std::move(m));
+    deferred_.erase(waiting);
+  }
 }
 
+void ChannelFabric::expect(const std::string& job) { expected_.insert(job); }
+
 void ChannelFabric::add_migratable(exp::MigratedJob job, TimePoint release) {
+  expect(job.name);
   PendingMigration m;
   m.job = std::move(job);
   m.release = release;
@@ -80,9 +96,10 @@ TimePoint ChannelFabric::due_after(TimePoint posted) const {
 void ChannelFabric::post_fire(std::size_t from_core, const std::string& job,
                               TimePoint posted) {
   const auto route = routes_.find(job);
-  if (route == routes_.end()) {
-    // No core hosts this event (e.g. its job was rejected by the
-    // partitioner): a terminal failed delivery, visible in the report.
+  if (route == routes_.end() && expected_.count(job) == 0) {
+    // No core hosts this event and none ever will (e.g. its job was
+    // rejected by the partitioner): a terminal failed delivery, visible in
+    // the report.
     exp::ChannelDelivery d;
     d.kind = exp::ChannelDelivery::Kind::kFire;
     d.job = job;
@@ -97,7 +114,13 @@ void ChannelFabric::post_fire(std::size_t from_core, const std::string& job,
   m.posted = posted;
   m.due = due_after(posted);
   m.seq = next_seq_++;
-  mailboxes_[route->second].push(std::move(m));
+  if (route == routes_.end()) {
+    // Expected but not yet bound (a pool job before its dispatch, a
+    // migratable before its delivery): parked until bind() flushes it.
+    deferred_[job].push_back(std::move(m));
+  } else {
+    mailboxes_[route->second].push(std::move(m));
+  }
 }
 
 std::size_t ChannelFabric::drain(TimePoint boundary) {
@@ -124,17 +147,7 @@ std::size_t ChannelFabric::drain(TimePoint boundary) {
   // work the balancer should see).
   for (auto& m : migrations_) {
     if (m.delivered || m.due > boundary) continue;
-    std::size_t chosen = exp::ChannelDelivery::kNoCore;
-    std::size_t best_depth = 0;
-    for (std::size_t core = 0; core < endpoints_.size(); ++core) {
-      if (endpoints_[core] == nullptr || !endpoints_[core]->serves_aperiodics())
-        continue;
-      const std::size_t depth = endpoints_[core]->queue_depth();
-      if (chosen == exp::ChannelDelivery::kNoCore || depth < best_depth) {
-        chosen = core;
-        best_depth = depth;
-      }
-    }
+    const std::size_t chosen = least_loaded_serving_core();
     m.delivered = true;
     exp::ChannelDelivery d;
     d.kind = exp::ChannelDelivery::Kind::kMigrate;
@@ -146,8 +159,10 @@ std::size_t ChannelFabric::drain(TimePoint boundary) {
       continue;
     }
     endpoints_[chosen]->deliver_migrated(m.job);
-    // The migrated job now has a home: later fires can route to it.
-    routes_.emplace(m.job.name, chosen);
+    // The migrated job now has a home: later fires can route to it — and
+    // bind() flushes any fire that was parked while the name was merely
+    // expected.
+    bind(chosen, m.job.name);
     d.to_core = chosen;
     d.delivered = boundary;
     d.ok = true;
@@ -157,9 +172,25 @@ std::size_t ChannelFabric::drain(TimePoint boundary) {
   return delivered;
 }
 
+std::size_t ChannelFabric::least_loaded_serving_core() const {
+  std::size_t chosen = exp::ChannelDelivery::kNoCore;
+  std::size_t best_depth = 0;
+  for (std::size_t core = 0; core < endpoints_.size(); ++core) {
+    if (endpoints_[core] == nullptr || !endpoints_[core]->serves_aperiodics())
+      continue;
+    const std::size_t depth = endpoints_[core]->queue_depth();
+    if (chosen == exp::ChannelDelivery::kNoCore || depth < best_depth) {
+      chosen = core;
+      best_depth = depth;
+    }
+  }
+  return chosen;
+}
+
 std::size_t ChannelFabric::in_flight() const {
   std::size_t n = 0;
   for (const auto& mailbox : mailboxes_) n += mailbox.size();
+  for (const auto& [job, waiting] : deferred_) n += waiting.size();
   for (const auto& m : migrations_) n += m.delivered ? 0 : 1;
   return n;
 }

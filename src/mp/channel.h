@@ -31,6 +31,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -86,8 +87,18 @@ class ChannelFabric {
   exp::CrossCorePort* port(std::size_t core);
   // The inbound endpoint deliveries go to.
   void connect(std::size_t core, exp::CoreEndpoint* endpoint);
-  // Routing-table entry: job `name` lives on `core`.
+  // The connected endpoint (nullptr before connect) — the scheduling-policy
+  // engine reads queue depths and delivers pool/stolen jobs through this.
+  exp::CoreEndpoint* endpoint(std::size_t core) const;
+  // Routing-table entry: job `name` lives on `core`. Fires deferred while
+  // the name was merely expected (see below) are flushed into the core's
+  // mailbox here, in original post order.
   void bind(std::size_t core, const std::string& job);
+  // Declares that `job` will be bound later (a registered migratable, or a
+  // ready-pool job the scheduling policy dispatches at run time). A fire
+  // posted to an expected-but-unbound name is deferred until the bind, not
+  // recorded as a terminal routing failure.
+  void expect(const std::string& job);
   // Registers a migratable job, released into the least-loaded serving core
   // at the first boundary >= release + latency.
   void add_migratable(exp::MigratedJob job, common::TimePoint release);
@@ -105,6 +116,13 @@ class ChannelFabric {
   // All VMs must be paused at `boundary`. Returns messages delivered.
   std::size_t drain(common::TimePoint boundary);
 
+  // Appends a terminal record to deliveries() — how the scheduling-policy
+  // engine's pool dispatches and steals enter the same ledger (and the same
+  // metrics / determinism checks) as the channel messages.
+  void record(exp::ChannelDelivery delivery) {
+    deliveries_.push_back(std::move(delivery));
+  }
+
   // --- results ---
 
   // Every terminal message fate so far (delivered or failed), in delivery
@@ -115,6 +133,11 @@ class ChannelFabric {
   }
   std::size_t in_flight() const;
   std::uint64_t posted_count() const { return next_seq_; }
+
+  // The shared load-balancing signal of migrations and the global ready
+  // pool: the serving core with the shallowest pending queue (ties to the
+  // lowest core id), or ChannelDelivery::kNoCore when nothing serves.
+  std::size_t least_loaded_serving_core() const;
 
  private:
   struct PortImpl;
@@ -133,6 +156,10 @@ class ChannelFabric {
   std::vector<std::unique_ptr<PortImpl>> ports_;
   std::vector<exp::CoreEndpoint*> endpoints_;
   std::map<std::string, std::size_t> routes_;  // job name -> hosting core
+  // Names that will be bound at run time (migratables, ready-pool jobs),
+  // and the fires waiting for each of them (post order).
+  std::set<std::string> expected_;
+  std::map<std::string, std::vector<Mailbox::Message>> deferred_;
   std::vector<PendingMigration> migrations_;
   std::vector<exp::ChannelDelivery> deliveries_;
   std::uint64_t next_seq_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <string>
 #include <utility>
 
@@ -15,8 +16,17 @@ namespace tsf::mp {
 
 using common::TimePoint;
 
+// Whether a job is handed to the global shared ready pool instead of any
+// core's static assignment: unpinned and released by time (a triggered job
+// has no release of its own — it stays with its routed core so the fire
+// has a resident event to hit).
+static bool pool_scheduled(const model::AperiodicJobSpec& job) {
+  return job.affinity < 0 && !job.triggered;
+}
+
 std::vector<model::SystemSpec> split_spec(const model::SystemSpec& spec,
-                                          const Partition& partition) {
+                                          const Partition& partition,
+                                          SchedPolicy policy) {
   std::vector<model::SystemSpec> out;
   out.reserve(partition.cores.size());
   for (std::size_t c = 0; c < partition.cores.size(); ++c) {
@@ -36,14 +46,26 @@ std::vector<model::SystemSpec> split_spec(const model::SystemSpec& spec,
     sub.aperiodic_jobs.reserve(core.jobs.size());
     for (std::size_t j : core.jobs) {
       if (spec.aperiodic_jobs[j].migrate) continue;  // fabric-released
-      model::AperiodicJobSpec job = spec.aperiodic_jobs[j];
-      job.affinity = static_cast<int>(c);
-      sub.aperiodic_jobs.push_back(std::move(job));
+      if (policy == SchedPolicy::kGlobal &&
+          pool_scheduled(spec.aperiodic_jobs[j])) {
+        continue;  // lives in the shared ready pool, not on a core
+      }
+      // Affinity is preserved, not overwritten: -1 marks the job stealable
+      // by the semi-partitioned policy.
+      sub.aperiodic_jobs.push_back(spec.aperiodic_jobs[j]);
     }
     sub.channel_latency = spec.channel_latency;
     out.push_back(std::move(sub));
   }
   return out;
+}
+
+// How final an outcome is, for the (job, release) dedupe: a served record
+// beats an interrupted one beats an unserved placeholder.
+static int outcome_rank(const model::JobOutcome& o) {
+  if (o.served) return 2;
+  if (o.interrupted) return 1;
+  return 0;
 }
 
 model::RunResult merge_results(const model::SystemSpec& spec,
@@ -53,15 +75,55 @@ model::RunResult merge_results(const model::SystemSpec& spec,
              "one result per core required");
   model::RunResult merged;
 
+  // Dedupe by (job, release): with run-time job movement (work stealing,
+  // pool dispatch) a job can complete on a non-home core while its home
+  // core still reports the same release as unserved — per-core outcomes
+  // are no longer disjoint. The dedupe is strictly *cross-core*: within
+  // one core every record is real (a re-fired triggered job can carry two
+  // releases at the same instant, one served and one still pending), so
+  // nothing a single core reports is ever collapsed. Across cores, an
+  // unserved record is a shadow — of a completed record on another core
+  // (the job was stolen and ran there) or of another core's unserved
+  // record (it was stolen and is still pending there) — and is dropped.
+  using Key = std::pair<std::string, common::TimePoint>;
+  std::map<Key, std::set<std::size_t>> completed_cores;
+  for (std::size_t c = 0; c < per_core.size(); ++c) {
+    for (const auto& outcome : per_core[c].jobs) {
+      if (outcome_rank(outcome) > 0) {
+        completed_cores[{outcome.name, outcome.release}].insert(c);
+      }
+    }
+  }
+  std::vector<const model::JobOutcome*> deduped;  // core, then record order
+  std::map<Key, std::size_t> unserved_kept_on;    // key -> first keeping core
+  for (std::size_t c = 0; c < per_core.size(); ++c) {
+    for (const auto& outcome : per_core[c].jobs) {
+      const Key key{outcome.name, outcome.release};
+      if (outcome_rank(outcome) > 0) {
+        deduped.push_back(&outcome);
+        continue;
+      }
+      const auto done = completed_cores.find(key);
+      if (done != completed_cores.end() &&
+          (done->second.size() > 1 || *done->second.begin() != c)) {
+        continue;  // shadow of a completion on another core
+      }
+      const auto kept = unserved_kept_on.find(key);
+      if (kept != unserved_kept_on.end() && kept->second != c) {
+        continue;  // shadow of another core's unserved record
+      }
+      unserved_kept_on.emplace(key, c);
+      deduped.push_back(&outcome);
+    }
+  }
+
   // Aperiodic outcomes, restored to the original spec order. One name can
   // carry several outcomes (a triggered job fired repeatedly): the first
   // release fills the spec-ordered slot, the rest are appended after it in
   // name order — deterministic, and the released/served counts stay honest.
   std::map<std::string, std::vector<const model::JobOutcome*>> by_name;
-  for (const auto& result : per_core) {
-    for (const auto& outcome : result.jobs) {
-      by_name[outcome.name].push_back(&outcome);
-    }
+  for (const auto* outcome : deduped) {
+    by_name[outcome->name].push_back(outcome);
   }
   merged.jobs.reserve(spec.aperiodic_jobs.size());
   for (const auto& job : spec.aperiodic_jobs) {
@@ -172,41 +234,48 @@ MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
   TSF_ASSERT(!spec.horizon.is_never(), "exec needs a finite horizon");
   MpRunResult out;
   out.partition = std::move(partition);
-  const auto subs = split_spec(spec, out.partition);
+  const auto subs = split_spec(spec, out.partition, options.policy);
 
   ChannelConfig channel;
   channel.latency = spec.channel_latency;
   ChannelFabric fabric(subs.size(), channel);
-  // Migratable jobs bypass the static split: the fabric releases each onto
-  // the least-loaded serving core at the first epoch boundary past its
-  // release (+ latency). Execution-time jitter is applied here, once, from
+  SchedPolicyEngine engine(options.policy, fabric);
+  const bool global = options.policy == SchedPolicy::kGlobal;
+
+  // Jobs that bypass the static split — migratables under every policy,
+  // plus every unpinned untriggered job under global (they belong to the
+  // shared ready pool). Execution-time jitter is applied here, once, from
   // the same seed the per-core systems use — deterministic in spec order.
   common::Rng jitter_rng(options.exec.jitter_seed);
   for (const auto& job : spec.aperiodic_jobs) {
-    if (!job.migrate) continue;
+    const bool pooled = global && pool_scheduled(job);
+    if (!job.migrate && !pooled) continue;
     exp::MigratedJob m;
     m.name = job.name;
     m.declared_cost = job.effective_declared_cost();
-    m.actual_cost = job.cost;
-    if (options.exec.cost_jitter > 0.0) {
-      const double factor =
-          jitter_rng.uniform(1.0 - options.exec.cost_jitter,
-                             1.0 + options.exec.cost_jitter);
-      m.actual_cost =
-          common::max(common::Duration::ticks(1),
-                      common::Duration::from_tu(job.cost.to_tu() * factor));
-    }
+    m.actual_cost = exp::jittered_cost(jitter_rng, options.exec, job.cost);
     m.fires = job.fires;
-    fabric.add_migratable(std::move(m), job.release);
+    m.value = job.value;
+    if (pooled) {
+      // The pool is a shared structure, not a channel: no channel_latency,
+      // only the wait for the first epoch boundary >= release.
+      engine.add_pool_job(std::move(m), job.release);
+    } else {
+      fabric.add_migratable(std::move(m), job.release);
+    }
   }
 
-  MultiVm machine(subs, options.exec, &fabric);
+  MultiVm machine(subs, options.exec, &fabric,
+                  options.policy == SchedPolicy::kPartitioned ? nullptr
+                                                              : &engine);
   machine.start();
   machine.run_until(spec.horizon, options.quantum);
   out.per_core = machine.collect();
   out.merged = merge_results(spec, out.partition, out.per_core);
   out.channel_deliveries = fabric.deliveries();
-  out.channel_in_flight = fabric.in_flight();
+  out.channel_in_flight = fabric.in_flight() + engine.pool_pending();
+  out.pool_dispatches = engine.pool_dispatches();
+  out.steals = engine.steal_count();
   return out;
 }
 

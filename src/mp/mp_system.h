@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "analysis/partitioned.h"
@@ -21,11 +22,15 @@
 #include "model/run_result.h"
 #include "model/spec.h"
 #include "mp/partition.h"
+#include "mp/sched_policy.h"
 
 namespace tsf::mp {
 
 struct MpRunOptions {
   PackingStrategy strategy = PackingStrategy::kFirstFitDecreasing;
+  // How jobs move (or don't) between cores at run time (exec path only;
+  // the simulator has no fabric and always runs the static partition).
+  SchedPolicy policy = SchedPolicy::kPartitioned;
   // Execution-engine options (ignored by the simulator path).
   exp::ExecOptions exec;
   // Lock-step epoch of the MultiVm (execution path only).
@@ -34,17 +39,28 @@ struct MpRunOptions {
 
 // Per-core uniprocessor specs for a partition of `spec`: core k gets the
 // tasks and jobs assigned to it, a copy of the server iff the partition
-// placed a replica there, spec.horizon, and cores == 1. Rejected tasks are
-// in no core — they simply don't run, exactly like an offline admission
-// refusal. Migratable jobs (`migrate`) are in no core either: on the exec
-// path the channel fabric releases them onto the least-loaded core at run
-// time; the simulator path (which has no fabric) leaves them unserved.
-std::vector<model::SystemSpec> split_spec(const model::SystemSpec& spec,
-                                          const Partition& partition);
+// placed a replica there, spec.horizon, and cores == 1. Job affinities are
+// preserved from the parent spec (affinity == -1 marks a job the
+// semi-partitioned stealer may move). Rejected tasks are in no core — they
+// simply don't run, exactly like an offline admission refusal. Migratable
+// jobs (`migrate`) are in no core either: on the exec path the channel
+// fabric releases them onto the least-loaded core at run time; the
+// simulator path (which has no fabric) leaves them unserved. Under the
+// global policy every unpinned, untriggered job additionally bypasses the
+// split — it belongs to the shared ready pool, not to any core.
+std::vector<model::SystemSpec> split_spec(
+    const model::SystemSpec& spec, const Partition& partition,
+    SchedPolicy policy = SchedPolicy::kPartitioned);
 
 // Merges per-core results: aperiodic outcomes in original spec order,
 // periodic outcomes sorted by (release, task), timelines concatenated with
 // "c<k>/" entity prefixes and stably merged by time, counters summed.
+//
+// Outcomes are NOT per-core-disjoint once jobs move at run time: a stolen
+// job completes on a non-home core while the home core still books the
+// same (job, release) as unserved pending work it lost. The merge
+// deduplicates by (job, release), keeping the most-final outcome
+// (served > interrupted > unserved; ties to the lowest core).
 model::RunResult merge_results(const model::SystemSpec& spec,
                                const Partition& partition,
                                const std::vector<model::RunResult>& per_core);
@@ -66,11 +82,16 @@ struct MpRunResult {
   std::vector<model::RunResult> per_core;  // core order
   model::RunResult merged;
   // Cross-core channel traffic (exec path only): every terminal message
-  // fate, in delivery order, plus how many messages were still in flight at
+  // fate, in delivery order — remote fires and migrations, plus the
+  // scheduling policy's pool dispatches (kPool) and steals (kSteal) — and
+  // how many messages (and undispatched pool jobs) were still in flight at
   // the horizon. Feed to exp::compute_channel_metrics for the latency
   // distribution.
   std::vector<exp::ChannelDelivery> channel_deliveries;
   std::size_t channel_in_flight = 0;
+  // Scheduling-policy counters (zero under the partitioned baseline).
+  std::uint64_t pool_dispatches = 0;
+  std::uint64_t steals = 0;
 };
 
 // One sim::Simulator per core (theoretical policies, resumable service).

@@ -2,6 +2,7 @@
 
 #include "common/diag.h"
 #include "mp/channel.h"
+#include "mp/sched_policy.h"
 
 namespace tsf::mp {
 
@@ -9,9 +10,12 @@ using common::Duration;
 using common::TimePoint;
 
 MultiVm::MultiVm(std::vector<model::SystemSpec> per_core_specs,
-                 const exp::ExecOptions& options, ChannelFabric* fabric)
-    : fabric_(fabric) {
+                 const exp::ExecOptions& options, ChannelFabric* fabric,
+                 SchedPolicyEngine* engine)
+    : fabric_(fabric), engine_(engine) {
   TSF_ASSERT(!per_core_specs.empty(), "MultiVm needs at least one core");
+  TSF_ASSERT(engine_ == nullptr || fabric_ != nullptr,
+             "a scheduling-policy engine needs the channel fabric");
   TSF_ASSERT(fabric_ == nullptr || fabric_->cores() == per_core_specs.size(),
              "channel fabric sized for " << (fabric ? fabric->cores() : 0)
                                          << " cores, MultiVm has "
@@ -46,8 +50,11 @@ void MultiVm::run_until(TimePoint horizon, Duration quantum) {
     // Every core is paused at now_: the deterministic instant at which
     // cross-core messages posted in earlier epochs become visible. Effects
     // (event fires, releases, server wake-ups) are enqueued now and
-    // processed when the VMs resume into the next epoch.
+    // processed when the VMs resume into the next epoch. The scheduling
+    // policy runs after the drain so pool dispatch and steal decisions see
+    // the queue depths including this boundary's channel deliveries.
     if (fabric_ != nullptr) fabric_->drain(now_);
+    if (engine_ != nullptr) engine_->on_epoch(now_);
   }
 }
 

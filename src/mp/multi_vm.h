@@ -27,6 +27,7 @@
 namespace tsf::mp {
 
 class ChannelFabric;
+class SchedPolicyEngine;
 
 class MultiVm {
  public:
@@ -38,9 +39,15 @@ class MultiVm {
   // mailboxes at every epoch boundary (while all VMs are paused there) —
   // the delivery instant of remote fires and migrations. The fabric must
   // outlive the MultiVm.
+  //
+  // With an engine (which requires a fabric), the scheduling policy's
+  // boundary work — shared-pool dispatch under global, the steal pass under
+  // semi-partitioned — runs right after every fabric drain, at the same
+  // deterministic pause. The engine must outlive the MultiVm too.
   explicit MultiVm(std::vector<model::SystemSpec> per_core_specs,
                    const exp::ExecOptions& options,
-                   ChannelFabric* fabric = nullptr);
+                   ChannelFabric* fabric = nullptr,
+                   SchedPolicyEngine* engine = nullptr);
   ~MultiVm();
   MultiVm(const MultiVm&) = delete;
   MultiVm& operator=(const MultiVm&) = delete;
@@ -65,6 +72,7 @@ class MultiVm {
   std::vector<std::unique_ptr<rtsj::vm::VirtualMachine>> vms_;
   std::vector<std::unique_ptr<exp::ExecSystem>> systems_;
   ChannelFabric* fabric_ = nullptr;
+  SchedPolicyEngine* engine_ = nullptr;
   common::TimePoint now_ = common::TimePoint::origin();
 };
 

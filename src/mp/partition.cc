@@ -147,25 +147,37 @@ Partition Partitioner::partition(const model::SystemSpec& spec) const {
 
   // Route aperiodic jobs. Pinned jobs go to their core regardless of
   // whether a server lives there (an unserved job is a result, not an
-  // error); unpinned jobs round-robin over the cores that can serve them.
+  // error); unpinned jobs round-robin over the cores that can serve them —
+  // walked in job-name order, not declaration order, so the placement (and
+  // with it every downstream run) is invariant under reordering the spec's
+  // [job] sections. The stored per-core lists stay in spec-index order.
   std::vector<int> serving;
   for (int c = 0; c < cores; ++c) {
     if (out.cores[static_cast<std::size_t>(c)].has_server) serving.push_back(c);
   }
-  std::size_t rr = 0;
+  std::vector<std::size_t> roaming;
   for (std::size_t j = 0; j < spec.aperiodic_jobs.size(); ++j) {
     const int affinity = spec.aperiodic_jobs[j].affinity;
-    int target;
     if (affinity >= 0 && affinity < cores) {
-      target = affinity;
-    } else if (!serving.empty()) {
-      target = serving[rr % serving.size()];
-      ++rr;
+      out.cores[static_cast<std::size_t>(affinity)].jobs.push_back(j);
     } else {
-      target = static_cast<int>(j % static_cast<std::size_t>(cores));
+      roaming.push_back(j);
     }
+  }
+  std::sort(roaming.begin(), roaming.end(),
+            [&spec](std::size_t a, std::size_t b) {
+              return spec.aperiodic_jobs[a].name < spec.aperiodic_jobs[b].name;
+            });
+  std::size_t rr = 0;
+  for (std::size_t j : roaming) {
+    const int target =
+        serving.empty()
+            ? static_cast<int>(rr % static_cast<std::size_t>(cores))
+            : serving[rr % serving.size()];
+    ++rr;
     out.cores[static_cast<std::size_t>(target)].jobs.push_back(j);
   }
+  for (auto& core : out.cores) std::sort(core.jobs.begin(), core.jobs.end());
 
   return out;
 }

@@ -291,6 +291,11 @@ void VirtualMachine::grant(Fiber* fiber) {
 }
 
 void VirtualMachine::yield_to_scheduler(Fiber* self) {
+  // Read our own state before handing the baton over: the instant grant()
+  // (or the driver release) lets another thread run, that thread may
+  // re-grant *this* fiber and write self->state_ — reading it afterwards
+  // would race. Finished is final, so the early snapshot is equivalent.
+  const bool finished = self->state_ == Fiber::State::kFinished;
   Fiber* next = (now_ < horizon_) ? pick_ready() : nullptr;
   if (next != nullptr) {
     grant(next);
@@ -298,7 +303,7 @@ void VirtualMachine::yield_to_scheduler(Fiber* self) {
     current_ = nullptr;
     main_sem_.release();
   }
-  if (self->state_ == Fiber::State::kFinished) return;
+  if (finished) return;
   self->sem_.acquire();
   if (shutting_down_) throw FiberShutdown{};
   TSF_ASSERT(current_ == self, "woke without the baton: " << self->name_);

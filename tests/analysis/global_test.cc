@@ -1,0 +1,81 @@
+// Global fixed-priority RTA (Bertogna-style interference bound).
+#include "analysis/global.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/rta.h"
+
+namespace tsf::analysis {
+namespace {
+
+using common::Duration;
+
+Duration tu(std::int64_t n) { return Duration::time_units(n); }
+
+model::PeriodicTaskSpec task(const std::string& name, std::int64_t cost,
+                             std::int64_t period, int priority) {
+  model::PeriodicTaskSpec t;
+  t.name = name;
+  t.cost = tu(cost);
+  t.period = tu(period);
+  t.priority = priority;
+  return t;
+}
+
+TEST(GlobalWorkloadBound, CountsCarryInFreeJobsPlusClippedTail) {
+  const auto t = task("t", 2, 10, 1);  // D == T == 10
+  // One full job fits in a 10tu window, the straddler contributes its
+  // clipped tail: slack = 10 + 10 - 2 = 18 → 1 full job + min(2, 8) = 4.
+  EXPECT_EQ(global_workload_bound(t, tu(10)), tu(4));
+  // A 1tu window: no full job, tail min(2, 9) = 2.
+  EXPECT_EQ(global_workload_bound(t, tu(1)), tu(2));
+  EXPECT_EQ(global_workload_bound(t, Duration::zero()), Duration::zero());
+}
+
+TEST(GlobalRta, HighestPriorityTaskRespondsInItsOwnCost) {
+  const std::vector<model::PeriodicTaskSpec> tasks = {
+      task("hi", 3, 12, 10), task("lo", 2, 12, 1)};
+  const auto verdict = analyze_global(tasks, 4);
+  ASSERT_TRUE(verdict.response_times[0].has_value());
+  EXPECT_EQ(*verdict.response_times[0], tu(3));
+}
+
+TEST(GlobalRta, MoreCoresTurnOverloadIntoFeasibility) {
+  // Three heavy high-priority tasks swamp a single core but leave plenty
+  // of parallel slack on four.
+  std::vector<model::PeriodicTaskSpec> tasks = {
+      task("h0", 4, 12, 10), task("h1", 4, 12, 10), task("h2", 4, 12, 10),
+      task("lo", 4, 12, 1)};
+  EXPECT_FALSE(analyze_global(tasks, 1).feasible);
+  const auto quad = analyze_global(tasks, 4);
+  EXPECT_TRUE(quad.feasible);
+  ASSERT_TRUE(quad.response_times[3].has_value());
+  EXPECT_LE(*quad.response_times[3], tu(12));
+}
+
+TEST(GlobalRta, ServerReplicasChargeOneReplicaWorthOfInterference) {
+  const std::vector<model::PeriodicTaskSpec> tasks = {task("lo", 2, 12, 1)};
+  model::ServerSpec server;
+  server.policy = model::ServerPolicy::kPolling;
+  server.capacity = tu(2);
+  server.period = tu(6);
+  server.priority = 30;
+  const auto without = analyze_global(tasks, 2);
+  const auto with = analyze_global(tasks, 2, &server);
+  ASSERT_TRUE(without.response_times[0].has_value());
+  ASSERT_TRUE(with.response_times[0].has_value());
+  // The m pinned replicas summed and divided by m: strictly more
+  // interference than no server at all.
+  EXPECT_GT(*with.response_times[0], *without.response_times[0]);
+  // A background server never interferes.
+  server.policy = model::ServerPolicy::kBackground;
+  const auto background = analyze_global(tasks, 2, &server);
+  EXPECT_EQ(*background.response_times[0], *without.response_times[0]);
+}
+
+TEST(GlobalRta, EmptyTaskSetIsFeasible) {
+  EXPECT_TRUE(analyze_global({}, 2).feasible);
+}
+
+}  // namespace
+}  // namespace tsf::analysis

@@ -322,6 +322,43 @@ TEST(SpecFile, RejectsZeroQuantum) {
             std::string::npos);
 }
 
+TEST(SpecFile, ParsesSchedulingPolicyKey) {
+  const auto base =
+      "[server]\npolicy=polling\ncapacity=2\nperiod=6\n"
+      "[job a]\nrelease=1\ncost=1\n[run]\nhorizon=9\ncores=2\npolicy=";
+  const auto def = parse_spec(std::string(base) + "partitioned\n");
+  ASSERT_TRUE(def.ok()) << def.errors.front();
+  EXPECT_EQ(def.config.policy, mp::SchedPolicy::kPartitioned);
+
+  const auto global = parse_spec(std::string(base) + "global\n");
+  ASSERT_TRUE(global.ok()) << global.errors.front();
+  EXPECT_EQ(global.config.policy, mp::SchedPolicy::kGlobal);
+
+  // Both spellings of semi-partitioned.
+  for (const char* spelling : {"semi", "semi-partitioned"}) {
+    const auto semi = parse_spec(std::string(base) + spelling + "\n");
+    ASSERT_TRUE(semi.ok()) << semi.errors.front();
+    EXPECT_EQ(semi.config.policy, mp::SchedPolicy::kSemiPartitioned)
+        << spelling;
+  }
+}
+
+TEST(SpecFile, RejectsUnknownAndUniprocessorSchedulingPolicy) {
+  const auto unknown = parse_spec(
+      "[server]\npolicy=none\n[run]\nhorizon=9\ncores=2\npolicy=gang\n");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.errors.front().find("unknown scheduling policy"),
+            std::string::npos);
+
+  // global/semi are meaningless on one core: reject instead of silently
+  // running the uniprocessor path.
+  const auto uni = parse_spec(
+      "[server]\npolicy=none\n[run]\nhorizon=9\npolicy=semi\n");
+  ASSERT_FALSE(uni.ok());
+  EXPECT_NE(uni.errors.front().find("needs a multi-core run"),
+            std::string::npos);
+}
+
 TEST(Report, ChannelSpecReportsLatencyAndResponse) {
   auto outcome = parse_spec(kChannels);
   ASSERT_TRUE(outcome.ok()) << outcome.errors.front();

@@ -96,6 +96,35 @@ TEST(Mailbox, DueMessageBehindNotYetDueHeadStillLeaves) {
   EXPECT_EQ(box.take_due(at_tu(7)).front().job, "late");
 }
 
+// A fire posted to an expected-but-unbound name (a ready-pool job before
+// its dispatch, a migratable before its delivery) is deferred, not failed:
+// bind() flushes it into the new home's mailbox and the next drain
+// delivers it (regression: it used to be recorded as a terminal routing
+// failure, silently dropping a release the partitioned baseline delivers).
+TEST(ChannelFabric, FireToExpectedUnboundNameWaitsForTheBind) {
+  ChannelFabric fabric(2);
+  FakeEndpoint e0, e1;
+  fabric.connect(0, &e0);
+  fabric.connect(1, &e1);
+  fabric.expect("pool_job");
+
+  fabric.port(0)->fire_remote("pool_job", at_tu(1.5));
+  EXPECT_TRUE(fabric.deliveries().empty()) << "must not fail terminally";
+  EXPECT_EQ(fabric.in_flight(), 1u);
+  EXPECT_EQ(fabric.drain(at_tu(2)), 0u);  // still homeless: stays parked
+  EXPECT_EQ(fabric.in_flight(), 1u);
+
+  fabric.bind(1, "pool_job");  // the pool dispatched it to core 1
+  EXPECT_EQ(fabric.drain(at_tu(2.5)), 1u);
+  ASSERT_EQ(e1.fires.size(), 1u);
+  EXPECT_EQ(e1.fires[0], "pool_job");
+  ASSERT_EQ(fabric.deliveries().size(), 1u);
+  EXPECT_TRUE(fabric.deliveries()[0].ok);
+  EXPECT_EQ(fabric.deliveries()[0].posted, at_tu(1.5));
+  EXPECT_EQ(fabric.deliveries()[0].delivered, at_tu(2.5));
+  EXPECT_EQ(fabric.in_flight(), 0u);
+}
+
 TEST(ChannelFabric, RoutesFireToBoundCoreAtNextDrain) {
   ChannelFabric fabric(2);
   FakeEndpoint e0, e1;

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "analysis/rta.h"
 #include "common/trace.h"
 #include "gen/generator.h"
@@ -89,6 +91,175 @@ TEST(SplitSpec, CoreWithoutServerReplicaGetsPolicyNone) {
 
 // Acceptance: the partitioned RTA verdict must agree with running the
 // uniprocessor RTA independently on every split core.
+// Regression for the stealing-era merge: per-core outcomes are no longer
+// disjoint. A job stolen mid-run can leave an unserved shadow with the same
+// (name, release) on its home core (e.g. a partial bookkeeping path, or a
+// steal whose thief recorded the preserved release) — the merge must keep
+// the served record and drop the shadow instead of double-counting the job.
+TEST(MergeResults, DedupesByJobAndRelease) {
+  model::SystemSpec spec;
+  spec.name = "dedupe";
+  spec.cores = 2;
+  spec.server.policy = model::ServerPolicy::kPolling;
+  spec.server.capacity = tu(3);
+  spec.server.period = tu(6);
+  model::AperiodicJobSpec stolen;
+  stolen.name = "stolen";
+  stolen.release = at_tu(2);
+  stolen.cost = tu(1);
+  spec.aperiodic_jobs.push_back(stolen);
+  model::AperiodicJobSpec local;
+  local.name = "local";
+  local.release = at_tu(3);
+  local.cost = tu(1);
+  spec.aperiodic_jobs.push_back(local);
+  spec.horizon = at_tu(12);
+  const auto partition = Partitioner().partition(spec);
+
+  // Core 0 (the home core) booked "stolen" as unserved at its release;
+  // core 1 (the thief) actually served it — same (name, release).
+  std::vector<model::RunResult> per_core(2);
+  model::JobOutcome shadow;
+  shadow.name = "stolen";
+  shadow.release = at_tu(2);
+  shadow.cost = tu(1);
+  per_core[0].jobs.push_back(shadow);
+  model::JobOutcome served_local;
+  served_local.name = "local";
+  served_local.release = at_tu(3);
+  served_local.cost = tu(1);
+  served_local.served = true;
+  served_local.start = at_tu(3);
+  served_local.completion = at_tu(4);
+  per_core[0].jobs.push_back(served_local);
+  model::JobOutcome served_stolen;
+  served_stolen.name = "stolen";
+  served_stolen.release = at_tu(2);
+  served_stolen.cost = tu(1);
+  served_stolen.served = true;
+  served_stolen.start = at_tu(5);
+  served_stolen.completion = at_tu(6);
+  per_core[1].jobs.push_back(served_stolen);
+
+  const auto merged = merge_results(spec, partition, per_core);
+  ASSERT_EQ(merged.jobs.size(), 2u) << "shadow outcome survived the merge";
+  EXPECT_EQ(merged.jobs[0].name, "stolen");
+  EXPECT_TRUE(merged.jobs[0].served) << "merge kept the shadow, not the"
+                                        " served record";
+  EXPECT_EQ(merged.jobs[0].completion, at_tu(6));
+  EXPECT_EQ(merged.jobs[1].name, "local");
+  EXPECT_TRUE(merged.jobs[1].served);
+}
+
+// The dedupe is strictly cross-core: two unserved shadows of one lost
+// release on *different* cores collapse to a single record, but within one
+// core nothing is merged — two genuine completions of a re-fired release,
+// or two same-instant pending releases, are both kept (a core never lies
+// about its own bookkeeping).
+TEST(MergeResults, KeepsRepeatedCompletionsButCollapsesShadows) {
+  model::SystemSpec spec;
+  spec.name = "dedupe2";
+  spec.cores = 2;
+  spec.server.policy = model::ServerPolicy::kPolling;
+  spec.server.capacity = tu(3);
+  spec.server.period = tu(6);
+  model::AperiodicJobSpec job;
+  job.name = "j";
+  job.release = at_tu(1);
+  job.cost = tu(1);
+  spec.aperiodic_jobs.push_back(job);
+  spec.horizon = at_tu(12);
+  const auto partition = Partitioner().partition(spec);
+
+  {
+    std::vector<model::RunResult> per_core(2);
+    for (auto& result : per_core) {
+      model::JobOutcome shadow;
+      shadow.name = "j";
+      shadow.release = at_tu(1);
+      shadow.cost = tu(1);
+      result.jobs.push_back(shadow);
+    }
+    const auto merged = merge_results(spec, partition, per_core);
+    ASSERT_EQ(merged.jobs.size(), 1u);
+    EXPECT_FALSE(merged.jobs[0].served);
+  }
+  {
+    std::vector<model::RunResult> per_core(2);
+    for (auto& result : per_core) {
+      model::JobOutcome done;
+      done.name = "j";
+      done.release = at_tu(1);
+      done.cost = tu(1);
+      done.served = true;
+      done.start = at_tu(2);
+      done.completion = at_tu(3);
+      result.jobs.push_back(done);
+    }
+    const auto merged = merge_results(spec, partition, per_core);
+    ASSERT_EQ(merged.jobs.size(), 2u)
+        << "a genuine repeated completion must not be deduped";
+  }
+  {
+    // One core, two same-instant releases of a re-fired job: one served,
+    // one still pending — both are real and both must survive (regression:
+    // an unconditional (name, release) dedupe used to swallow the pending
+    // one and under-report the released count).
+    std::vector<model::RunResult> per_core(2);
+    model::JobOutcome done;
+    done.name = "j";
+    done.release = at_tu(1);
+    done.cost = tu(1);
+    done.served = true;
+    done.start = at_tu(2);
+    done.completion = at_tu(3);
+    per_core[0].jobs.push_back(done);
+    model::JobOutcome pending;
+    pending.name = "j";
+    pending.release = at_tu(1);
+    pending.cost = tu(1);
+    per_core[0].jobs.push_back(pending);
+    const auto merged = merge_results(spec, partition, per_core);
+    ASSERT_EQ(merged.jobs.size(), 2u)
+        << "same-core same-instant releases are distinct, not shadows";
+    EXPECT_TRUE(merged.jobs[0].served);
+    EXPECT_FALSE(merged.jobs[1].served);
+  }
+}
+
+// End-to-end: a semi-partitioned run with a real steal produces exactly one
+// outcome per job and books the stolen job as served.
+TEST(MergeResults, StolenJobHasExactlyOneMergedOutcome) {
+  model::SystemSpec spec;
+  spec.name = "steal_e2e";
+  spec.cores = 2;
+  spec.server.policy = model::ServerPolicy::kDeferrable;
+  spec.server.capacity = tu(3);
+  spec.server.period = tu(6);
+  spec.server.priority = 30;
+  for (int j = 0; j < 6; ++j) {
+    model::AperiodicJobSpec job;
+    job.name = "b" + std::to_string(j);
+    job.release = TimePoint::origin() + Duration::from_tu(1.0 + 0.05 * j);
+    job.cost = Duration::from_tu(j % 2 == 0 ? 1.5 : 0.25);
+    spec.aperiodic_jobs.push_back(job);
+  }
+  spec.horizon = at_tu(24);
+
+  MpRunOptions options;
+  options.policy = SchedPolicy::kSemiPartitioned;
+  options.quantum = Duration::from_tu(0.5);
+  const auto run = run_partitioned_exec(spec, options);
+  ASSERT_GT(run.steals, 0u) << "workload must actually trigger a steal";
+  ASSERT_EQ(run.merged.jobs.size(), spec.aperiodic_jobs.size());
+  std::set<std::string> names;
+  for (const auto& outcome : run.merged.jobs) {
+    EXPECT_TRUE(names.insert(outcome.name).second)
+        << outcome.name << " merged twice";
+    EXPECT_TRUE(outcome.served) << outcome.name;
+  }
+}
+
 TEST(MpFeasibility, AgreesWithPerCoreSingleVmRta) {
   gen::MpGeneratorParams params;
   params.cores = 4;

@@ -282,6 +282,112 @@ TEST(MultiVmDeterminism, EveryQuantumIsSelfReproducible) {
   }
 }
 
+// --- determinism regression suite: scheduling policies ---
+
+// cross_core_spec plus an imbalanced unpinned burst: under semi the idle
+// core steals from the backed-up one, under global the burst flows through
+// the shared ready pool — on top of the cross-core fires and migration the
+// base spec already exercises. Releases are distinct instants (the suite's
+// standing precondition: simultaneous releases order the pending queue by
+// timer-creation — i.e. declaration — order) but land within one epoch, so
+// the burst still arrives as a burst.
+model::SystemSpec policy_traffic_spec() {
+  auto spec = cross_core_spec();
+  for (int j = 0; j < 6; ++j) {
+    model::AperiodicJobSpec job;
+    job.name = "burst" + std::to_string(j);
+    job.release = TimePoint::origin() + common::Duration::from_tu(8.0 + 0.05 * j);
+    job.cost = common::Duration::from_tu(j % 2 == 0 ? 1.5 : 0.25);
+    spec.aperiodic_jobs.push_back(job);
+  }
+  return spec;
+}
+
+class MultiVmPolicyDeterminism
+    : public ::testing::TestWithParam<SchedPolicy> {};
+
+INSTANTIATE_TEST_SUITE_P(Policies, MultiVmPolicyDeterminism,
+                         ::testing::Values(SchedPolicy::kGlobal,
+                                           SchedPolicy::kSemiPartitioned),
+                         [](const auto& info) {
+                           return info.param == SchedPolicy::kGlobal
+                                      ? "Global"
+                                      : "SemiPartitioned";
+                         });
+
+TEST_P(MultiVmPolicyDeterminism, ThreeRunsAreBitReproducible) {
+  const auto spec = policy_traffic_spec();
+  MpRunOptions options;
+  options.policy = GetParam();
+  options.quantum = Duration::from_tu(0.5);
+
+  std::vector<MpRunResult> runs;
+  for (int i = 0; i < 3; ++i) {
+    runs.push_back(run_partitioned_exec(spec, options));
+  }
+  // The policy actually moved work: steals under semi, pool dispatches
+  // under global (otherwise this suite would pass vacuously).
+  if (GetParam() == SchedPolicy::kSemiPartitioned) {
+    EXPECT_GT(runs[0].steals, 0u);
+  } else {
+    EXPECT_GT(runs[0].pool_dispatches, 0u);
+  }
+  for (const auto& j : runs[0].merged.jobs) EXPECT_TRUE(j.served) << j.name;
+
+  const auto reference = common::fingerprint(runs[0].merged.timeline);
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(common::fingerprint(runs[i].merged.timeline), reference)
+        << testing::dump_timeline_mismatch(
+               std::string("policy_repeat_") + to_string(GetParam()) +
+                   "_run" + std::to_string(i),
+               runs[0].merged.timeline, runs[i].merged.timeline);
+    ASSERT_EQ(runs[i].channel_deliveries.size(),
+              runs[0].channel_deliveries.size());
+    for (std::size_t d = 0; d < runs[i].channel_deliveries.size(); ++d) {
+      EXPECT_EQ(runs[i].channel_deliveries[d].job,
+                runs[0].channel_deliveries[d].job);
+      EXPECT_EQ(runs[i].channel_deliveries[d].delivered,
+                runs[0].channel_deliveries[d].delivered);
+      EXPECT_EQ(runs[i].channel_deliveries[d].to_core,
+                runs[0].channel_deliveries[d].to_core);
+    }
+    EXPECT_EQ(runs[i].steals, runs[0].steals);
+    EXPECT_EQ(runs[i].pool_dispatches, runs[0].pool_dispatches);
+  }
+}
+
+TEST_P(MultiVmPolicyDeterminism, JobDeclarationOrderDoesNotChangeTheRun) {
+  const auto spec = policy_traffic_spec();
+  auto permuted = spec;
+  std::reverse(permuted.aperiodic_jobs.begin(), permuted.aperiodic_jobs.end());
+
+  MpRunOptions options;
+  options.policy = GetParam();
+  options.quantum = Duration::from_tu(0.5);
+  const auto a = run_partitioned_exec(spec, options);
+  const auto b = run_partitioned_exec(permuted, options);
+
+  // The pool / steal ordering key is (value, release, name) — never the
+  // declaration index — so the machine must be identical.
+  EXPECT_EQ(common::fingerprint(a.merged.timeline),
+            common::fingerprint(b.merged.timeline))
+      << testing::dump_timeline_mismatch(
+             std::string("policy_job_order_") + to_string(GetParam()),
+             a.merged.timeline, b.merged.timeline);
+  EXPECT_EQ(a.steals, b.steals);
+  EXPECT_EQ(a.pool_dispatches, b.pool_dispatches);
+  ASSERT_EQ(a.merged.jobs.size(), b.merged.jobs.size());
+  for (const auto& job_a : a.merged.jobs) {
+    const auto it = std::find_if(
+        b.merged.jobs.begin(), b.merged.jobs.end(),
+        [&](const model::JobOutcome& j) { return j.name == job_a.name; });
+    ASSERT_NE(it, b.merged.jobs.end()) << job_a.name;
+    EXPECT_EQ(job_a.served, it->served) << job_a.name;
+    EXPECT_EQ(job_a.release, it->release) << job_a.name;
+    EXPECT_EQ(job_a.completion, it->completion) << job_a.name;
+  }
+}
+
 TEST(MultiVm, ResumableAcrossMultipleRunUntilCalls) {
   const auto spec = two_core_spec();
   const auto partition = Partitioner().partition(spec);
