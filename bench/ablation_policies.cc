@@ -5,48 +5,68 @@
 // and the Sporadic Server. The paper implements PS and DS; this bench adds
 // the background baseline and the SS extension on identical workloads with
 // a periodic load (tau1/tau2 from Table 1) so background service actually
-// competes with something.
+// competes with something. A thin cell-enumerator over the sharded harness
+// (`--jobs N` parallelizes the 16 cells).
 #include <cstdio>
 #include <iostream>
 
 #include "common/table.h"
-#include "exp/tables.h"
+#include "exp/shard.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsf;
   using common::Duration;
   using common::TimePoint;
+  exp::ShardOptions shard;
+  for (int i = 1; i < argc; ++i) {
+    if (!exp::parse_shard_flag(argc, argv, &i, &shard)) return 2;
+  }
   std::cout << "=== Extension: server policy comparison (executions) ===\n"
             << "(paper sets + Table 1's periodic tasks tau1(2,6), tau2(1,6);"
                " background server runs below them)\n\n";
 
-  common::TextTable t;
-  t.add_row({"set", "policy", "AART", "AIR", "ASR"});
+  std::vector<exp::WorkUnit> units;
+  std::vector<std::pair<std::string, std::string>> rows;  // (set, policy)
   for (const auto& set : {exp::PaperSet{1, 0}, exp::PaperSet{2, 0},
                           exp::PaperSet{1, 2}, exp::PaperSet{2, 2}}) {
     for (const auto policy :
          {model::ServerPolicy::kBackground, model::ServerPolicy::kPolling,
           model::ServerPolicy::kDeferrable, model::ServerPolicy::kSporadic}) {
-      auto params = exp::paper_generator_params(set, policy);
-      params.periodic_tasks.push_back({"tau1", Duration::time_units(6),
-                                       Duration::time_units(2),
-                                       Duration::zero(), TimePoint::origin(),
-                                       20});
-      params.periodic_tasks.push_back({"tau2", Duration::time_units(6),
-                                       Duration::time_units(1),
-                                       Duration::zero(), TimePoint::origin(),
-                                       10});
-      if (policy == model::ServerPolicy::kBackground) {
-        params.server_priority = 1;  // below the periodic tasks
-      }
-      const auto m = exp::run_set(params, exp::Mode::kExecution,
-                                  exp::paper_execution_options());
+      exp::WorkUnit unit;
       char key[64];
       std::snprintf(key, sizeof key, "(%g,%g)", set.density,
                     set.std_deviation);
-      t.add_row({key, model::to_string(policy), common::fmt_fixed(m.aart, 2),
-                 common::fmt_fixed(m.air, 2), common::fmt_fixed(m.asr, 2)});
+      unit.label = std::string(key) + "/" + model::to_string(policy);
+      unit.params = exp::paper_generator_params(set, policy);
+      unit.params.periodic_tasks.push_back({"tau1", Duration::time_units(6),
+                                            Duration::time_units(2),
+                                            Duration::zero(),
+                                            TimePoint::origin(), 20});
+      unit.params.periodic_tasks.push_back({"tau2", Duration::time_units(6),
+                                            Duration::time_units(1),
+                                            Duration::zero(),
+                                            TimePoint::origin(), 10});
+      if (policy == model::ServerPolicy::kBackground) {
+        unit.params.server_priority = 1;  // below the periodic tasks
+      }
+      unit.mode = exp::Mode::kExecution;
+      unit.exec_options = exp::paper_execution_options();
+      units.push_back(std::move(unit));
+      rows.emplace_back(key, model::to_string(policy));
     }
+  }
+  const exp::ShardOutcome outcome = exp::run_units(units, shard);
+  if (!outcome.ok) {
+    std::cerr << "error: " << outcome.error << '\n';
+    return 1;
+  }
+
+  common::TextTable t;
+  t.add_row({"set", "policy", "AART", "AIR", "ASR"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& m = outcome.cells[i].metrics;
+    t.add_row({rows[i].first, rows[i].second, common::fmt_fixed(m.aart, 2),
+               common::fmt_fixed(m.air, 2), common::fmt_fixed(m.asr, 2)});
   }
   std::cout << t.to_string()
             << "\nReading: event-driven budgets (deferrable, sporadic) give"

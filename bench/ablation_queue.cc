@@ -4,33 +4,54 @@
 // first-fit chooseNextEvent (§6.2.2) and proposes the list-of-lists queue
 // for O(1) online prediction (§7). This bench quantifies what each
 // discipline costs/buys on the paper's six sets (Polling Server,
-// execution mode, calibrated overheads).
+// execution mode, calibrated overheads). A thin cell-enumerator over the
+// sharded harness: `--jobs N` runs the 18 cells in parallel.
 #include <cstdio>
 #include <iostream>
 
 #include "common/table.h"
-#include "exp/tables.h"
+#include "exp/shard.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsf;
+  exp::ShardOptions shard;
+  for (int i = 1; i < argc; ++i) {
+    if (!exp::parse_shard_flag(argc, argv, &i, &shard)) return 2;
+  }
   std::cout << "=== Ablation: pending-queue discipline (PS executions) ===\n\n";
-  common::TextTable t;
-  t.add_row({"set", "discipline", "AART", "AIR", "ASR"});
+
+  std::vector<exp::WorkUnit> units;
+  std::vector<std::pair<std::string, std::string>> rows;  // (set, discipline)
   for (const auto& set : exp::paper_sets()) {
     for (const auto queue : {model::QueueDiscipline::kStrictFifo,
                              model::QueueDiscipline::kFifoFirstFit,
                              model::QueueDiscipline::kListOfLists}) {
-      auto params =
-          exp::paper_generator_params(set, model::ServerPolicy::kPolling);
-      params.queue = queue;
-      const auto m = exp::run_set(params, exp::Mode::kExecution,
-                                  exp::paper_execution_options());
+      exp::WorkUnit unit;
       char key[64];
       std::snprintf(key, sizeof key, "(%g,%g)", set.density,
                     set.std_deviation);
-      t.add_row({key, model::to_string(queue), common::fmt_fixed(m.aart, 2),
-                 common::fmt_fixed(m.air, 2), common::fmt_fixed(m.asr, 2)});
+      unit.label = std::string(key) + "/" + model::to_string(queue);
+      unit.params =
+          exp::paper_generator_params(set, model::ServerPolicy::kPolling);
+      unit.params.queue = queue;
+      unit.mode = exp::Mode::kExecution;
+      unit.exec_options = exp::paper_execution_options();
+      units.push_back(std::move(unit));
+      rows.emplace_back(key, model::to_string(queue));
     }
+  }
+  const exp::ShardOutcome outcome = exp::run_units(units, shard);
+  if (!outcome.ok) {
+    std::cerr << "error: " << outcome.error << '\n';
+    return 1;
+  }
+
+  common::TextTable t;
+  t.add_row({"set", "discipline", "AART", "AIR", "ASR"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& m = outcome.cells[i].metrics;
+    t.add_row({rows[i].first, rows[i].second, common::fmt_fixed(m.aart, 2),
+               common::fmt_fixed(m.air, 2), common::fmt_fixed(m.asr, 2)});
   }
   std::cout << t.to_string()
             << "\nReading: first-fit shortens AART on heterogeneous sets by"

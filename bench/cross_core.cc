@@ -12,10 +12,13 @@
 // epochs approximate a shared-memory machine, large epochs amortize
 // synchronization but stretch the channel tail.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/json_writer.h"
 #include "common/table.h"
 #include "common/trace.h"
 #include "exp/metrics.h"
@@ -69,7 +72,18 @@ model::SystemSpec ping_pong_spec(int pairs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --json FILE: emit the per-quantum latency quantiles in the tsf-bench/1
+  // schema so CI can gate regressions against bench/baselines/.
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_cross_core [--json FILE]\n";
+      return 2;
+    }
+  }
   constexpr int kPairs = 40;
   const auto spec = ping_pong_spec(kPairs);
   const auto partition =
@@ -86,6 +100,7 @@ int main() {
                  "e2e p50", "e2e p99", "deterministic"});
   bool ok = true;
   std::vector<double> p99s;
+  std::vector<std::pair<double, exp::ChannelMetrics>> sweep;
   for (const double quantum : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0}) {
     mp::MpRunOptions options;
     options.quantum = tu(quantum);
@@ -106,6 +121,7 @@ int main() {
                    stable ? "yes" : "NO"});
     ok = ok && stable && ch.delivered == kPairs;
     p99s.push_back(ch.latency_p99_tu);
+    sweep.emplace_back(quantum, ch);
   }
   std::cout << table.to_string() << '\n';
 
@@ -124,5 +140,42 @@ int main() {
   std::cout << (ok ? "cross-core: latency tail tracks the quantum,"
                      " all runs deterministic\n"
                    : "cross-core: FAILED\n");
+
+  if (!json_path.empty()) {
+    common::JsonWriter json;
+    json.begin_object();
+    json.key("schema").value("tsf-bench/1");
+    json.key("bench").value("cross_core");
+    json.key("metrics").begin_array();
+    auto metric = [&json](const std::string& name, double value,
+                          bool higher_is_better) {
+      json.begin_object();
+      json.key("name").value(name);
+      json.key("value").value(value);
+      json.key("higher_is_better").value(higher_is_better);
+      json.end_object();
+    };
+    for (const auto& [quantum, ch] : sweep) {
+      char prefix[64];
+      std::snprintf(prefix, sizeof prefix, "quantum_%g/", quantum);
+      metric(prefix + std::string("delivered"),
+             static_cast<double>(ch.delivered), true);
+      metric(prefix + std::string("latency_p50_tu"), ch.latency_p50_tu,
+             false);
+      metric(prefix + std::string("latency_p95_tu"), ch.latency_p95_tu,
+             false);
+      metric(prefix + std::string("latency_p99_tu"), ch.latency_p99_tu,
+             false);
+      metric(prefix + std::string("e2e_p99_tu"), ch.e2e_p99_tu, false);
+    }
+    json.end_array();
+    json.end_object();
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "error: cannot write '" << json_path << "'\n";
+      return 1;
+    }
+    out << json.take();
+  }
   return ok ? 0 : 1;
 }

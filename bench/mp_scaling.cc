@@ -9,9 +9,13 @@
 // that every multi-core run is bit-reproducible (equal trace fingerprints
 // across two runs).
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "common/json_writer.h"
 #include "common/table.h"
 #include "common/trace.h"
 #include "exp/metrics.h"
@@ -56,13 +60,25 @@ std::size_t served_count(const model::RunResult& result) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --json FILE: emit the per-(policy, cores) served-event counts in the
+  // tsf-bench/1 schema so CI can gate regressions against bench/baselines/.
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_mp_scaling [--json FILE]\n";
+      return 2;
+    }
+  }
   std::cout << "=== partitioned multi-core scaling ===\n"
             << "(saturating aperiodic load: 6 ev/period/core x 1tu mean cost"
                " vs a 2tu/6tu server replica per core; 50 server periods;"
                " 1 tu = 1 virtual ms)\n\n";
 
   bool ok = true;
+  std::vector<std::pair<std::string, Sample>> all_samples;
   for (const auto policy :
        {model::ServerPolicy::kPolling, model::ServerPolicy::kDeferrable}) {
     std::cout << "--- " << model::to_string(policy) << " ---\n";
@@ -91,6 +107,7 @@ int main() {
           common::fingerprint(exec_run.merged.timeline) ==
           common::fingerprint(exec_rerun.merged.timeline);
       samples.push_back(s);
+      all_samples.emplace_back(model::to_string(policy), s);
 
       const double base = static_cast<double>(samples.front().served_exec);
       table.add_row(
@@ -121,5 +138,35 @@ int main() {
   }
   std::cout << (ok ? "scaling: monotonic 1->4, all runs deterministic\n"
                    : "scaling: FAILED\n");
+
+  if (!json_path.empty()) {
+    common::JsonWriter json;
+    json.begin_object();
+    json.key("schema").value("tsf-bench/1");
+    json.key("bench").value("mp_scaling");
+    json.key("metrics").begin_array();
+    for (const auto& [policy, s] : all_samples) {
+      for (const auto& [metric, count] :
+           {std::pair<const char*, std::size_t>{"served_sim", s.served_sim},
+            {"served_exec", s.served_exec}}) {
+        char name[96];
+        std::snprintf(name, sizeof name, "%s/cores_%d/%s", policy.c_str(),
+                      s.cores, metric);
+        json.begin_object();
+        json.key("name").value(name);
+        json.key("value").value(static_cast<double>(count));
+        json.key("higher_is_better").value(true);
+        json.end_object();
+      }
+    }
+    json.end_array();
+    json.end_object();
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "error: cannot write '" << json_path << "'\n";
+      return 1;
+    }
+    out << json.take();
+  }
   return ok ? 0 : 1;
 }

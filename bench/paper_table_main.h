@@ -1,6 +1,7 @@
-// Shared driver for the four table-reproduction benches: runs the six paper
-// sets under one (policy, mode) pair and prints our table next to the
-// paper's published values.
+// Shared driver for the four table-reproduction benches: enumerates the six
+// paper sets under one (policy, mode) pair, runs them through the sharded
+// harness (`--jobs N` fans the cells out over worker processes) and prints
+// our table next to the paper's published values.
 #pragma once
 
 #include <array>
@@ -8,7 +9,7 @@
 #include <iostream>
 
 #include "common/table.h"
-#include "exp/tables.h"
+#include "exp/shard.h"
 
 namespace tsf::bench {
 
@@ -23,11 +24,17 @@ struct PaperReference {
 
 inline int run_paper_table_bench(model::ServerPolicy policy,
                                  exp::Mode mode,
-                                 const PaperReference& reference) {
+                                 const PaperReference& reference,
+                                 int argc = 0, char** argv = nullptr) {
+  exp::ShardOptions shard;
+  for (int i = 1; i < argc; ++i) {
+    if (!exp::parse_shard_flag(argc, argv, &i, &shard)) return 2;
+  }
   const exp::ExecOptions options = mode == exp::Mode::kExecution
                                        ? exp::paper_execution_options()
                                        : exp::ExecOptions{};
-  const exp::PaperTable table = exp::run_paper_table(policy, mode, options);
+  const exp::PaperTable table =
+      exp::run_paper_table(policy, mode, options, shard);
 
   std::cout << "=== " << reference.label << " ===\n";
   std::cout << "(6 sets x 10 systems, seed 1983, horizon 10 server periods;"

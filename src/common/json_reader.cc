@@ -1,0 +1,198 @@
+#include "common/json_reader.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "common/json_writer.h"
+
+namespace tsf::common {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  const JsonValue* hit = nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) hit = &value;
+  }
+  return hit;
+}
+
+namespace {
+constexpr int kMaxDepth = 64;
+}  // namespace
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing garbage after document");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_) *error_ = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return fail("expected string");
+    }
+    ++pos_;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        if (!json_unescape(text_.substr(start, pos_ - start), out)) {
+          return fail("bad escape in string");
+        }
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      pos_ += (c == '\\' && pos_ + 1 < text_.size()) ? 2 : 1;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double x = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto res = std::from_chars(first, last, x);
+    if (res.ec != std::errc() || res.ptr != last || first == last) {
+      pos_ = start;
+      return fail("bad number");
+    }
+    out->type_ = JsonValue::Type::kNumber;
+    out->number_ = x;
+    return true;
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return fail("document too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of document");
+    switch (text_[pos_]) {
+      case '{': {
+        ++pos_;
+        out->type_ = JsonValue::Type::kObject;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(&key)) return false;
+          skip_ws();
+          if (pos_ >= text_.size() || text_[pos_] != ':') {
+            return fail("expected ':' after object key");
+          }
+          ++pos_;
+          skip_ws();
+          JsonValue value;
+          if (!parse_value(&value, depth + 1)) return false;
+          out->members_.emplace_back(std::move(key), std::move(value));
+          skip_ws();
+          if (pos_ >= text_.size()) return fail("unterminated object");
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == '}') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or '}' in object");
+        }
+      }
+      case '[': {
+        ++pos_;
+        out->type_ = JsonValue::Type::kArray;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          JsonValue value;
+          if (!parse_value(&value, depth + 1)) return false;
+          out->array_.push_back(std::move(value));
+          skip_ws();
+          if (pos_ >= text_.size()) return fail("unterminated array");
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == ']') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or ']' in array");
+        }
+      }
+      case '"': {
+        out->type_ = JsonValue::Type::kString;
+        return parse_string(&out->string_);
+      }
+      case 't':
+        if (!literal("true")) return fail("bad literal");
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = true;
+        return true;
+      case 'f':
+        if (!literal("false")) return fail("bad literal");
+        out->type_ = JsonValue::Type::kBool;
+        out->bool_ = false;
+        return true;
+      case 'n':
+        if (!literal("null")) return fail("bad literal");
+        out->type_ = JsonValue::Type::kNull;
+        return true;
+      default:
+        return parse_number(out);
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+bool json_parse(std::string_view text, JsonValue* out, std::string* error) {
+  *out = JsonValue();
+  return JsonParser(text, error).parse(out);
+}
+
+}  // namespace tsf::common

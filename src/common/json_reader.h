@@ -1,0 +1,61 @@
+// Minimal JSON parsing — the consuming half of common/json_writer.
+//
+// Exists so the bench-regression gate and the round-trip tests can read the
+// documents this repo emits without an external dependency. It is a strict
+// recursive-descent parser over the full JSON grammar (objects, arrays,
+// strings with escapes, numbers, booleans, null); it is not meant to be
+// fast or to handle adversarial depth (recursion is bounded by kMaxDepth).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsf::common {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; asserting the type is the caller's job (they return
+  // the zero value on mismatch so probing code stays short).
+  bool as_bool() const { return type_ == Type::kBool && bool_; }
+  double as_number() const { return type_ == Type::kNumber ? number_ : 0.0; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& as_array() const { return array_; }
+
+  // Object member by key; nullptr when absent or not an object. Duplicate
+  // keys keep the last occurrence (matching common parsers).
+  const JsonValue* find(std::string_view key) const;
+  // Object members in document order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Parses one complete JSON document (trailing whitespace allowed, trailing
+// garbage is an error). On failure returns false and sets `error` to a
+// message with the byte offset.
+bool json_parse(std::string_view text, JsonValue* out, std::string* error);
+
+}  // namespace tsf::common

@@ -1,0 +1,248 @@
+#include "common/json_writer.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/diag.h"
+
+namespace tsf::common {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Appends the UTF-8 encoding of `cp` (<= U+FFFF, from a \uXXXX escape).
+static void append_utf8(std::string* out, unsigned cp) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+bool json_unescape(std::string_view s, std::string* out) {
+  out->clear();
+  out->reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out->push_back(s[i]);
+      continue;
+    }
+    if (++i >= s.size()) return false;
+    switch (s[i]) {
+      case '"':
+        out->push_back('"');
+        break;
+      case '\\':
+        out->push_back('\\');
+        break;
+      case '/':
+        out->push_back('/');
+        break;
+      case 'b':
+        out->push_back('\b');
+        break;
+      case 'f':
+        out->push_back('\f');
+        break;
+      case 'n':
+        out->push_back('\n');
+        break;
+      case 'r':
+        out->push_back('\r');
+        break;
+      case 't':
+        out->push_back('\t');
+        break;
+      case 'u': {
+        if (i + 4 >= s.size()) return false;
+        unsigned cp = 0;
+        for (int k = 1; k <= 4; ++k) {
+          const char h = s[i + static_cast<std::size_t>(k)];
+          cp <<= 4;
+          if (h >= '0' && h <= '9') {
+            cp |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            cp |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            cp |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return false;
+          }
+        }
+        append_utf8(out, cp);
+        i += 4;
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+std::string json_double(double x) {
+  if (!std::isfinite(x)) return "null";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, x);
+  TSF_ASSERT(res.ec == std::errc(), "double to_chars overflow");
+  return std::string(buf, res.ptr);
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  TSF_ASSERT(!stack_.empty() && stack_.back() == Scope::kObject,
+             "end_object outside an object");
+  TSF_ASSERT(!pending_key_, "dangling key at end_object");
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  TSF_ASSERT(!stack_.empty() && stack_.back() == Scope::kArray,
+             "end_array outside an array");
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  TSF_ASSERT(!stack_.empty() && stack_.back() == Scope::kObject,
+             "key outside an object");
+  TSF_ASSERT(!pending_key_, "two keys in a row");
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  newline_indent();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;  // document root
+  if (stack_.back() == Scope::kObject) {
+    TSF_ASSERT(pending_key_, "object value without a key");
+    pending_key_ = false;
+    return;
+  }
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  newline_indent();
+}
+
+void JsonWriter::newline_indent() {
+  out_ += '\n';
+  out_.append(2 * stack_.size(), ' ');
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double x) {
+  before_value();
+  out_ += json_double(x);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t x) {
+  before_value();
+  out_ += std::to_string(x);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t x) {
+  before_value();
+  out_ += std::to_string(x);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::take() {
+  TSF_ASSERT(stack_.empty(), "take() with unclosed containers");
+  out_ += '\n';
+  return std::move(out_);
+}
+
+}  // namespace tsf::common

@@ -1,0 +1,74 @@
+// Deterministic JSON emission for machine-readable experiment results.
+//
+// The experiment harness promises byte-identical output for identical
+// metrics regardless of worker count or host, so this writer is strict
+// about formatting: keys are emitted in call order (no map reordering),
+// doubles use the shortest round-trip representation (std::to_chars), and
+// there is exactly one spelling of every token — no locale, no trailing
+// zeros, no whitespace options beyond the fixed two-space pretty-printer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsf::common {
+
+// `s` with JSON string escapes applied (quotes, backslash, \b \f \n \r \t,
+// \u00XX for the remaining control bytes). Non-ASCII bytes pass through
+// untouched: the writer treats strings as UTF-8 and never re-encodes.
+std::string json_escape(std::string_view s);
+
+// Inverse of json_escape over well-formed escapes (including \uXXXX for
+// code points up to U+FFFF, encoded back to UTF-8). Returns false on a
+// malformed escape and leaves `out` unspecified.
+bool json_unescape(std::string_view s, std::string* out);
+
+// Shortest representation that parses back to exactly `x`. Emits digits in
+// to_chars general format; nan/inf (not valid JSON) are emitted as null.
+std::string json_double(double x);
+
+// Streaming writer building a pretty-printed document in memory.
+//
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("schema").value("tsf-tables/1");
+//   w.key("cells").begin_array();
+//   ...
+//   w.end_array();
+//   w.end_object();
+//   std::string doc = w.take();  // ends with '\n'
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double x);
+  JsonWriter& value(std::int64_t x);
+  JsonWriter& value(std::uint64_t x);
+  JsonWriter& value(int x) { return value(static_cast<std::int64_t>(x)); }
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  // The finished document. Call once, after the last end_*; asserts that
+  // every container was closed.
+  std::string take();
+
+ private:
+  enum class Scope { kObject, kArray };
+  void before_value();
+  void newline_indent();
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;  // parallel to stack_
+  bool pending_key_ = false;
+};
+
+}  // namespace tsf::common

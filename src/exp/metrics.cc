@@ -53,6 +53,8 @@ SetMetrics compute_set_metrics(const std::vector<model::RunResult>& runs) {
   set.aart = aart.mean();
   set.air = air.mean();
   set.asr = asr.mean();
+  set.p50_response_tu = tail.p50();
+  set.p95_response_tu = tail.p95();
   set.p99_response_tu = tail.p99();
   return set;
 }

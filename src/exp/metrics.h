@@ -30,8 +30,11 @@ struct SetMetrics {
   double aart = 0.0;
   double air = 0.0;
   double asr = 0.0;
-  // p99 of the served responses pooled across every run in the set (not an
-  // average of per-run p99s — tail latency doesn't average meaningfully).
+  // Quantiles of the served responses pooled across every run in the set
+  // (not averages of per-run quantiles — tail latency doesn't average
+  // meaningfully).
+  double p50_response_tu = 0.0;
+  double p95_response_tu = 0.0;
   double p99_response_tu = 0.0;
   std::size_t systems = 0;
   std::size_t total_jobs = 0;

@@ -1,8 +1,11 @@
 #include "exp/tables.h"
 
+#include <cstdio>
 #include <sstream>
 
+#include "common/diag.h"
 #include "common/table.h"
+#include "exp/shard.h"
 #include "sim/simulator.h"
 
 namespace tsf::exp {
@@ -42,17 +45,47 @@ SetMetrics run_set(const gen::GeneratorParams& params, Mode mode,
   return compute_set_metrics(runs);
 }
 
+std::vector<WorkUnit> paper_table_units(const std::string& table_id,
+                                        model::ServerPolicy policy, Mode mode,
+                                        const ExecOptions& exec_options) {
+  std::vector<WorkUnit> units;
+  units.reserve(6);
+  for (const auto& set : paper_sets()) {
+    WorkUnit unit;
+    char label[64];
+    std::snprintf(label, sizeof label, "%s/(%g,%g)", table_id.c_str(),
+                  set.density, set.std_deviation);
+    unit.label = label;
+    unit.params = paper_generator_params(set, policy);
+    unit.mode = mode;
+    unit.exec_options = exec_options;
+    units.push_back(std::move(unit));
+  }
+  return units;
+}
+
 PaperTable run_paper_table(model::ServerPolicy policy, Mode mode,
                            const ExecOptions& exec_options) {
+  return run_paper_table(policy, mode, exec_options, ShardOptions{});
+}
+
+PaperTable run_paper_table(model::ServerPolicy policy, Mode mode,
+                           const ExecOptions& exec_options,
+                           const ShardOptions& shard) {
   PaperTable table;
   std::ostringstream title;
   title << "Measures on " << model::to_string(policy) << " server "
         << to_string(mode) << "s";
   table.title = title.str();
-  const auto sets = paper_sets();
-  for (std::size_t i = 0; i < sets.size(); ++i) {
-    table.cells[i] =
-        run_set(paper_generator_params(sets[i], policy), mode, exec_options);
+  const auto units =
+      paper_table_units(model::to_string(policy), policy, mode, exec_options);
+  const ShardOutcome outcome = run_units(units, shard);
+  TSF_ASSERT(outcome.ok, "paper table harness failed: " << outcome.error);
+  for (std::size_t i = 0; i < table.cells.size(); ++i) {
+    table.cells[i] = outcome.cells[i].metrics;
+    table.spec_digests[i] = outcome.cells[i].spec_digest;
+    table.gen_seconds += outcome.cells[i].gen_seconds;
+    table.run_seconds += outcome.cells[i].run_seconds;
   }
   return table;
 }

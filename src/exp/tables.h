@@ -4,6 +4,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -39,14 +40,37 @@ gen::GeneratorParams paper_generator_params(const PaperSet& set,
 SetMetrics run_set(const gen::GeneratorParams& params, Mode mode,
                    const ExecOptions& exec_options = {});
 
+struct WorkUnit;      // exp/shard.h — one cell of an experiment grid
+struct ShardOptions;  // exp/shard.h — worker-process fan-out knobs
+
 // Runs all six sets and renders the table in the paper's layout (AART/AIR/
 // ASR rows; two banks of three columns).
 struct PaperTable {
   std::string title;
   std::array<SetMetrics, 6> cells;
+  // Per-cell digest of the generated systems (exp::digest_spec over the
+  // cell's ten specs): identical digests across worker counts prove the
+  // shards ran the same workloads.
+  std::array<std::uint64_t, 6> spec_digests{};
+  // Harness timing split: generating systems vs running them, summed over
+  // the cells (wall-clock; never part of the machine-readable output).
+  double gen_seconds = 0.0;
+  double run_seconds = 0.0;
 };
+
+// The table's six cells as harness work units, labelled "<id>/(d,sd)".
+std::vector<WorkUnit> paper_table_units(const std::string& table_id,
+                                        model::ServerPolicy policy, Mode mode,
+                                        const ExecOptions& exec_options = {});
+
+// Runs the six cells through the sharded harness (serially in-process by
+// default) and assembles the table. Panics on a harness failure — a worker
+// crash names the cell.
 PaperTable run_paper_table(model::ServerPolicy policy, Mode mode,
                            const ExecOptions& exec_options = {});
+PaperTable run_paper_table(model::ServerPolicy policy, Mode mode,
+                           const ExecOptions& exec_options,
+                           const ShardOptions& shard);
 std::string format_paper_table(const PaperTable& table);
 
 }  // namespace tsf::exp
