@@ -149,6 +149,7 @@ std::string run_and_report(const CliConfig& config) {
     mp_options.policy = config.policy;
     mp_options.exec = config.exec_options;
     mp_options.quantum = config.quantum;
+    mp_options.rebalance = config.rebalance;
     if (config.mode == RunMode::kSim || config.mode == RunMode::kBoth) {
       const auto run = mp::run_partitioned_sim(config.spec, verdict.partition,
                                                mp_options);
@@ -161,6 +162,11 @@ std::string run_and_report(const CliConfig& config) {
         os << "note: the simulator always runs the static partition — the "
            << mp::to_string(config.policy)
            << " policy applies to the execution engine only\n\n";
+      }
+      if (config.rebalance.mode != mp::RebalanceMode::kOff) {
+        os << "note: the simulator never rebalances — rebalance = "
+           << mp::to_string(config.rebalance.mode)
+           << " applies to the execution engine only\n\n";
       }
     }
     if (config.mode == RunMode::kExec || config.mode == RunMode::kBoth) {
@@ -204,6 +210,23 @@ std::string run_and_report(const CliConfig& config) {
           }
           os << '\n';
         }
+      }
+      if (config.rebalance.mode != mp::RebalanceMode::kOff) {
+        os << "rebalancing (" << mp::to_string(config.rebalance.mode)
+           << ", drift " << common::fmt_fixed(config.rebalance.drift, 2)
+           << ", period " << common::to_string(config.rebalance.period)
+           << "): " << run.rebalance_passes << " passes, "
+           << run.rebalance_migrations << " migrations, "
+           << run.rebalance_admissions << " admissions";
+        if (run.rebalance_still_rejected > 0) {
+          os << ", " << run.rebalance_still_rejected << " still rejected";
+        }
+        os << "\npost-rebalance utilization:";
+        for (std::size_t c = 0; c < run.rebalance_utilization.size(); ++c) {
+          os << " c" << c << "="
+             << common::fmt_fixed(run.rebalance_utilization[c], 3);
+        }
+        os << '\n';
       }
       os << "trace fingerprint: " << std::hex
          << common::fingerprint(run.merged.timeline) << std::dec << "\n";

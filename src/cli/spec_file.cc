@@ -286,6 +286,31 @@ struct Parser {
         error(line, "unknown scheduling policy '" + value +
                         "' (partitioned|global|semi)");
       }
+    } else if (key == "rebalance") {
+      const auto mode = mp::parse_rebalance_mode(value);
+      if (mode.has_value()) {
+        out.config.rebalance.mode = *mode;
+      } else {
+        error(line, "unknown rebalance mode '" + value + "' (off|drift|admit)");
+      }
+    } else if (key == "rebalance_drift") {
+      double drift = 0.0;
+      if (parse_double(line, value, &drift)) {
+        if (drift <= 0.0) {
+          error(line, "rebalance_drift must be positive");
+        } else {
+          out.config.rebalance.drift = drift;
+        }
+      }
+    } else if (key == "rebalance_period") {
+      Duration period;
+      if (parse_duration(line, value, &period)) {
+        if (period.is_zero()) {
+          error(line, "rebalance_period must be positive");
+        } else {
+          out.config.rebalance.period = period;
+        }
+      }
     } else if (key == "partition") {
       if (value == "ffd" || value == "first-fit") {
         out.config.partition = mp::PackingStrategy::kFirstFitDecreasing;
@@ -345,6 +370,12 @@ struct Parser {
         out.config.spec.cores <= 1) {
       out.errors.push_back(std::string("scheduling policy '") +
                            mp::to_string(out.config.policy) +
+                           "' needs a multi-core run (cores > 1)");
+    }
+    if (out.config.rebalance.mode != mp::RebalanceMode::kOff &&
+        out.config.spec.cores <= 1) {
+      out.errors.push_back(std::string("rebalance '") +
+                           mp::to_string(out.config.rebalance.mode) +
                            "' needs a multi-core run (cores > 1)");
     }
     const auto& server = out.config.spec.server;

@@ -38,6 +38,9 @@
 //     policy   = semi             # partitioned|global|semi job scheduling
 //     quantum  = 0.5              # lock-step epoch of the multi-core VMs
 //     channel_latency = 0.25      # min cross-core message in-flight time
+//     rebalance = drift           # off|drift|admit online load rebalancing
+//     rebalance_drift = 0.25      # measured-vs-packed utilization trigger
+//     rebalance_period = 6        # window + min gap between passes (tu)
 #pragma once
 
 #include <string>
@@ -47,6 +50,7 @@
 #include "exp/tables.h"
 #include "model/spec.h"
 #include "mp/partition.h"
+#include "mp/rebalance.h"
 #include "mp/sched_policy.h"
 
 namespace tsf::cli {
@@ -70,6 +74,10 @@ struct CliConfig {
   // Lock-step epoch of the partitioned execution (mp::MultiVm). Also the
   // granularity at which cross-core channel messages are delivered.
   common::Duration quantum = common::Duration::time_units(1);
+  // Online load rebalancing at the epoch boundaries (exec path of
+  // multi-core specs): off, drift-triggered migration of pending work, or
+  // drift + online admission of offline-rejected tasks.
+  mp::RebalanceConfig rebalance;
 };
 
 struct ParseOutcome {

@@ -1,0 +1,41 @@
+// The tolerance check behind tools/bench_gate.cc, extracted so it can be
+// unit-tested (tests/common/gate_check_test.cc).
+//
+// A tracked metric regresses when it moves past the baseline in its bad
+// direction by more than the tolerance. The margin is *relative* to the
+// baseline magnitude — |baseline| * tolerance — so a negative baseline
+// (e.g. a signed drift or delta cell) keeps a sane band instead of the
+// degenerate one naive baseline * (1 ± tolerance) arithmetic produces
+// (which flips the band to the wrong side of a negative baseline and
+// rejects even current == baseline). A zero baseline has no magnitude to
+// scale, so the tolerance becomes an absolute bound — in both directions:
+// a lower-is-better metric that legitimately measures 0 (a latency cell on
+// an idle path) may rise to at most +tolerance, and a higher-is-better
+// zero baseline may fall to at most -tolerance.
+#pragma once
+
+#include <cmath>
+
+namespace tsf::common {
+
+struct GateVerdict {
+  double limit = 0.0;    // the current value's last admissible value
+  bool regressed = false;
+};
+
+inline GateVerdict gate_check(double baseline, double current,
+                              double tolerance, bool higher_is_better) {
+  const double margin =
+      baseline == 0.0 ? tolerance : std::abs(baseline) * tolerance;
+  GateVerdict v;
+  if (higher_is_better) {
+    v.limit = baseline - margin;
+    v.regressed = current < v.limit;
+  } else {
+    v.limit = baseline + margin;
+    v.regressed = current > v.limit;
+  }
+  return v;
+}
+
+}  // namespace tsf::common

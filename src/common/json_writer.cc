@@ -48,18 +48,44 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
-// Appends the UTF-8 encoding of `cp` (<= U+FFFF, from a \uXXXX escape).
+// Appends the UTF-8 encoding of `cp` (<= U+10FFFF; astral code points come
+// from decoded \uXXXX surrogate pairs).
 static void append_utf8(std::string* out, unsigned cp) {
   if (cp < 0x80) {
     out->push_back(static_cast<char>(cp));
   } else if (cp < 0x800) {
     out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
     out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-  } else {
+  } else if (cp < 0x10000) {
     out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
     out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
     out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
   }
+}
+
+// Reads the 4 hex digits of a \uXXXX escape at s[i+1..i+4] into *cp.
+static bool read_hex4(std::string_view s, std::size_t i, unsigned* cp) {
+  if (i + 4 >= s.size()) return false;
+  *cp = 0;
+  for (int k = 1; k <= 4; ++k) {
+    const char h = s[i + static_cast<std::size_t>(k)];
+    *cp <<= 4;
+    if (h >= '0' && h <= '9') {
+      *cp |= static_cast<unsigned>(h - '0');
+    } else if (h >= 'a' && h <= 'f') {
+      *cp |= static_cast<unsigned>(h - 'a' + 10);
+    } else if (h >= 'A' && h <= 'F') {
+      *cp |= static_cast<unsigned>(h - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool json_unescape(std::string_view s, std::string* out) {
@@ -97,23 +123,26 @@ bool json_unescape(std::string_view s, std::string* out) {
         out->push_back('\t');
         break;
       case 'u': {
-        if (i + 4 >= s.size()) return false;
         unsigned cp = 0;
-        for (int k = 1; k <= 4; ++k) {
-          const char h = s[i + static_cast<std::size_t>(k)];
-          cp <<= 4;
-          if (h >= '0' && h <= '9') {
-            cp |= static_cast<unsigned>(h - '0');
-          } else if (h >= 'a' && h <= 'f') {
-            cp |= static_cast<unsigned>(h - 'a' + 10);
-          } else if (h >= 'A' && h <= 'F') {
-            cp |= static_cast<unsigned>(h - 'A' + 10);
-          } else {
+        if (!read_hex4(s, i, &cp)) return false;
+        i += 4;
+        if (cp >= 0xDC00 && cp <= 0xDFFF) {
+          return false;  // a lone low surrogate encodes nothing
+        }
+        if (cp >= 0xD800 && cp <= 0xDBFF) {
+          // A high surrogate is only valid as the first half of a
+          // \uXXXX\uXXXX pair encoding one astral code point (JSON strings
+          // carry UTF-16 escapes; CESU-8-style independent encoding of the
+          // halves would round-trip a spec name to garbage).
+          unsigned lo = 0;
+          if (i + 2 >= s.size() || s[i + 1] != '\\' || s[i + 2] != 'u' ||
+              !read_hex4(s, i + 2, &lo) || lo < 0xDC00 || lo > 0xDFFF) {
             return false;
           }
+          i += 6;
+          cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
         }
         append_utf8(out, cp);
-        i += 4;
         break;
       }
       default:

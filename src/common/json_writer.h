@@ -20,9 +20,11 @@ namespace tsf::common {
 // untouched: the writer treats strings as UTF-8 and never re-encodes.
 std::string json_escape(std::string_view s);
 
-// Inverse of json_escape over well-formed escapes (including \uXXXX for
-// code points up to U+FFFF, encoded back to UTF-8). Returns false on a
-// malformed escape and leaves `out` unspecified.
+// Inverse of json_escape over well-formed escapes, \uXXXX included:
+// BMP escapes decode directly, a \uXXXX\uXXXX surrogate pair decodes to
+// its astral code point, and both are encoded back to UTF-8. Returns false
+// on a malformed escape — including a lone (unpaired) surrogate half —
+// and leaves `out` unspecified.
 bool json_unescape(std::string_view s, std::string* out);
 
 // Shortest representation that parses back to exactly `x`. Emits digits in

@@ -60,6 +60,11 @@ std::optional<Request> StrictFifoQueue::steal(const StealEligibleFn& eligible,
   return steal_from(q_, eligible, before);
 }
 
+void StrictFifoQueue::visit(
+    const std::function<void(const Request&)>& fn) const {
+  for (const auto& r : q_) fn(r);
+}
+
 std::optional<Request> FifoFirstFitQueue::pop_fitting(const FitsFn& fits) {
   for (auto it = q_.begin(); it != q_.end(); ++it) {
     if (fits(declared(*it))) {
@@ -80,6 +85,11 @@ std::vector<Request> FifoFirstFitQueue::drain() {
 std::optional<Request> FifoFirstFitQueue::steal(
     const StealEligibleFn& eligible, const StealBeforeFn& before) {
   return steal_from(q_, eligible, before);
+}
+
+void FifoFirstFitQueue::visit(
+    const std::function<void(const Request&)>& fn) const {
+  for (const auto& r : q_) fn(r);
 }
 
 ListOfListsQueue::ListOfListsQueue(rtsj::RelativeTime capacity)
@@ -169,6 +179,14 @@ std::optional<Request> ListOfListsQueue::steal(
     }
   }
   return std::nullopt;  // unreachable: the winner was just seen above
+}
+
+void ListOfListsQueue::visit(
+    const std::function<void(const Request&)>& fn) const {
+  for (const auto& r : active_) fn(r);
+  for (const auto& bucket : buckets_) {
+    for (const auto& r : bucket.items) fn(r);
+  }
 }
 
 void ListOfListsQueue::begin_instance() {

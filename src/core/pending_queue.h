@@ -53,9 +53,19 @@ class PendingQueue {
   // Removes and returns the request that `before` ranks first among those
   // `eligible`, or nullopt when none is eligible — the victim side of the
   // semi-partitioned work stealer. Only pending (never running) requests
-  // live in the queue, so a stolen job can never be mid-dispatch.
+  // live in the queue, so a stolen job can never be mid-dispatch. A request
+  // can, however, be mid-*bind*: released at this very instant (an epoch
+  // boundary), with the home server's wake-up for it still in flight —
+  // TaskServer::steal_pending_request therefore excludes boundary-
+  // coincident releases from `eligible` before delegating here.
   virtual std::optional<Request> steal(const StealEligibleFn& eligible,
                                        const StealBeforeFn& before) = 0;
+  // Read-only walk over every request steal() could reach, in queue order
+  // (the list-of-lists queue skips its parked unservable requests, exactly
+  // like steal does). The online rebalancer snapshots queues through this
+  // before deciding what — if anything — to move, so nothing is ever
+  // popped and re-pushed just to be put back.
+  virtual void visit(const std::function<void(const Request&)>& fn) const = 0;
   // Called by instance-based servers at each activation; only the
   // list-of-lists queue reacts (it rotates to the next instance bucket).
   virtual void begin_instance() {}
@@ -74,6 +84,7 @@ class StrictFifoQueue : public PendingQueue {
   std::vector<Request> drain() override;
   std::optional<Request> steal(const StealEligibleFn& eligible,
                                const StealBeforeFn& before) override;
+  void visit(const std::function<void(const Request&)>& fn) const override;
 
  private:
   std::deque<Request> q_;
@@ -89,6 +100,7 @@ class FifoFirstFitQueue : public PendingQueue {
   std::vector<Request> drain() override;
   std::optional<Request> steal(const StealEligibleFn& eligible,
                                const StealBeforeFn& before) override;
+  void visit(const std::function<void(const Request&)>& fn) const override;
 
  private:
   std::deque<Request> q_;
@@ -118,6 +130,9 @@ class ListOfListsQueue : public PendingQueue {
   // could not be served there either.
   std::optional<Request> steal(const StealEligibleFn& eligible,
                                const StealBeforeFn& before) override;
+  // Active list, then every future bucket; parked unservable requests are
+  // skipped (they are outside steal's reach too).
+  void visit(const std::function<void(const Request&)>& fn) const override;
   // Rotates: unserved leftovers of the active list are re-registered, then
   // the first future bucket becomes the active list.
   void begin_instance() override;

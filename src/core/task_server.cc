@@ -28,6 +28,7 @@ void TaskServer::servable_event_released(ServableAsyncEventHandler* handler,
   r.release = release;
   r.seq = next_seq_++;
   ++released_;
+  released_cost_ += handler->cost();
   vm_.timeline().record(vm_.now(), common::TraceKind::kRelease,
                         handler->name());
   queue_->push(r);
@@ -36,7 +37,15 @@ void TaskServer::servable_event_released(ServableAsyncEventHandler* handler,
 
 std::optional<Request> TaskServer::steal_pending_request(
     const StealEligibleFn& eligible, const StealBeforeFn& before) {
-  return queue_->steal(eligible, before);
+  // A release landing exactly on the current instant is still mid-bind: at
+  // an epoch boundary the fabric drain (or a boundary-coincident timer)
+  // just pushed it and the home server's wake-up is still in flight, so the
+  // stealer must not take it out from under that wake-up. Strictly earlier
+  // releases only.
+  const rtsj::AbsoluteTime now = vm_.now();
+  return queue_->steal(
+      [&](const Request& r) { return r.release < now && eligible(r); },
+      before);
 }
 
 TaskServer::DispatchResult TaskServer::dispatch(const Request& request,

@@ -48,12 +48,31 @@ class TaskServer : public rtsj::Schedulable, public rtsj::Scheduler {
   // pending request `before` ranks first among the `eligible` ones. Only
   // queued (never running) requests can be taken; the caller re-creates the
   // job on the thief core. Returns nullopt when nothing is eligible.
+  //
+  // Requests whose release coincides with the current VM instant are never
+  // eligible: at a lock-step epoch boundary such a request was bound into
+  // the queue by this very boundary's fabric drain (or a timer firing at
+  // it), and the server's own wake-up for it is still in flight — stealing
+  // it mid-bind would leave the home core reacting to a request that no
+  // longer exists. Only strictly earlier releases can be taken.
   std::optional<Request> steal_pending_request(const StealEligibleFn& eligible,
                                                const StealBeforeFn& before);
+
+  // Read-only walk over the stealable queue (same reach as
+  // steal_pending_request, including requests the mid-bind rule would
+  // reject) — the online rebalancer snapshots pending work through this
+  // before deciding what to move.
+  void visit_pending(const std::function<void(const Request&)>& fn) const {
+    queue_->visit(fn);
+  }
 
   const TaskServerParameters& params() const { return params_; }
   rtsj::RelativeTime remaining_capacity() const { return remaining_; }
   std::size_t pending_count() const { return queue_->size(); }
+  // Cumulative declared cost of every request released so far — the load
+  // signal the online rebalancer (mp/rebalance.h) samples at epoch
+  // boundaries to measure this core's offered aperiodic utilization.
+  rtsj::RelativeTime released_cost() const { return released_cost_; }
 
   // --- statistics / experiment extraction ---
   std::uint64_t released_count() const { return released_; }
@@ -112,6 +131,7 @@ class TaskServer : public rtsj::Schedulable, public rtsj::Scheduler {
   std::unique_ptr<PendingQueue> queue_;
   rtsj::RelativeTime remaining_ = rtsj::RelativeTime::zero();
   std::uint64_t released_ = 0;
+  rtsj::RelativeTime released_cost_ = rtsj::RelativeTime::zero();
   std::uint64_t served_ = 0;
   std::uint64_t interrupted_ = 0;
   std::uint64_t activations_ = 0;

@@ -13,8 +13,10 @@
 #include <cstddef>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/time.h"
+#include "model/spec.h"
 
 namespace tsf::exp {
 
@@ -108,6 +110,39 @@ class CoreEndpoint {
   // Removes and returns the highest-priority *stealable* pending request
   // (unpinned job, not currently being served), or nullopt when none exists.
   virtual std::optional<StolenJob> steal_pending() { return std::nullopt; }
+
+  // --- load sensing / online admission (mp::Rebalancer; defaults keep
+  //     plain endpoints working unchanged)
+
+  // Read-only copies of every pending request steal_pending could take
+  // right now (stealable and released strictly before the current instant),
+  // in queue order. The rebalancer packs from this snapshot and then
+  // removes, via steal_exact, only the requests that actually move — so an
+  // unplaceable request is never popped and re-released.
+  virtual std::vector<StolenJob> stealable_snapshot() const { return {}; }
+  // Removes the specific pending request the snapshot promised (matched by
+  // (job, release)), or nullopt if it is no longer there.
+  virtual std::optional<StolenJob> steal_exact(const std::string& job,
+                                               common::TimePoint release) {
+    (void)job;
+    (void)release;
+    return std::nullopt;
+  }
+
+  // Cumulative declared cost of every aperiodic request released on this
+  // core so far — the signal the online rebalancer integrates over its
+  // sliding window to measure this core's offered aperiodic utilization.
+  virtual common::Duration released_cost() const {
+    return common::Duration::zero();
+  }
+  // Online admission of a periodic task the offline partitioner rejected
+  // (rebalance = admit): builds the task's thread on this core and starts
+  // it. The task's `start` must be at or after the core's current virtual
+  // instant. Returns false when this endpoint cannot host periodic tasks.
+  virtual bool admit_task(const model::PeriodicTaskSpec& task) {
+    (void)task;
+    return false;
+  }
 };
 
 // One message's life, recorded by the fabric for the latency metrics: when
@@ -121,7 +156,13 @@ struct ChannelDelivery {
   // kSteal: a work-steal under the semi-partitioned policy (posted = the
   // job's original release on the victim core; the gap is the queue wait
   // before the steal).
-  enum class Kind { kFire, kMigrate, kPool, kSteal };
+  // kRebalance: a move decided by the online rebalancer (mp/rebalance.h) at
+  // an epoch boundary. from_core != kNoCore: a pending job migrated to its
+  // re-packed home, release-preserving like kSteal (posted = the original
+  // release; the gap is the queue wait before the rebalance). from_core ==
+  // kNoCore: the online admission of a periodic task the offline
+  // partitioner had rejected (posted == delivered == the admission instant).
+  enum class Kind { kFire, kMigrate, kPool, kSteal, kRebalance };
   static constexpr std::size_t kNoCore = static_cast<std::size_t>(-1);
 
   Kind kind = Kind::kFire;

@@ -86,24 +86,7 @@ ExecSystem::ExecSystem(rtsj::vm::VirtualMachine& vm,
 
   // Periodic tasks.
   threads_.reserve(spec_.periodic_tasks.size());
-  for (const auto& t : spec_.periodic_tasks) {
-    threads_.push_back(std::make_unique<rtsj::RealtimeThread>(
-        vm_, t.name, rtsj::PriorityParameters(t.priority),
-        rtsj::PeriodicParameters(t.start, t.period, t.cost, t.deadline),
-        [this, task = t](rtsj::RealtimeThread& self) {
-          for (;;) {
-            model::PeriodicOutcome out;
-            out.task = task.name;
-            out.release = task.start + task.period * self.release_index();
-            self.work(task.cost);
-            out.completion = self.now();
-            out.deadline_missed =
-                out.completion - out.release > task.effective_deadline();
-            result_.periodic_jobs.push_back(out);
-            self.wait_for_next_period();
-          }
-        }));
-  }
+  for (const auto& t : spec_.periodic_tasks) build_task(t);
 
   // Aperiodic jobs: one SAE + SAEH each; a release timer unless the job is
   // triggered (released only by a channel delivery or another job's fire).
@@ -122,6 +105,27 @@ ExecSystem::ExecSystem(rtsj::vm::VirtualMachine& vm,
 }
 
 ExecSystem::~ExecSystem() = default;
+
+rtsj::RealtimeThread* ExecSystem::build_task(
+    const model::PeriodicTaskSpec& t) {
+  threads_.push_back(std::make_unique<rtsj::RealtimeThread>(
+      vm_, t.name, rtsj::PriorityParameters(t.priority),
+      rtsj::PeriodicParameters(t.start, t.period, t.cost, t.deadline),
+      [this, task = t](rtsj::RealtimeThread& self) {
+        for (;;) {
+          model::PeriodicOutcome out;
+          out.task = task.name;
+          out.release = task.start + task.period * self.release_index();
+          self.work(task.cost);
+          out.completion = self.now();
+          out.deadline_missed =
+              out.completion - out.release > task.effective_deadline();
+          result_.periodic_jobs.push_back(out);
+          self.wait_for_next_period();
+        }
+      }));
+  return threads_.back().get();
+}
 
 void ExecSystem::build_job(const std::string& name, common::Duration declared,
                            common::Duration actual, const std::string& fires,
@@ -207,15 +211,28 @@ void ExecSystem::deliver_job(const MigratedJob& job,
   server_->servable_event_released(handlers_by_job_[job.name], release);
 }
 
+const ExecSystem::JobInfo& ExecSystem::info_of(
+    const core::Request& r) const {
+  auto it = job_info_.find(r.handler->name());
+  TSF_ASSERT(it != job_info_.end(),
+             "pending request for unknown job " << r.handler->name());
+  return it->second;
+}
+
+StolenJob ExecSystem::to_stolen(const core::Request& r) const {
+  const JobInfo& info = info_of(r);
+  StolenJob stolen;
+  stolen.job.name = r.handler->name();
+  stolen.job.declared_cost = info.declared;
+  stolen.job.actual_cost = info.actual;
+  stolen.job.fires = info.fires;
+  stolen.job.value = info.value;
+  stolen.release = r.release;
+  return stolen;
+}
+
 std::optional<StolenJob> ExecSystem::steal_pending() {
   if (server_ == nullptr) return std::nullopt;
-  const auto info_of =
-      [this](const core::Request& r) -> const JobInfo& {
-    auto it = job_info_.find(r.handler->name());
-    TSF_ASSERT(it != job_info_.end(),
-               "pending request for unknown job " << r.handler->name());
-    return it->second;
-  };
   auto request = server_->steal_pending_request(
       [&](const core::Request& r) { return info_of(r).stealable; },
       [&](const core::Request& a, const core::Request& b) {
@@ -228,15 +245,50 @@ std::optional<StolenJob> ExecSystem::steal_pending() {
       });
   if (!request.has_value()) return std::nullopt;
   stolen_away_.insert(request->handler->name());
-  const JobInfo& info = info_of(*request);
-  StolenJob stolen;
-  stolen.job.name = request->handler->name();
-  stolen.job.declared_cost = info.declared;
-  stolen.job.actual_cost = info.actual;
-  stolen.job.fires = info.fires;
-  stolen.job.value = info.value;
-  stolen.release = request->release;
-  return stolen;
+  return to_stolen(*request);
+}
+
+std::vector<StolenJob> ExecSystem::stealable_snapshot() const {
+  std::vector<StolenJob> out;
+  if (server_ == nullptr) return out;
+  const common::TimePoint now = vm_.now();
+  server_->visit_pending([&](const core::Request& r) {
+    // Same reach as steal_pending: stealable jobs whose release is
+    // strictly earlier than the current (boundary) instant — a
+    // boundary-coincident release is still mid-bind.
+    if (r.release < now && info_of(r).stealable) out.push_back(to_stolen(r));
+  });
+  return out;
+}
+
+std::optional<StolenJob> ExecSystem::steal_exact(const std::string& job,
+                                                 common::TimePoint release) {
+  if (server_ == nullptr) return std::nullopt;
+  auto request = server_->steal_pending_request(
+      [&](const core::Request& r) {
+        return r.handler->name() == job && r.release == release &&
+               info_of(r).stealable;
+      },
+      [](const core::Request& a, const core::Request& b) {
+        return a.seq < b.seq;  // two identical (job, release): oldest first
+      });
+  if (!request.has_value()) return std::nullopt;
+  stolen_away_.insert(request->handler->name());
+  return to_stolen(*request);
+}
+
+common::Duration ExecSystem::released_cost() const {
+  return server_ != nullptr ? server_->released_cost() : common::Duration::zero();
+}
+
+bool ExecSystem::admit_task(const model::PeriodicTaskSpec& task) {
+  TSF_ASSERT(task.start >= vm_.now(),
+             "task " << task.name << " admitted with a start in the past");
+  // Only ever called mid-run (the rebalancer's admission pass fires at
+  // epoch boundaries, after start()), so the new thread is started here —
+  // it parks until task.start on its own.
+  build_task(task)->start();
+  return true;
 }
 
 void ExecSystem::start() {

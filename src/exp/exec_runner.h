@@ -24,6 +24,7 @@ namespace tsf::core {
 class ServableAsyncEvent;
 class ServableAsyncEventHandler;
 class TaskServer;
+struct Request;
 }  // namespace tsf::core
 namespace tsf::rtsj {
 class OneShotTimer;
@@ -110,6 +111,11 @@ class ExecSystem : public CoreEndpoint {
   void deliver_job(const MigratedJob& job,
                    common::TimePoint release) override;
   std::optional<StolenJob> steal_pending() override;
+  std::vector<StolenJob> stealable_snapshot() const override;
+  std::optional<StolenJob> steal_exact(const std::string& job,
+                                       common::TimePoint release) override;
+  common::Duration released_cost() const override;
+  bool admit_task(const model::PeriodicTaskSpec& task) override;
 
  private:
   // What deliver_job / steal_pending need to rebuild a job elsewhere: the
@@ -124,6 +130,11 @@ class ExecSystem : public CoreEndpoint {
     bool stealable = false;
   };
 
+  const JobInfo& info_of(const core::Request& r) const;
+  StolenJob to_stolen(const core::Request& r) const;
+  // Builds one periodic task's RealtimeThread (body records
+  // PeriodicOutcomes against task.start + k * period).
+  rtsj::RealtimeThread* build_task(const model::PeriodicTaskSpec& task);
   // Builds handler + event (+ optional release timer) for one job and
   // registers the event under the job's name.
   void build_job(const std::string& name, common::Duration declared,

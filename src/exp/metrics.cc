@@ -105,7 +105,8 @@ ChannelMetrics compute_channel_metrics(
 
   for (const auto& d : deliveries) {
     if (d.kind == ChannelDelivery::Kind::kPool ||
-        d.kind == ChannelDelivery::Kind::kSteal) {
+        d.kind == ChannelDelivery::Kind::kSteal ||
+        d.kind == ChannelDelivery::Kind::kRebalance) {
       // A failed pool dispatch (no serving core anywhere) is a scheduler
       // placement failure, not a channel failure — it must not inflate the
       // 'cross-core channels: N failed' line. The job stays visible as an
@@ -113,6 +114,15 @@ ChannelMetrics compute_channel_metrics(
       if (!d.ok) continue;
       if (d.kind == ChannelDelivery::Kind::kPool) ++m.pool_dispatches;
       if (d.kind == ChannelDelivery::Kind::kSteal) ++m.steals;
+      if (d.kind == ChannelDelivery::Kind::kRebalance) {
+        // from_core == kNoCore marks an online admission (no queue wait by
+        // construction); anything else is a pending-job migration.
+        if (d.from_core == ChannelDelivery::kNoCore) {
+          ++m.rebalance_admissions;
+          continue;
+        }
+        ++m.rebalance_migrations;
+      }
       sched_wait.add(d.latency().to_tu());
       sched_wait_q.add(d.latency().to_tu());
       continue;

@@ -90,7 +90,14 @@ struct ChannelMetrics {
   // Run-time job movement by the scheduling policy.
   std::size_t pool_dispatches = 0;
   std::size_t steals = 0;
-  double sched_wait_mean_tu = 0.0;  // over pool dispatches + steals
+  // Online-rebalancer moves (kRebalance records): cross-core migrations of
+  // pending jobs, and online admissions of offline-rejected periodic tasks
+  // (from_core == kNoCore). Migrations contribute their queue wait to the
+  // sched-wait distribution exactly like steals; admissions (posted ==
+  // delivered by construction) do not.
+  std::size_t rebalance_migrations = 0;
+  std::size_t rebalance_admissions = 0;
+  double sched_wait_mean_tu = 0.0;  // over pool dispatches + steals + moves
   double sched_wait_p99_tu = 0.0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
@@ -265,9 +266,16 @@ MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
     }
   }
 
+  std::unique_ptr<Rebalancer> rebalancer;
+  if (options.rebalance.mode != RebalanceMode::kOff) {
+    rebalancer = std::make_unique<Rebalancer>(options.rebalance, fabric, spec,
+                                              out.partition, options.strategy);
+  }
+
   MultiVm machine(subs, options.exec, &fabric,
                   options.policy == SchedPolicy::kPartitioned ? nullptr
-                                                              : &engine);
+                                                              : &engine,
+                  rebalancer.get());
   machine.start();
   machine.run_until(spec.horizon, options.quantum);
   out.per_core = machine.collect();
@@ -276,6 +284,13 @@ MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
   out.channel_in_flight = fabric.in_flight() + engine.pool_pending();
   out.pool_dispatches = engine.pool_dispatches();
   out.steals = engine.steal_count();
+  if (rebalancer != nullptr) {
+    out.rebalance_passes = rebalancer->passes();
+    out.rebalance_migrations = rebalancer->migrations();
+    out.rebalance_admissions = rebalancer->admissions();
+    out.rebalance_still_rejected = rebalancer->still_rejected();
+    out.rebalance_utilization = rebalancer->measured_utilization();
+  }
   return out;
 }
 

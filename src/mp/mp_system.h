@@ -22,6 +22,7 @@
 #include "model/run_result.h"
 #include "model/spec.h"
 #include "mp/partition.h"
+#include "mp/rebalance.h"
 #include "mp/sched_policy.h"
 
 namespace tsf::mp {
@@ -35,6 +36,9 @@ struct MpRunOptions {
   exp::ExecOptions exec;
   // Lock-step epoch of the MultiVm (execution path only).
   common::Duration quantum = common::Duration::time_units(1);
+  // Online load rebalancing at the epoch boundaries (exec path only; the
+  // simulator has no fabric and always runs the static partition).
+  RebalanceConfig rebalance;
 };
 
 // Per-core uniprocessor specs for a partition of `spec`: core k gets the
@@ -92,6 +96,16 @@ struct MpRunResult {
   // Scheduling-policy counters (zero under the partitioned baseline).
   std::uint64_t pool_dispatches = 0;
   std::uint64_t steals = 0;
+  // Online-rebalancing results (zero / empty when rebalance = off). The
+  // migrations and admissions also appear, exactly once each, as
+  // kRebalance records in channel_deliveries.
+  std::uint64_t rebalance_passes = 0;
+  std::uint64_t rebalance_migrations = 0;
+  std::uint64_t rebalance_admissions = 0;
+  std::size_t rebalance_still_rejected = 0;
+  // The last measured per-core utilization sample — the post-rebalance
+  // load picture.
+  std::vector<double> rebalance_utilization;
 };
 
 // One sim::Simulator per core (theoretical policies, resumable service).

@@ -2,6 +2,7 @@
 
 #include "common/diag.h"
 #include "mp/channel.h"
+#include "mp/rebalance.h"
 #include "mp/sched_policy.h"
 
 namespace tsf::mp {
@@ -11,11 +12,13 @@ using common::TimePoint;
 
 MultiVm::MultiVm(std::vector<model::SystemSpec> per_core_specs,
                  const exp::ExecOptions& options, ChannelFabric* fabric,
-                 SchedPolicyEngine* engine)
-    : fabric_(fabric), engine_(engine) {
+                 SchedPolicyEngine* engine, Rebalancer* rebalancer)
+    : fabric_(fabric), engine_(engine), rebalancer_(rebalancer) {
   TSF_ASSERT(!per_core_specs.empty(), "MultiVm needs at least one core");
   TSF_ASSERT(engine_ == nullptr || fabric_ != nullptr,
              "a scheduling-policy engine needs the channel fabric");
+  TSF_ASSERT(rebalancer_ == nullptr || fabric_ != nullptr,
+             "a rebalancer needs the channel fabric");
   TSF_ASSERT(fabric_ == nullptr || fabric_->cores() == per_core_specs.size(),
              "channel fabric sized for " << (fabric ? fabric->cores() : 0)
                                          << " cores, MultiVm has "
@@ -55,6 +58,10 @@ void MultiVm::run_until(TimePoint horizon, Duration quantum) {
     // the queue depths including this boundary's channel deliveries.
     if (fabric_ != nullptr) fabric_->drain(now_);
     if (engine_ != nullptr) engine_->on_epoch(now_);
+    // The rebalancer goes last: its load measurement and migration
+    // decisions see the queue depths *including* this boundary's channel
+    // deliveries and policy moves.
+    if (rebalancer_ != nullptr) rebalancer_->on_epoch(now_);
   }
 }
 

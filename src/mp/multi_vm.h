@@ -27,6 +27,7 @@
 namespace tsf::mp {
 
 class ChannelFabric;
+class Rebalancer;
 class SchedPolicyEngine;
 
 class MultiVm {
@@ -44,10 +45,16 @@ class MultiVm {
   // boundary work — shared-pool dispatch under global, the steal pass under
   // semi-partitioned — runs right after every fabric drain, at the same
   // deterministic pause. The engine must outlive the MultiVm too.
+  //
+  // With a rebalancer (which also requires a fabric), the online
+  // load-rebalancing pass (mp/rebalance.h) runs last at every boundary —
+  // after the drain and the policy engine, so it sees the queue depths
+  // including this boundary's deliveries. It must outlive the MultiVm.
   explicit MultiVm(std::vector<model::SystemSpec> per_core_specs,
                    const exp::ExecOptions& options,
                    ChannelFabric* fabric = nullptr,
-                   SchedPolicyEngine* engine = nullptr);
+                   SchedPolicyEngine* engine = nullptr,
+                   Rebalancer* rebalancer = nullptr);
   ~MultiVm();
   MultiVm(const MultiVm&) = delete;
   MultiVm& operator=(const MultiVm&) = delete;
@@ -73,6 +80,7 @@ class MultiVm {
   std::vector<std::unique_ptr<exp::ExecSystem>> systems_;
   ChannelFabric* fabric_ = nullptr;
   SchedPolicyEngine* engine_ = nullptr;
+  Rebalancer* rebalancer_ = nullptr;
   common::TimePoint now_ = common::TimePoint::origin();
 };
 

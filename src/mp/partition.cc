@@ -40,6 +40,56 @@ double Partition::total_utilization() const {
   return t;
 }
 
+std::vector<int> Partitioner::pack_items(
+    const std::vector<PartitionItem>& items, std::vector<double>& loads) const {
+  std::vector<std::size_t> order(items.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&items](std::size_t a, std::size_t b) {
+                     return items[a].utilization > items[b].utilization;
+                   });
+  const int cores = static_cast<int>(loads.size());
+  std::vector<int> placement(items.size(), -1);
+  for (const std::size_t i : order) {
+    const PartitionItem& item = items[i];
+    int chosen = -1;
+    if (item.affinity >= 0) {
+      if (item.affinity < cores &&
+          fits(loads[static_cast<std::size_t>(item.affinity)],
+               item.utilization)) {
+        chosen = item.affinity;
+      }
+    } else {
+      switch (strategy_) {
+        case PackingStrategy::kFirstFitDecreasing:
+          for (int c = 0; c < cores; ++c) {
+            if (fits(loads[c], item.utilization)) {
+              chosen = c;
+              break;
+            }
+          }
+          break;
+        case PackingStrategy::kWorstFitDecreasing:
+          for (int c = 0; c < cores; ++c) {
+            if (!fits(loads[c], item.utilization)) continue;
+            if (chosen < 0 || loads[c] < loads[chosen]) chosen = c;
+          }
+          break;
+        case PackingStrategy::kBestFitDecreasing:
+          for (int c = 0; c < cores; ++c) {
+            if (!fits(loads[c], item.utilization)) continue;
+            if (chosen < 0 || loads[c] > loads[chosen]) chosen = c;
+          }
+          break;
+      }
+    }
+    if (chosen < 0) continue;
+    placement[i] = chosen;
+    loads[static_cast<std::size_t>(chosen)] += item.utilization;
+  }
+  return placement;
+}
+
 Partition Partitioner::partition(const model::SystemSpec& spec) const {
   Partition out;
   out.strategy = strategy_;
@@ -96,49 +146,34 @@ Partition Partitioner::partition(const model::SystemSpec& spec) const {
     bin.utilization += item.utilization;
   }
 
-  // Unpinned tasks: decreasing utilization (stable — spec order breaks
-  // ties, which keeps the assignment deterministic across runs).
-  std::stable_sort(unpinned.begin(), unpinned.end(),
-                   [](const PartitionItem& a, const PartitionItem& b) {
-                     return a.utilization > b.utilization;
-                   });
-  for (const auto& item : unpinned) {
-    int chosen = -1;
-    switch (strategy_) {
-      case PackingStrategy::kFirstFitDecreasing:
-        for (int c = 0; c < cores; ++c) {
-          if (fits(out.cores[c].utilization, item.utilization)) {
-            chosen = c;
-            break;
-          }
-        }
-        break;
-      case PackingStrategy::kWorstFitDecreasing:
-        for (int c = 0; c < cores; ++c) {
-          if (!fits(out.cores[c].utilization, item.utilization)) continue;
-          if (chosen < 0 ||
-              out.cores[c].utilization < out.cores[chosen].utilization) {
-            chosen = c;
-          }
-        }
-        break;
-      case PackingStrategy::kBestFitDecreasing:
-        for (int c = 0; c < cores; ++c) {
-          if (!fits(out.cores[c].utilization, item.utilization)) continue;
-          if (chosen < 0 ||
-              out.cores[c].utilization > out.cores[chosen].utilization) {
-            chosen = c;
-          }
-        }
-        break;
-    }
-    if (chosen < 0) {
-      out.rejected.push_back({item, "does not fit on any core"});
+  // Unpinned tasks: the shared packing core (decreasing utilization,
+  // stable — spec order breaks ties, which keeps the assignment
+  // deterministic across runs).
+  std::vector<double> loads;
+  loads.reserve(out.cores.size());
+  for (const auto& core : out.cores) loads.push_back(core.utilization);
+  const std::vector<int> placement = pack_items(unpinned, loads);
+  std::vector<std::size_t> rejected_items;
+  for (std::size_t i = 0; i < unpinned.size(); ++i) {
+    if (placement[i] < 0) {
+      rejected_items.push_back(i);
       continue;
     }
-    auto& bin = out.cores[static_cast<std::size_t>(chosen)];
-    bin.tasks.push_back(item.index);
-    bin.utilization += item.utilization;
+    out.cores[static_cast<std::size_t>(placement[i])].tasks.push_back(
+        unpinned[i].index);
+  }
+  // Rejections are reported in packing (decreasing-utilization) order, as
+  // they always were — pack_items returns placements in input order, so
+  // the packing order is recovered here.
+  std::stable_sort(rejected_items.begin(), rejected_items.end(),
+                   [&unpinned](std::size_t a, std::size_t b) {
+                     return unpinned[a].utilization > unpinned[b].utilization;
+                   });
+  for (const std::size_t i : rejected_items) {
+    out.rejected.push_back({unpinned[i], "does not fit on any core"});
+  }
+  for (std::size_t c = 0; c < out.cores.size(); ++c) {
+    out.cores[c].utilization = loads[c];
   }
 
   // Keep each core's tasks in spec order: packing order is a heuristic

@@ -81,6 +81,16 @@ class Partitioner {
   // Deterministic: depends only on the spec contents and the strategy.
   Partition partition(const model::SystemSpec& spec) const;
 
+  // The packing core shared by partition() and the online rebalancer
+  // (mp/rebalance.h): places `items` in decreasing-utilization order
+  // (stable, so the caller's item order breaks ties) onto bins of capacity
+  // 1.0 already carrying `loads`, updating the loads in place. Returns the
+  // chosen bin per item in the *original* item order; -1 marks an item that
+  // fits nowhere. An item with affinity >= 0 is only ever placed on that
+  // bin. A bin can be excluded by handing it a load >= 1.0.
+  std::vector<int> pack_items(const std::vector<PartitionItem>& items,
+                              std::vector<double>& loads) const;
+
   PackingStrategy strategy() const { return strategy_; }
 
  private:

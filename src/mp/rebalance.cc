@@ -1,0 +1,283 @@
+#include "mp/rebalance.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/diag.h"
+#include "mp/channel.h"
+
+namespace tsf::mp {
+
+using common::Duration;
+using common::TimePoint;
+
+const char* to_string(RebalanceMode mode) {
+  switch (mode) {
+    case RebalanceMode::kOff:
+      return "off";
+    case RebalanceMode::kDrift:
+      return "drift";
+    case RebalanceMode::kAdmit:
+      return "admit";
+  }
+  return "?";
+}
+
+std::optional<RebalanceMode> parse_rebalance_mode(const std::string& text) {
+  if (text == "off") return RebalanceMode::kOff;
+  if (text == "drift") return RebalanceMode::kDrift;
+  if (text == "admit") return RebalanceMode::kAdmit;
+  return std::nullopt;
+}
+
+Rebalancer::Rebalancer(RebalanceConfig config, ChannelFabric& fabric,
+                       const model::SystemSpec& spec,
+                       const Partition& partition, PackingStrategy strategy)
+    : config_(std::move(config)),
+      fabric_(fabric),
+      spec_(spec),
+      packer_(strategy),
+      rejected_(partition.rejected) {
+  TSF_ASSERT(config_.mode != RebalanceMode::kOff,
+             "a Rebalancer in mode 'off' should not be constructed");
+  TSF_ASSERT(config_.drift > 0.0, "rebalance_drift must be positive");
+  TSF_ASSERT(config_.period > Duration::zero(),
+             "rebalance_period must be positive");
+  TSF_ASSERT(partition.cores.size() == fabric_.cores(),
+             "partition and fabric disagree on the core count");
+  periodic_util_.reserve(partition.cores.size());
+  packed_util_.reserve(partition.cores.size());
+  for (const auto& core : partition.cores) {
+    double u = 0.0;
+    for (std::size_t i : core.tasks) u += spec_.periodic_tasks[i].utilization();
+    periodic_util_.push_back(u);
+    packed_util_.push_back(core.utilization);
+    serves_.push_back(core.has_server);
+  }
+  measured_ = periodic_util_;
+  window_.resize(partition.cores.size());
+  migrated_in_.assign(partition.cores.size(), Duration::zero());
+  for (const auto& job : spec_.aperiodic_jobs) {
+    declared_[job.name] = job.effective_declared_cost();
+  }
+}
+
+void Rebalancer::sample_loads(TimePoint boundary) {
+  // Work moved *into* a core re-releases there (deliver_job), so its raw
+  // released_cost would count it as freshly offered load — and a pass
+  // would manufacture drift at the move's own target, bouncing the same
+  // backlog right back. The fabric ledger names every such re-release —
+  // this rebalancer's kRebalance migrations *and* the semi policy's
+  // kSteal moves — so the compensation covers both. kPool / kMigrate /
+  // kFire deliveries are a job's first release anywhere and stay counted;
+  // so do kRebalance admissions (from_core == kNoCore, a periodic task).
+  const auto& ledger = fabric_.deliveries();
+  for (; ledger_seen_ < ledger.size(); ++ledger_seen_) {
+    const auto& d = ledger[ledger_seen_];
+    if (!d.ok) continue;
+    if (d.kind != exp::ChannelDelivery::Kind::kSteal &&
+        d.kind != exp::ChannelDelivery::Kind::kRebalance) {
+      continue;
+    }
+    if (d.from_core == exp::ChannelDelivery::kNoCore ||
+        d.to_core == exp::ChannelDelivery::kNoCore) {
+      continue;
+    }
+    const auto it = declared_.find(d.job);
+    if (it != declared_.end()) migrated_in_[d.to_core] += it->second;
+  }
+
+  for (std::size_t c = 0; c < fabric_.cores(); ++c) {
+    const exp::CoreEndpoint* endpoint = fabric_.endpoint(c);
+    const Duration released =
+        endpoint != nullptr ? endpoint->released_cost() - migrated_in_[c]
+                            : Duration::zero();
+    auto& window = window_[c];
+    window.push_back({boundary, released});
+    // Keep the newest sample that is at least one period old as the window
+    // base, so the measured rate spans the full period once warmed up.
+    while (window.size() >= 2 && window[1].at + config_.period <= boundary) {
+      window.pop_front();
+    }
+    const Sample& base = window.front();
+    const Duration span = boundary - base.at;
+    const double aperiodic_rate =
+        span > Duration::zero()
+            ? (released - base.released_cost).to_tu() / span.to_tu()
+            : 0.0;
+    measured_[c] = periodic_util_[c] + aperiodic_rate;
+  }
+}
+
+bool Rebalancer::migrate_pass(TimePoint boundary) {
+  double max_drift = 0.0;
+  for (std::size_t c = 0; c < fabric_.cores(); ++c) {
+    max_drift = std::max(max_drift, measured_[c] - packed_util_[c]);
+  }
+  if (max_drift <= config_.drift) return false;
+
+  // Snapshot (read-only) the movable backlog of every drifted core: the
+  // stealable pending requests minus one — the highest-priority request
+  // stays local, the same keep-local-work rule the semi stealer's victims
+  // follow. Boundary-coincident (mid-bind) releases are outside the
+  // snapshot by construction.
+  struct Movable {
+    exp::StolenJob stolen;
+    std::size_t from;
+  };
+  std::vector<Movable> movable;
+  for (std::size_t c = 0; c < fabric_.cores(); ++c) {
+    if (measured_[c] - packed_util_[c] <= config_.drift) continue;
+    exp::CoreEndpoint* victim = fabric_.endpoint(c);
+    if (victim == nullptr) continue;
+    auto snapshot = victim->stealable_snapshot();
+    if (snapshot.empty()) continue;
+    if (snapshot.size() >= victim->queue_depth()) {
+      std::size_t keep = 0;
+      for (std::size_t i = 1; i < snapshot.size(); ++i) {
+        const auto& a = snapshot[i];
+        const auto& b = snapshot[keep];
+        if (exp::schedules_before(a.job.effective_value(), a.release,
+                                  a.job.name, b.job.effective_value(),
+                                  b.release, b.job.name)) {
+          keep = i;
+        }
+      }
+      snapshot.erase(snapshot.begin() +
+                     static_cast<std::ptrdiff_t>(keep));
+    }
+    for (auto& s : snapshot) movable.push_back({std::move(s), c});
+  }
+  if (movable.empty()) return true;  // triggered; nothing was movable
+
+  // Re-run the offline packer on live state: bins carry the *measured*
+  // utilization, a pending request weighs its declared cost per server
+  // period (the unit server replicas are sized in), and cores without a
+  // server replica are excluded via an over-capacity load.
+  std::vector<double> bins;
+  bins.reserve(fabric_.cores());
+  for (std::size_t c = 0; c < fabric_.cores(); ++c) {
+    const bool serving = serves_[c] && fabric_.endpoint(c) != nullptr;
+    bins.push_back(serving ? measured_[c] : 2.0);
+  }
+  const double service_period =
+      spec_.server.period.is_zero() ? 1.0 : spec_.server.period.to_tu();
+  std::vector<PartitionItem> items;
+  items.reserve(movable.size());
+  for (const auto& m : movable) {
+    PartitionItem item;
+    item.kind = PartitionItem::Kind::kTask;
+    item.name = m.stolen.job.name;
+    item.utilization = m.stolen.job.declared_cost.to_tu() / service_period;
+    items.push_back(std::move(item));
+  }
+  const std::vector<int> placement = packer_.pack_items(items, bins);
+
+  // Only the requests the packer sent to a *different* core are removed
+  // from their queues; everything else was never touched — no phantom
+  // re-release, no queue-order churn for work that stays.
+  for (std::size_t i = 0; i < movable.size(); ++i) {
+    if (placement[i] < 0) continue;  // fits nowhere better: stays put
+    const auto target = static_cast<std::size_t>(placement[i]);
+    const std::size_t from = movable[i].from;
+    if (target == from) continue;  // re-packed home: stays put
+    auto stolen = fabric_.endpoint(from)->steal_exact(
+        movable[i].stolen.job.name, movable[i].stolen.release);
+    if (!stolen.has_value()) continue;  // raced away (defensive; VMs paused)
+    fabric_.endpoint(target)->deliver_job(stolen->job, stolen->release);
+    // migrated_in_ is updated from the ledger record below at the next
+    // sample — exactly when the re-release shows up in released_cost.
+    exp::ChannelDelivery d;
+    d.kind = exp::ChannelDelivery::Kind::kRebalance;
+    d.job = stolen->job.name;
+    d.from_core = from;
+    d.to_core = target;
+    d.posted = stolen->release;
+    d.delivered = boundary;
+    d.ok = true;
+    fabric_.record(std::move(d));
+    ++migrations_;
+  }
+  return true;
+}
+
+bool Rebalancer::admit_pass(TimePoint boundary) {
+  // Retry every rejected task in ONE pack_items call, so online admission
+  // follows the same decreasing-utilization discipline as the offline
+  // packer (admitting spec-order-first could let a small task squat on the
+  // headroom a larger one needed). Server replicas cannot be admitted
+  // online — a core that was split without a server has no service
+  // machinery to grow one into mid-run — and stay rejected.
+  std::vector<std::size_t> retried;  // indices into rejected_
+  std::vector<PartitionItem> items;
+  for (std::size_t i = 0; i < rejected_.size(); ++i) {
+    if (rejected_[i].item.kind != PartitionItem::Kind::kTask) continue;
+    retried.push_back(i);
+    items.push_back(rejected_[i].item);
+  }
+  if (items.empty()) return false;
+
+  // Admission bins are the *measured* utilizations — this is deliberate
+  // bandwidth reclamation: an offline-rejected task is admitted into
+  // server reservation the workload is measurably not using. It is an
+  // optimistic, irreversible bet, so each bin keeps a `drift`-sized
+  // safety margin below full: if the aperiodic stream later resumes, the
+  // core has that much room before the drift trigger starts migrating its
+  // backlog away (the reversible side self-corrects; the admitted task
+  // stays and is visible in the admission ledger and report).
+  std::vector<double> bins;
+  bins.reserve(measured_.size());
+  for (const double u : measured_) bins.push_back(u + config_.drift);
+  const std::vector<int> placement = packer_.pack_items(items, bins);
+
+  bool any = false;
+  std::vector<bool> admitted(rejected_.size(), false);
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    if (placement[k] < 0) continue;
+    const auto target = static_cast<std::size_t>(placement[k]);
+    const Rejection& rejection = rejected_[retried[k]];
+    model::PeriodicTaskSpec task = spec_.periodic_tasks[rejection.item.index];
+    task.affinity = placement[k];
+    task.start = boundary;  // releases begin at the admission instant
+    if (!fabric_.endpoint(target)->admit_task(task)) continue;
+    // The admitted task is part of the mapping now: both the measured and
+    // the packed picture carry it, so it creates no phantom drift.
+    periodic_util_[target] += rejection.item.utilization;
+    packed_util_[target] += rejection.item.utilization;
+    measured_[target] += rejection.item.utilization;
+    exp::ChannelDelivery d;
+    d.kind = exp::ChannelDelivery::Kind::kRebalance;
+    d.job = task.name;
+    d.to_core = target;
+    d.posted = boundary;
+    d.delivered = boundary;
+    d.ok = true;
+    fabric_.record(std::move(d));
+    ++admissions_;
+    admitted[retried[k]] = true;
+    any = true;
+  }
+  if (any) {
+    std::vector<Rejection> remaining;
+    for (std::size_t i = 0; i < rejected_.size(); ++i) {
+      if (!admitted[i]) remaining.push_back(rejected_[i]);
+    }
+    rejected_ = std::move(remaining);
+  }
+  return any;
+}
+
+void Rebalancer::on_epoch(TimePoint boundary) {
+  sample_loads(boundary);
+  if (boundary - last_pass_ < config_.period) return;
+  bool ran = migrate_pass(boundary);
+  if (config_.mode == RebalanceMode::kAdmit && !rejected_.empty()) {
+    ran = admit_pass(boundary) || ran;
+  }
+  if (ran) {
+    ++passes_;
+    last_pass_ = boundary;
+  }
+}
+
+}  // namespace tsf::mp

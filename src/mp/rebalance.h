@@ -1,0 +1,153 @@
+// Online load rebalancing at the lock-step epoch boundaries of mp::MultiVm.
+//
+// The offline partitioner (mp/partition.h) packs by *declared* utilization
+// and then trusts the mapping for the whole run. Real traffic drifts: a
+// bursty aperiodic stream can offer one core far more work than its server
+// replica was sized for while a neighbour idles, and the packer's rejection
+// list is simply abandoned even when the live machine turns out to have
+// headroom (Pinho 2023 names exactly this static-mapping rigidity as the
+// open problem for parallel real-time runtimes).
+//
+// The Rebalancer closes both gaps *online*, and deterministically: it runs
+// inside the MultiVm epoch boundary — after the ChannelFabric drain and the
+// scheduling-policy engine, while every per-core VM is paused — so its
+// decisions depend only on (specs, quantum), never on host scheduling.
+//
+// Per epoch it samples each core's cumulative released aperiodic cost
+// (CoreEndpoint::released_cost) and derives a *measured* utilization over a
+// sliding window of `period`: the core's packed periodic load plus the
+// offered aperiodic rate. Two triggers, gated by the mode:
+//
+//  * drift (modes kDrift and kAdmit) — when some core's measured
+//    utilization exceeds its packed utilization by more than `drift`, the
+//    pending unpinned requests of every drifted core are handed back to the
+//    *existing* FFD/WFD/BFD packer (Partitioner::pack_items) against bins
+//    loaded with the measured utilizations, and each request migrates to
+//    its re-packed home through the fabric: release-preserving like a
+//    `semi` steal, recorded exactly once in the channel ledger as a
+//    ChannelDelivery::Kind::kRebalance.
+//
+//  * admission (mode kAdmit) — when the offline rejection list is non-empty
+//    and measured headroom has appeared, rejected periodic tasks are
+//    retried against the measured bins (each kept a `drift`-sized margin
+//    below full) and admitted online on the chosen core
+//    (CoreEndpoint::admit_task), released from the admission boundary
+//    onward and ledgered as kRebalance with from_core == kNoCore. This is
+//    deliberate bandwidth reclamation — admitting into server reservation
+//    the workload measurably is not using — and therefore an optimistic,
+//    irreversible bet: if the aperiodic stream resumes, the margin plus
+//    the drift trigger's backlog migrations absorb it, but the admitted
+//    task itself stays. Rejected server replicas are not admittable online
+//    (a core without a server has no service machinery to grow one into
+//    mid-run) and stay rejected.
+//
+// Passes are rate-limited to one per `period`, so the window and the
+// cooldown share one knob — the spec's `rebalance_period`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "model/spec.h"
+#include "mp/partition.h"
+
+namespace tsf::mp {
+
+class ChannelFabric;
+
+enum class RebalanceMode {
+  kOff,    // PR 1 behaviour: the offline mapping stands for the whole run
+  kDrift,  // migrate pending work off cores whose measured load drifted
+  kAdmit,  // kDrift + online admission of offline-rejected periodic tasks
+};
+
+const char* to_string(RebalanceMode mode);
+// "off" | "drift" | "admit"; nullopt otherwise.
+std::optional<RebalanceMode> parse_rebalance_mode(const std::string& text);
+
+struct RebalanceConfig {
+  RebalanceMode mode = RebalanceMode::kOff;
+  // Trigger: measured minus packed utilization beyond which a core is
+  // considered drifted ([run] rebalance_drift).
+  double drift = 0.25;
+  // Sliding measurement window and minimum gap between rebalance passes
+  // ([run] rebalance_period).
+  common::Duration period = common::Duration::time_units(6);
+};
+
+class Rebalancer {
+ public:
+  // `fabric`, `spec` and `partition` must outlive the Rebalancer; the
+  // partition must be the one the MultiVm's per-core specs were split from.
+  // `strategy` is re-used for the online re-pack, so offline and online
+  // placement follow the same heuristic.
+  Rebalancer(RebalanceConfig config, ChannelFabric& fabric,
+             const model::SystemSpec& spec, const Partition& partition,
+             PackingStrategy strategy);
+
+  // The boundary hook: sample loads, then (rate-limited) migrate / admit.
+  // Invoked by MultiVm::run_until after the fabric drain and the
+  // scheduling-policy engine, while every VM is paused at `boundary`.
+  void on_epoch(common::TimePoint boundary);
+
+  // --- results ---
+  std::uint64_t passes() const { return passes_; }
+  std::uint64_t migrations() const { return migrations_; }
+  std::uint64_t admissions() const { return admissions_; }
+  // Offline-rejected items still unadmitted (server replicas always are).
+  std::size_t still_rejected() const { return rejected_.size(); }
+  // The most recent per-core measured utilization sample — the
+  // post-rebalance load picture cli/report and the benches print.
+  const std::vector<double>& measured_utilization() const {
+    return measured_;
+  }
+
+ private:
+  struct Sample {
+    common::TimePoint at;
+    common::Duration released_cost;
+  };
+
+  void sample_loads(common::TimePoint boundary);
+  bool migrate_pass(common::TimePoint boundary);
+  bool admit_pass(common::TimePoint boundary);
+
+  RebalanceConfig config_;
+  ChannelFabric& fabric_;
+  const model::SystemSpec& spec_;
+  Partitioner packer_;
+  // Static per-core load the window measurement rides on: packed periodic
+  // tasks (+ tasks admitted online later). The aperiodic side is measured,
+  // not assumed.
+  std::vector<double> periodic_util_;
+  // The offline packer's verdict per core (tasks + server replica) — the
+  // baseline that "drift" is measured against.
+  std::vector<double> packed_util_;
+  std::vector<bool> serves_;
+  std::vector<std::deque<Sample>> window_;
+  std::vector<double> measured_;
+  // Declared cost moved *into* each core by a re-releasing delivery — a
+  // kRebalance migration or a semi-policy kSteal (tracked through the
+  // fabric ledger, so the policy engine's moves are covered too). The
+  // re-release inflates the receiver's released_cost, so the load
+  // measurement subtracts it: moved backlog is not freshly offered work,
+  // and must not manufacture drift at its own target. kPool, kMigrate and
+  // kFire deliveries are a job's *first* release on any core and count as
+  // genuinely offered load.
+  std::vector<common::Duration> migrated_in_;
+  std::map<std::string, common::Duration> declared_;  // job -> declared cost
+  std::size_t ledger_seen_ = 0;  // fabric deliveries already accounted
+  std::vector<Rejection> rejected_;  // offline rejections not yet admitted
+  common::TimePoint last_pass_ = common::TimePoint::origin();
+  std::uint64_t passes_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t admissions_ = 0;
+};
+
+}  // namespace tsf::mp

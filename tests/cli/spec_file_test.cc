@@ -370,6 +370,55 @@ TEST(Report, ChannelSpecReportsLatencyAndResponse) {
             std::string::npos);
 }
 
+TEST(SpecFile, ParsesRebalanceKeys) {
+  const auto outcome = parse_spec(
+      "[server]\npolicy=polling\ncapacity=2\nperiod=6\n"
+      "[job a]\nrelease=1\ncost=1\n"
+      "[run]\nhorizon=18\ncores=2\n"
+      "rebalance=drift\nrebalance_drift=0.2\nrebalance_period=4\n");
+  ASSERT_TRUE(outcome.ok()) << outcome.errors.front();
+  EXPECT_EQ(outcome.config.rebalance.mode, mp::RebalanceMode::kDrift);
+  EXPECT_DOUBLE_EQ(outcome.config.rebalance.drift, 0.2);
+  EXPECT_EQ(outcome.config.rebalance.period, Duration::time_units(4));
+
+  const auto admit = parse_spec(
+      "[server]\npolicy=polling\ncapacity=2\nperiod=6\n"
+      "[run]\nhorizon=18\ncores=2\nrebalance=admit\n");
+  ASSERT_TRUE(admit.ok()) << admit.errors.front();
+  EXPECT_EQ(admit.config.rebalance.mode, mp::RebalanceMode::kAdmit);
+  // Defaults stand when only the mode is given.
+  EXPECT_DOUBLE_EQ(admit.config.rebalance.drift, mp::RebalanceConfig{}.drift);
+  EXPECT_EQ(admit.config.rebalance.period, mp::RebalanceConfig{}.period);
+}
+
+TEST(SpecFile, RejectsBadRebalanceValues) {
+  auto bad = parse_spec(
+      "[server]\npolicy=none\n[run]\nhorizon=9\ncores=2\nrebalance=always\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors.front().find("unknown rebalance mode"),
+            std::string::npos);
+
+  bad = parse_spec(
+      "[server]\npolicy=none\n[run]\nhorizon=9\ncores=2\n"
+      "rebalance=drift\nrebalance_drift=0\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors.front().find("rebalance_drift must be positive"),
+            std::string::npos);
+
+  bad = parse_spec(
+      "[server]\npolicy=none\n[run]\nhorizon=9\ncores=2\n"
+      "rebalance=drift\nrebalance_period=0\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors.front().find("rebalance_period must be positive"),
+            std::string::npos);
+
+  // Rebalancing needs the multi-core runtime, like the policies.
+  bad = parse_spec("[server]\npolicy=none\n[run]\nhorizon=9\nrebalance=drift\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors.front().find("needs a multi-core run"),
+            std::string::npos);
+}
+
 TEST(Report, MultiCoreReportShowsPartitionAndVerdict) {
   auto outcome = parse_spec(kMultiCore);
   ASSERT_TRUE(outcome.ok()) << outcome.errors.front();

@@ -1,0 +1,60 @@
+// The bench_gate tolerance rule (common/gate_check.h): direction-aware,
+// magnitude-relative margins, and the zero-baseline absolute-bound
+// fallback in *both* directions — regression coverage for the degenerate
+// checks naive baseline * (1 ± tolerance) arithmetic produces on zero and
+// negative baselines.
+#include <gtest/gtest.h>
+
+#include "common/gate_check.h"
+
+namespace tsf::common {
+namespace {
+
+TEST(GateCheck, LowerIsBetterWithinAndBeyondTolerance) {
+  EXPECT_FALSE(gate_check(10.0, 10.0, 0.05, false).regressed);
+  EXPECT_FALSE(gate_check(10.0, 10.5, 0.05, false).regressed);  // at the limit
+  EXPECT_TRUE(gate_check(10.0, 10.6, 0.05, false).regressed);
+  EXPECT_FALSE(gate_check(10.0, 2.0, 0.05, false).regressed);  // improvement
+}
+
+TEST(GateCheck, HigherIsBetterWithinAndBeyondTolerance) {
+  EXPECT_FALSE(gate_check(10.0, 10.0, 0.05, true).regressed);
+  EXPECT_FALSE(gate_check(10.0, 9.5, 0.05, true).regressed);  // at the limit
+  EXPECT_TRUE(gate_check(10.0, 9.4, 0.05, true).regressed);
+  EXPECT_FALSE(gate_check(10.0, 40.0, 0.05, true).regressed);  // improvement
+}
+
+TEST(GateCheck, ZeroBaselineUsesAbsoluteBoundInBothDirections) {
+  // A latency cell that legitimately measures 0: the relative margin
+  // degenerates (0 * tolerance == 0), so the tolerance acts absolutely.
+  EXPECT_FALSE(gate_check(0.0, 0.0, 0.05, false).regressed);
+  EXPECT_FALSE(gate_check(0.0, 0.05, 0.05, false).regressed);
+  EXPECT_TRUE(gate_check(0.0, 0.06, 0.05, false).regressed);
+  // Mirrored for higher-is-better: a zero count may dip to -tolerance
+  // (it can't in practice, but the bound is defined, not degenerate).
+  EXPECT_FALSE(gate_check(0.0, 0.0, 0.05, true).regressed);
+  EXPECT_FALSE(gate_check(0.0, -0.05, 0.05, true).regressed);
+  EXPECT_TRUE(gate_check(0.0, -0.06, 0.05, true).regressed);
+  EXPECT_FALSE(gate_check(0.0, 3.0, 0.05, true).regressed);
+}
+
+TEST(GateCheck, NegativeBaselineKeepsASaneBand) {
+  // baseline * (1 + tol) on a negative lower-is-better baseline used to
+  // put the limit *below* the baseline, flagging even an identical rerun.
+  EXPECT_FALSE(gate_check(-10.0, -10.0, 0.05, false).regressed);
+  EXPECT_FALSE(gate_check(-10.0, -9.5, 0.05, false).regressed);
+  EXPECT_TRUE(gate_check(-10.0, -9.4, 0.05, false).regressed);
+  EXPECT_FALSE(gate_check(-10.0, -10.0, 0.05, true).regressed);
+  EXPECT_FALSE(gate_check(-10.0, -10.5, 0.05, true).regressed);
+  EXPECT_TRUE(gate_check(-10.0, -10.6, 0.05, true).regressed);
+}
+
+TEST(GateCheck, LimitIsReportedForTheMessage) {
+  EXPECT_DOUBLE_EQ(gate_check(10.0, 11.0, 0.05, false).limit, 10.5);
+  EXPECT_DOUBLE_EQ(gate_check(10.0, 9.0, 0.05, true).limit, 9.5);
+  EXPECT_DOUBLE_EQ(gate_check(0.0, 1.0, 0.05, false).limit, 0.05);
+  EXPECT_DOUBLE_EQ(gate_check(0.0, -1.0, 0.05, true).limit, -0.05);
+}
+
+}  // namespace
+}  // namespace tsf::common

@@ -50,6 +50,59 @@ TEST(JsonEscape, UnescapeRejectsMalformedEscapes) {
   EXPECT_FALSE(json_unescape("\\u12zz", &out));
 }
 
+TEST(JsonEscape, UnescapeDecodesSurrogatePairsToAstralCodePoints) {
+  std::string out;
+  // U+1F600 GRINNING FACE as a \uXXXX\uXXXX UTF-16 surrogate pair must
+  // decode to the 4-byte UTF-8 code point, not to two CESU-8 garbage
+  // sequences (the round-trip bug for astral characters in spec names).
+  ASSERT_TRUE(json_unescape("\\ud83d\\ude00", &out));
+  EXPECT_EQ(out, "\xf0\x9f\x98\x80");
+  ASSERT_TRUE(json_unescape("x\\uD83D\\uDE00y", &out));  // upper-case hex too
+  EXPECT_EQ(out, "x\xf0\x9f\x98\x80y");
+  // First and last astral code points.
+  ASSERT_TRUE(json_unescape("\\ud800\\udc00", &out));
+  EXPECT_EQ(out, "\xf0\x90\x80\x80");
+  ASSERT_TRUE(json_unescape("\\udbff\\udfff", &out));
+  EXPECT_EQ(out, "\xf4\x8f\xbf\xbf");
+}
+
+TEST(JsonEscape, UnescapeRejectsLoneSurrogates) {
+  std::string out;
+  EXPECT_FALSE(json_unescape("\\ud83d", &out));          // lone high half
+  EXPECT_FALSE(json_unescape("\\ud83d tail", &out));     // high + plain text
+  EXPECT_FALSE(json_unescape("\\ud83d\\u0041", &out));   // high + BMP escape
+  EXPECT_FALSE(json_unescape("\\ud83d\\ud83d", &out));   // high + high
+  EXPECT_FALSE(json_unescape("\\ude00", &out));          // lone low half
+  EXPECT_FALSE(json_unescape("\\ude00\\ud83d", &out));   // reversed pair
+}
+
+TEST(JsonReader, AstralSpecNameRoundTripsThroughWriterAndParser) {
+  // A name containing an astral code point survives writer → parser →
+  // writer byte-identically (the writer emits raw UTF-8, the parser must
+  // hand the same bytes back whether they arrive raw or escaped).
+  const std::string name = "set \xf0\x9f\x98\x80 7";
+  JsonWriter writer;
+  writer.begin_object();
+  writer.key("name").value(name);
+  writer.end_object();
+  const std::string doc = writer.take();
+
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(json_parse(doc, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.find("name")->as_string(), name);
+
+  // The same name arriving as UTF-16 escapes parses to the same bytes…
+  JsonValue escaped;
+  ASSERT_TRUE(json_parse("{\"name\": \"set \\ud83d\\ude00 7\"}", &escaped,
+                         &error))
+      << error;
+  EXPECT_EQ(escaped.find("name")->as_string(), name);
+  // …while a lone surrogate is a clean parse error, not garbage.
+  JsonValue bad;
+  EXPECT_FALSE(json_parse("{\"name\": \"set \\ud83d 7\"}", &bad, &error));
+}
+
 TEST(JsonDouble, ShortestFormRoundTripsExactly) {
   const double values[] = {0.0,    1.0,         0.1,    1.0 / 3.0, 1e-17,
                            1e300,  -2.5,        1983.0, 8.4226905555555558,

@@ -141,5 +141,20 @@ TEST(SpecRunIntegration, GlobalPolicySpecMatchesGoldenReport) {
       });
 }
 
+TEST(SpecRunIntegration, RebalanceSpecMatchesGoldenReport) {
+  check_policy_golden(
+      "examples/specs/mp_rebalance.tsf",
+      "tests/integration/golden/mp_rebalance.txt",
+      {
+          // The skewed bursts really drifted core 0 and the rebalancer
+          // moved its backlog — and with it, every job got served.
+          "rebalancing (drift, drift 0.15, period 6tu): 3 passes,"
+          " 3 migrations, 0 admissions",
+          "post-rebalance utilization: c0=0.250 c1=0.250",
+          "served 18/18",
+          "trace fingerprint: ",
+      });
+}
+
 }  // namespace
 }  // namespace tsf::cli

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
+#include <utility>
 
 #include "analysis/rta.h"
 #include "common/trace.h"
@@ -225,6 +227,58 @@ TEST(MergeResults, KeepsRepeatedCompletionsButCollapsesShadows) {
     EXPECT_TRUE(merged.jobs[0].served);
     EXPECT_FALSE(merged.jobs[1].served);
   }
+}
+
+// End-to-end: a rebalanced run (drift mode) whose migrated jobs complete on
+// their *new* home cores leaves no unserved shadow in the merge — the
+// (job, release) dedupe holds for kRebalance moves exactly as for steals.
+TEST(MergeResults, RebalancedJobCompletingOnNewHomeLeavesNoShadow) {
+  model::SystemSpec spec;
+  spec.name = "rebalance_dedupe";
+  spec.cores = 2;
+  spec.server.policy = model::ServerPolicy::kDeferrable;
+  spec.server.capacity = tu(3);
+  spec.server.period = tu(6);
+  spec.server.priority = 30;
+  for (int b = 0; b < 6; ++b) {
+    for (int j = 0; j < 6; ++j) {
+      model::AperiodicJobSpec job;
+      job.name = "b" + std::to_string(b) + "_" + std::to_string(j);
+      job.release =
+          TimePoint::origin() + Duration::from_tu(1.0 + 8.0 * b + 0.05 * j);
+      job.cost = Duration::from_tu(j % 2 == 0 ? 2.0 : 0.25);
+      spec.aperiodic_jobs.push_back(job);
+    }
+  }
+  spec.horizon = at_tu(65);  // 1 + 8 * 6 bursts + 16 drain
+
+  MpRunOptions options;
+  options.strategy = PackingStrategy::kWorstFitDecreasing;
+  options.quantum = Duration::from_tu(0.5);
+  options.rebalance.mode = RebalanceMode::kDrift;
+  options.rebalance.drift = 0.15;
+  options.rebalance.period = tu(6);
+  const auto run = run_partitioned_exec(spec, options);
+  ASSERT_GT(run.rebalance_migrations, 0u)
+      << "the workload must actually trigger rebalance migrations";
+
+  std::map<std::pair<std::string, TimePoint>, std::size_t> outcomes;
+  for (const auto& o : run.merged.jobs) ++outcomes[{o.name, o.release}];
+  std::set<std::string> migrated;
+  for (const auto& d : run.channel_deliveries) {
+    if (d.kind != exp::ChannelDelivery::Kind::kRebalance) continue;
+    migrated.insert(d.job);
+    const auto key = std::make_pair(d.job, d.posted);
+    ASSERT_EQ(outcomes[key], 1u)
+        << d.job << ": the home core's unserved shadow survived the merge";
+  }
+  EXPECT_FALSE(migrated.empty());
+  // And at least one migrated job was actually served on its new home.
+  std::size_t served_after_move = 0;
+  for (const auto& o : run.merged.jobs) {
+    if (migrated.count(o.name) > 0 && o.served) ++served_after_move;
+  }
+  EXPECT_GT(served_after_move, 0u);
 }
 
 // End-to-end: a semi-partitioned run with a real steal produces exactly one

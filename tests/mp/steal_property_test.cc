@@ -116,8 +116,11 @@ void check_invariants(const model::SystemSpec& spec, const MpRunResult& run,
     if (d.kind == exp::ChannelDelivery::Kind::kSteal) {
       ++steal_records;
       ASSERT_TRUE(d.ok) << label << ": steals are never undeliverable";
-      // S2 (first half): a steal happens at or after the job's release.
-      EXPECT_LE(d.posted, d.delivered) << label << ": " << d.job;
+      // S2 (first half): a steal happens strictly after the job's release.
+      // Strictly: a release landing exactly on the steal boundary is still
+      // mid-bind (the home server's wake-up for it is in flight) and must
+      // never be taken — see TaskServer::steal_pending_request.
+      EXPECT_LT(d.posted, d.delivered) << label << ": " << d.job;
       auto& last = last_steal[{d.job, d.posted}];
       last = common::max(last, d.delivered);
     } else if (d.kind == exp::ChannelDelivery::Kind::kPool) {
@@ -190,6 +193,51 @@ TEST(StealProperty, InvariantsHoldOnSeededRandomSystems) {
   // to have moved real work.
   EXPECT_GT(total_steals, 50u);
   EXPECT_GT(total_pool, 200u);
+}
+
+// Regression for the mid-bind steal: a release landing *exactly* on an
+// epoch boundary is pushed into its home queue by that boundary's drain (or
+// a boundary-coincident timer) while the home server's wake-up is still in
+// flight — the same boundary's steal pass used to be able to take it out
+// from under that wake-up. Every release here is aligned to the 0.5 tu
+// quantum and clustered so queues back up and steals do fire; no steal may
+// ever carry posted == delivered, and nothing may be lost.
+TEST(StealProperty, BoundaryCoincidentReleasesAreNeverStolenMidBind) {
+  model::SystemSpec spec;
+  spec.name = "boundary_steal";
+  spec.cores = 2;
+  spec.server.policy = model::ServerPolicy::kDeferrable;
+  spec.server.capacity = Duration::time_units(3);
+  spec.server.period = Duration::time_units(6);
+  spec.server.priority = 30;
+  for (int b = 0; b < 6; ++b) {
+    for (int j = 0; j < 6; ++j) {
+      model::AperiodicJobSpec job;
+      job.name = "b" + std::to_string(b) + "_" + std::to_string(j);
+      // Releases at exact multiples of the quantum, many per boundary.
+      job.release = TimePoint::origin() +
+                    Duration::from_tu(1.0 + 8.0 * b + 0.5 * (j % 2));
+      job.cost = Duration::from_tu(j % 2 == 0 ? 1.5 : 0.25);
+      spec.aperiodic_jobs.push_back(job);
+    }
+  }
+  spec.horizon = TimePoint::origin() + Duration::time_units(64);
+
+  MpRunOptions options;
+  options.policy = SchedPolicy::kSemiPartitioned;
+  options.quantum = Duration::from_tu(0.5);
+  const auto run = run_partitioned_exec(spec, options);
+  ASSERT_GT(run.steals, 0u) << "the clustered workload must trigger steals";
+  for (const auto& d : run.channel_deliveries) {
+    if (d.kind != exp::ChannelDelivery::Kind::kSteal) continue;
+    EXPECT_LT(d.posted, d.delivered)
+        << d.job << " was stolen at its own release boundary (mid-bind)";
+  }
+  std::set<std::string> names;
+  for (const auto& o : run.merged.jobs) {
+    EXPECT_TRUE(names.insert(o.name).second) << o.name << " merged twice";
+  }
+  EXPECT_EQ(names.size(), spec.aperiodic_jobs.size());
 }
 
 // Stealing moves work but never loses or invents it: the merged released

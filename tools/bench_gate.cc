@@ -8,10 +8,11 @@
 // Both files use the "tsf-bench/1" schema: {"schema", "bench", "metrics":
 // [{"name", "value", "higher_is_better"}]}. Every baseline metric must be
 // present in the current run and within the relative tolerance in its good
-// direction (latencies may not rise past baseline*(1+tol), throughput may
-// not fall below baseline*(1-tol)). A zero lower-is-better baseline gets
-// the tolerance as an absolute bound; a zero higher-is-better baseline
-// cannot regress (counts don't go below zero). Extra current metrics are
+// direction (latencies may not rise more than |baseline|*tol above the
+// baseline, throughput may not fall more than |baseline|*tol below it —
+// magnitude-relative, so negative baselines keep a sane band). A zero
+// baseline gets the tolerance as an absolute bound, in both directions
+// (common/gate_check.h holds the testable rule). Extra current metrics are
 // reported but don't fail.
 //
 // All tracked metrics are virtual-time quantities of deterministic runs, so
@@ -30,6 +31,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/gate_check.h"
 #include "common/json_reader.h"
 
 namespace {
@@ -133,18 +135,12 @@ int main(int argc, char** argv) {
       continue;
     }
     const double cur = it->second.value;
-    double limit;
-    bool bad;
-    if (base.higher_is_better) {
-      limit = base.value == 0.0 ? 0.0 : base.value * (1.0 - tolerance);
-      bad = cur < limit;
-    } else {
-      limit = base.value == 0.0 ? tolerance : base.value * (1.0 + tolerance);
-      bad = cur > limit;
-    }
+    const auto verdict = tsf::common::gate_check(base.value, cur, tolerance,
+                                                 base.higher_is_better);
     std::printf("%-8s %-48s baseline %-12.6g current %-12.6g limit %.6g\n",
-                bad ? "REGRESS" : "ok", name.c_str(), base.value, cur, limit);
-    if (bad) ++regressions;
+                verdict.regressed ? "REGRESS" : "ok", name.c_str(), base.value,
+                cur, verdict.limit);
+    if (verdict.regressed) ++regressions;
   }
   for (const auto& [name, m] : current) {
     if (baseline.count(name) == 0) {
