@@ -4,8 +4,11 @@
 #include <sstream>
 
 #include "analysis/global.h"
+#include "common/metrics_registry.h"
 #include "common/table.h"
 #include "common/trace.h"
+#include "common/trace_io.h"
+#include "common/trace_stream.h"
 #include "exp/metrics.h"
 #include "mp/mp_system.h"
 #include "sim/simulator.h"
@@ -129,6 +132,73 @@ void write_vcd(std::ostream& os, const std::string& path,
   }
 }
 
+void write_trace_file(std::ostream& os, const std::string& path,
+                      const common::Timeline& timeline) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    os << "error: cannot write " << path << '\n';
+    return;
+  }
+  common::write_trace(out, timeline);
+  os << "execution trace written to " << path << " (tsf-trace/1, "
+     << out.tellp() << " bytes)\n";
+}
+
+// Replays the materialized timeline through the streaming consumer and
+// folds the aggregates into the registry next to whatever counters the
+// runtime itself contributed.
+void fold_trace_summary(const common::Timeline& timeline,
+                        common::MetricsRegistry* metrics) {
+  common::StreamingTraceMetrics summary;
+  for (const auto& r : timeline.records()) {
+    summary.record(r.at, r.kind, r.who, r.value, r.note);
+  }
+  summary.finish();
+  metrics->add_counter("trace.records", summary.records());
+  metrics->add_counter("trace.entities", summary.entity_count());
+  for (std::size_t k = 0; k < common::kTraceKindCount; ++k) {
+    const auto kind = static_cast<common::TraceKind>(k);
+    if (summary.kind_count(kind) > 0) {
+      metrics->add_counter(std::string("trace.kind.") + common::to_string(kind),
+                           summary.kind_count(kind));
+    }
+  }
+  const double per_tu = common::Duration::kTicksPerTimeUnit;
+  metrics->set_gauge("trace.span_tu",
+                     static_cast<double>(summary.last_ticks() -
+                                         summary.first_ticks()) /
+                         per_tu);
+  metrics->set_gauge("trace.busy_tu",
+                     static_cast<double>(summary.busy_ticks()) / per_tu);
+  const auto& stats = summary.response_stats();
+  if (!stats.empty()) {
+    metrics->add_counter("trace.responses", stats.count());
+    metrics->set_gauge("trace.response.mean_tu", stats.mean());
+    metrics->set_gauge("trace.response.p50_tu",
+                       summary.response_sketch().p50());
+    metrics->set_gauge("trace.response.p95_tu",
+                       summary.response_sketch().p95());
+    metrics->set_gauge("trace.response.p99_tu",
+                       summary.response_sketch().p99());
+  }
+}
+
+void write_metrics_file(std::ostream& os, const std::string& path,
+                        const common::MetricsRegistry& metrics) {
+  const std::string doc = metrics.to_json();
+  if (path == "-") {
+    os << doc;
+    return;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    os << "error: cannot write " << path << '\n';
+    return;
+  }
+  out << doc;
+  os << "metrics written to " << path << " (tsf-metrics/1)\n";
+}
+
 }  // namespace
 
 std::string run_and_report(const CliConfig& config) {
@@ -170,6 +240,10 @@ std::string run_and_report(const CliConfig& config) {
       }
     }
     if (config.mode == RunMode::kExec || config.mode == RunMode::kBoth) {
+      common::MetricsRegistry metrics;
+      if (!config.metrics_json_path.empty()) {
+        mp_options.metrics = &metrics;
+      }
       const auto run = mp::run_partitioned_exec(
           config.spec, verdict.partition, mp_options);
       const std::string exec_label =
@@ -234,6 +308,13 @@ std::string run_and_report(const CliConfig& config) {
         write_vcd(os, config.vcd_path, run.merged.timeline,
                   run.merged.timeline.entities());
       }
+      if (!config.trace_path.empty()) {
+        write_trace_file(os, config.trace_path, run.merged.timeline);
+      }
+      if (!config.metrics_json_path.empty()) {
+        fold_trace_summary(run.merged.timeline, &metrics);
+        write_metrics_file(os, config.metrics_json_path, metrics);
+      }
     }
     return os.str();
   }
@@ -258,6 +339,14 @@ std::string run_and_report(const CliConfig& config) {
         rows.push_back(task.name);
       }
       write_vcd(os, config.vcd_path, result.timeline, rows);
+    }
+    if (!config.trace_path.empty()) {
+      write_trace_file(os, config.trace_path, result.timeline);
+    }
+    if (!config.metrics_json_path.empty()) {
+      common::MetricsRegistry metrics;
+      fold_trace_summary(result.timeline, &metrics);
+      write_metrics_file(os, config.metrics_json_path, metrics);
     }
   }
   return os.str();

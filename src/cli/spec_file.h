@@ -65,6 +65,12 @@ struct CliConfig {
   // When non-empty, the execution timeline is also written as a value
   // change dump (one wire per task/job) for waveform viewers.
   std::string vcd_path;
+  // When non-empty, the execution trace is also written as a tsf-trace/1
+  // binary append file (inspect with tools/tsf_trace).
+  std::string trace_path;
+  // When non-empty, runtime counters and trace aggregates are written as a
+  // tsf-metrics/1 JSON document ('-' writes to stdout after the report).
+  std::string metrics_json_path;
   // Bin-packing heuristic for multi-core specs (spec.cores > 1).
   mp::PackingStrategy partition = mp::PackingStrategy::kFirstFitDecreasing;
   // Run-time job scheduling across cores (exec path of multi-core specs):

@@ -1,0 +1,114 @@
+#include "common/sketch.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/diag.h"
+
+namespace tsf::common {
+
+LogSketch::LogSketch(double relative_accuracy) : alpha_(relative_accuracy) {
+  TSF_ASSERT(alpha_ > 0.0 && alpha_ < 1.0,
+             "sketch accuracy must be in (0,1), got " << alpha_);
+  gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+}
+
+void LogSketch::add(double x) {
+  ++total_;
+  if (!(x >= kMinValue)) {  // zero, negative, NaN
+    ++zero_;
+    return;
+  }
+  const auto index =
+      static_cast<std::int32_t>(std::ceil(std::log(x) * inv_log_gamma_));
+  ++buckets_[index];
+}
+
+void LogSketch::merge(const LogSketch& other) {
+  TSF_ASSERT(alpha_ == other.alpha_,
+             "merging sketches with different accuracies ("
+                 << alpha_ << " vs " << other.alpha_ << ")");
+  zero_ += other.zero_;
+  total_ += other.total_;
+  for (const auto& [index, count] : other.buckets_) {
+    buckets_[index] += count;
+  }
+}
+
+double LogSketch::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank convention shared with QuantileReservoir: the sample at
+  // sorted index floor(q * (n-1)).
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t cumulative = zero_;
+  if (rank < cumulative) return 0.0;
+  for (const auto& [index, count] : buckets_) {
+    cumulative += count;
+    if (rank < cumulative) {
+      // Midpoint of (gamma^(i-1), gamma^i]: relative error <= alpha for any
+      // point in the bucket.
+      return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
+    }
+  }
+  return 0.0;  // unreachable when counts are consistent
+}
+
+std::string LogSketch::encode() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "sketch %a %llu %zu", alpha_,
+                static_cast<unsigned long long>(zero_), total_);
+  std::string out = buf;
+  for (const auto& [index, count] : buckets_) {
+    std::snprintf(buf, sizeof buf, " %d:%llu", index,
+                  static_cast<unsigned long long>(count));
+    out += buf;
+  }
+  return out;
+}
+
+bool LogSketch::decode(std::string_view text, LogSketch* out) {
+  const std::string s(text);
+  const char* p = s.c_str();
+  char* end = nullptr;
+  if (s.rfind("sketch ", 0) != 0) return false;
+  p += 7;
+  const double alpha = std::strtod(p, &end);
+  if (end == p || alpha <= 0.0 || alpha >= 1.0) return false;
+  p = end;
+  const unsigned long long zero = std::strtoull(p, &end, 10);
+  if (end == p) return false;
+  p = end;
+  const unsigned long long total = std::strtoull(p, &end, 10);
+  if (end == p) return false;
+  p = end;
+
+  LogSketch sketch(alpha);
+  sketch.zero_ = zero;
+  sketch.total_ = static_cast<std::size_t>(total);
+  std::uint64_t bucket_sum = zero;
+  while (*p != '\0') {
+    while (*p == ' ') ++p;
+    if (*p == '\0') break;
+    const long index = std::strtol(p, &end, 10);
+    if (end == p || *end != ':') return false;
+    p = end + 1;
+    const unsigned long long count = std::strtoull(p, &end, 10);
+    if (end == p || count == 0) return false;
+    p = end;
+    if (!sketch.buckets_.emplace(static_cast<std::int32_t>(index), count)
+             .second) {
+      return false;  // duplicate bucket
+    }
+    bucket_sum += count;
+  }
+  if (bucket_sum != total) return false;
+  *out = std::move(sketch);
+  return true;
+}
+
+}  // namespace tsf::common

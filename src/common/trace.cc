@@ -1,6 +1,8 @@
 #include "common/trace.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/diag.h"
@@ -33,13 +35,24 @@ const char* to_string(TraceKind kind) {
   return "?";
 }
 
-void Timeline::record(TimePoint at, TraceKind kind, std::string who,
-                      std::int64_t value, std::string note) {
-  records_.push_back(
-      TraceRecord{at, kind, std::move(who), value, std::move(note)});
+bool trace_kind_from_string(std::string_view name, TraceKind* kind) {
+  for (std::size_t k = 0; k < kTraceKindCount; ++k) {
+    const auto candidate = static_cast<TraceKind>(k);
+    if (name == to_string(candidate)) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  return false;
 }
 
-bool Timeline::retract(TimePoint at, TraceKind kind, const std::string& who) {
+void Timeline::record(TimePoint at, TraceKind kind, std::string_view who,
+                      std::int64_t value, std::string_view note) {
+  records_.push_back(
+      TraceRecord{at, kind, std::string(who), value, std::string(note)});
+}
+
+bool Timeline::retract(TimePoint at, TraceKind kind, std::string_view who) {
   for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
     if (it->at < at) break;  // records are appended in time order
     if (it->at == at && it->kind == kind && it->who == who) {
@@ -97,53 +110,170 @@ std::vector<std::string> Timeline::entities() const {
   return out;
 }
 
-std::string Timeline::to_csv() const {
-  std::ostringstream oss;
-  oss << "ticks,kind,who,value,note\n";
-  for (const auto& r : records_) {
-    oss << r.at.ticks() << ',' << to_string(r.kind) << ',' << r.who << ','
-        << r.value << ',' << r.note << '\n';
-  }
-  return oss.str();
-}
-
 namespace {
 
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
-
-void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= kFnvPrime;
+// RFC-4180-style quoting: only fields that would break the column structure
+// get quoted, so the common case (plain identifiers) stays byte-identical
+// to the historical format.
+void append_csv_field(std::string* out, const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) {
+    out->append(field);
+    return;
   }
+  out->push_back('"');
+  for (const char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
 }
 
-void fnv_u64(std::uint64_t& h, std::uint64_t v) { fnv_bytes(h, &v, sizeof v); }
-
-void fnv_str(std::uint64_t& h, const std::string& s) {
-  fnv_u64(h, s.size());
-  fnv_bytes(h, s.data(), s.size());
+// Splits one CSV line (quotes honoured) into fields. Returns false on a
+// malformed quote sequence.
+bool split_csv_line(std::string_view line, std::vector<std::string>* fields) {
+  fields->clear();
+  std::string current;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      if (!current.empty()) return false;  // quote mid-field
+      quoted = true;
+    } else if (c == ',') {
+      fields->push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (quoted) return false;
+  fields->push_back(std::move(current));
+  return true;
 }
 
 }  // namespace
 
+std::string Timeline::to_csv() const {
+  std::string out = "ticks,kind,who,value,note\n";
+  for (const auto& r : records_) {
+    out += std::to_string(r.at.ticks());
+    out.push_back(',');
+    out += to_string(r.kind);
+    out.push_back(',');
+    append_csv_field(&out, r.who);
+    out.push_back(',');
+    out += std::to_string(r.value);
+    out.push_back(',');
+    append_csv_field(&out, r.note);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool timeline_from_csv(std::string_view csv, Timeline* out,
+                       std::string* error) {
+  auto fail = [error](std::size_t line_no, const std::string& message) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + message;
+    }
+    return false;
+  };
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  std::vector<std::string> fields;
+  while (pos <= csv.size()) {
+    // A quoted note may contain newlines, so scan for the line end with the
+    // quote state in mind.
+    std::size_t end = pos;
+    bool quoted = false;
+    while (end < csv.size() && (quoted || csv[end] != '\n')) {
+      if (csv[end] == '"') quoted = !quoted;
+      ++end;
+    }
+    const std::string_view line = csv.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() && pos > csv.size()) break;  // trailing newline
+    ++line_no;
+    if (line_no == 1) {
+      if (line != "ticks,kind,who,value,note") {
+        return fail(line_no, "missing csv header");
+      }
+      continue;
+    }
+    if (line.empty()) continue;
+    if (!split_csv_line(line, &fields)) {
+      return fail(line_no, "malformed quoting");
+    }
+    if (fields.size() != 5) {
+      return fail(line_no, "expected 5 fields, got " +
+                               std::to_string(fields.size()));
+    }
+    errno = 0;
+    char* endp = nullptr;
+    const long long ticks = std::strtoll(fields[0].c_str(), &endp, 10);
+    if (endp == fields[0].c_str() || *endp != '\0') {
+      return fail(line_no, "bad ticks '" + fields[0] + "'");
+    }
+    TraceKind kind;
+    if (!trace_kind_from_string(fields[1], &kind)) {
+      return fail(line_no, "unknown kind '" + fields[1] + "'");
+    }
+    const long long value = std::strtoll(fields[3].c_str(), &endp, 10);
+    if (endp == fields[3].c_str() || *endp != '\0') {
+      return fail(line_no, "bad value '" + fields[3] + "'");
+    }
+    out->record(TimePoint::at_ticks(ticks), kind, fields[2], value,
+                fields[4]);
+  }
+  return true;
+}
+
+std::uint64_t fnv1a_record(std::uint64_t h, TimePoint at, TraceKind kind,
+                           std::string_view who, std::int64_t value,
+                           std::string_view note) {
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(at.ticks()));
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(kind));
+  h = fnv1a_str(h, who);
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(value));
+  h = fnv1a_str(h, note);
+  return h;
+}
+
 std::uint64_t fingerprint(const Timeline& timeline) {
-  std::uint64_t h = kFnvOffset;
+  std::uint64_t h = kFnvOffsetBasis;
   for (const auto& r : timeline.records()) {
-    fnv_u64(h, static_cast<std::uint64_t>(r.at.ticks()));
-    fnv_u64(h, static_cast<std::uint64_t>(r.kind));
-    fnv_str(h, r.who);
-    fnv_u64(h, static_cast<std::uint64_t>(r.value));
-    fnv_str(h, r.note);
+    h = fnv1a_record(h, r.at, r.kind, r.who, r.value, r.note);
   }
   return h;
 }
 
+std::string vcd_identifier(std::size_t index) {
+  // Bijective base-94: 0 → "!", 93 → "~", 94 → "!!", ... Every index maps
+  // to a unique string and the first 94 keep the historical 1-char form.
+  std::string id;
+  std::size_t n = index + 1;
+  while (n > 0) {
+    n -= 1;
+    id.insert(id.begin(), static_cast<char>('!' + n % 94));
+    n /= 94;
+  }
+  return id;
+}
+
 std::string to_vcd(const Timeline& timeline,
                    const std::vector<std::string>& rows) {
-  TSF_ASSERT(rows.size() < 94, "too many VCD signals for 1-char identifiers");
   std::ostringstream oss;
   oss << "$timescale 1us $end\n$scope module tsf $end\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -151,8 +281,7 @@ std::string to_vcd(const Timeline& timeline,
     for (auto& c : name) {
       if (c == ' ') c = '_';
     }
-    oss << "$var wire 1 " << static_cast<char>('!' + i) << ' ' << name
-        << " $end\n";
+    oss << "$var wire 1 " << vcd_identifier(i) << ' ' << name << " $end\n";
   }
   oss << "$upscope $end\n$enddefinitions $end\n";
 
@@ -177,7 +306,7 @@ std::string to_vcd(const Timeline& timeline,
 
   oss << "#0\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    oss << '0' << static_cast<char>('!' + i) << '\n';
+    oss << '0' << vcd_identifier(i) << '\n';
   }
   std::int64_t current = 0;
   for (const auto& e : edges) {
@@ -185,7 +314,7 @@ std::string to_vcd(const Timeline& timeline,
       current = e.at;
       oss << '#' << current << '\n';
     }
-    oss << (e.level ? '1' : '0') << static_cast<char>('!' + e.signal) << '\n';
+    oss << (e.level ? '1' : '0') << vcd_identifier(e.signal) << '\n';
   }
   return oss.str();
 }

@@ -4,10 +4,18 @@
 // gives us one Gantt renderer for the paper's figures and one interval
 // extractor for tests that assert exact execution windows (e.g. "h2 runs in
 // [12,14) in scenario 2").
+//
+// Emission goes through the TraceSink interface: the engines call
+// record()/retract() on a sink pointer, and the in-memory Timeline is just
+// one implementation of it. The streaming sinks (common/trace_sink.h,
+// common/trace_io.h, common/trace_stream.h) consume the same stream without
+// materializing it, which is what keeps horizon-scale runs O(1) in trace
+// length.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/time.h"
@@ -27,7 +35,15 @@ enum class TraceKind {
   kNote,       // free-form annotation
 };
 
+// One past the last TraceKind value — bounds kind counters and validates
+// kinds read back from serialized traces.
+inline constexpr std::size_t kTraceKindCount =
+    static_cast<std::size_t>(TraceKind::kNote) + 1;
+
 const char* to_string(TraceKind kind);
+
+// Inverse of to_string; returns false on an unknown kind name.
+bool trace_kind_from_string(std::string_view name, TraceKind* kind);
 
 struct TraceRecord {
   TimePoint at;
@@ -44,15 +60,33 @@ struct Interval {
   bool operator==(const Interval&) const = default;
 };
 
-class Timeline {
+// Consumer of a trace stream. Both engines emit records in non-decreasing
+// time order and only ever retract a record at the current (maximum)
+// instant — the VM's provisional horizon-pause record. Streaming sinks rely
+// on that invariant: they may buffer only the records of the current
+// instant and fold everything older into their running state, so a retract
+// of an already-folded instant is not honoured (returns false). The
+// materialized Timeline honours any retract its backward scan can reach.
+class TraceSink {
  public:
-  void record(TimePoint at, TraceKind kind, std::string who,
-              std::int64_t value = 0, std::string note = {});
+  virtual ~TraceSink() = default;
 
-  // Removes the most recent record matching (at, kind, who); returns whether
-  // one was found. The VM uses this to retract a provisional horizon-pause
-  // record when the paused fiber resumes seamlessly in a later run_until.
-  bool retract(TimePoint at, TraceKind kind, const std::string& who);
+  virtual void record(TimePoint at, TraceKind kind, std::string_view who,
+                      std::int64_t value = 0, std::string_view note = {}) = 0;
+
+  // Removes the most recent record matching (at, kind, who); returns
+  // whether one was found.
+  virtual bool retract(TimePoint at, TraceKind kind, std::string_view who) = 0;
+};
+
+class Timeline : public TraceSink {
+ public:
+  void record(TimePoint at, TraceKind kind, std::string_view who,
+              std::int64_t value = 0, std::string_view note = {}) override;
+
+  // The VM uses retract to drop a provisional horizon-pause record when the
+  // paused fiber resumes seamlessly in a later run_until.
+  bool retract(TimePoint at, TraceKind kind, std::string_view who) override;
 
   const std::vector<TraceRecord>& records() const { return records_; }
   void clear() { records_.clear(); }
@@ -67,12 +101,19 @@ class Timeline {
   // Distinct entity names in order of first appearance.
   std::vector<std::string> entities() const;
 
-  // One record per line, "t kind who value note" — for debugging and CSV.
+  // One record per line, "ticks,kind,who,value,note". Fields containing a
+  // comma, quote or newline are quoted RFC-4180 style ('"' doubled), so
+  // free-form notes round-trip through timeline_from_csv.
   std::string to_csv() const;
 
  private:
   std::vector<TraceRecord> records_;
 };
+
+// Parses the to_csv format back into a timeline (header line required).
+// Returns false with a message in *error on malformed input.
+bool timeline_from_csv(std::string_view csv, Timeline* out,
+                       std::string* error);
 
 // Renders an ASCII Gantt chart of the busy intervals, one row per entity,
 // in the style of the paper's figures 2-4.
@@ -88,11 +129,45 @@ std::string render_gantt(const Timeline& timeline,
                          const std::vector<std::string>& rows,
                          const GanttOptions& options = {});
 
+// FNV-1a folding helpers shared by fingerprint(Timeline) and the streaming
+// fingerprint sink — both must fold exactly the same bytes per record.
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t fnv1a_bytes(std::uint64_t h, const void* data,
+                                 std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv1a_bytes(h, &v, sizeof v);
+}
+
+inline std::uint64_t fnv1a_str(std::uint64_t h, std::string_view s) {
+  h = fnv1a_u64(h, s.size());
+  return fnv1a_bytes(h, s.data(), s.size());
+}
+
+// Folds one trace record: (ticks, kind, who, value, note).
+std::uint64_t fnv1a_record(std::uint64_t h, TimePoint at, TraceKind kind,
+                           std::string_view who, std::int64_t value,
+                           std::string_view note);
+
 // Order-sensitive 64-bit hash (FNV-1a) over every record field. Two runs of
 // a deterministic engine must produce equal fingerprints; the mp tests and
 // the scaling bench use this to assert bit-reproducibility of multi-core
 // runs without storing full traces.
 std::uint64_t fingerprint(const Timeline& timeline);
+
+// Identifier of the i-th VCD signal: bijective base-94 over the printable
+// range '!'..'~' — one character for the first 94 signals (compatible with
+// the historical single-char scheme), two for the next 94^2, and so on.
+std::string vcd_identifier(std::size_t index);
 
 // Value-change-dump export (GTKWave & friends): one 1-bit wire per entity,
 // high while the entity holds the processor. Timescale: 1 tick = 1 us

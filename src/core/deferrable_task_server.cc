@@ -34,7 +34,7 @@ void DeferrableTaskServer::on_replenish() {
   last_replenish_ = vm_.now();
   next_replenish_ = vm_.now() + params_.period();
   ++activations_;
-  vm_.timeline().record(vm_.now(), common::TraceKind::kReplenish,
+  vm_.trace().record(vm_.now(), common::TraceKind::kReplenish,
                         params_.name(), remaining_.count());
   queue_->begin_instance();
   arm_replenish_timer(next_replenish_);
@@ -89,7 +89,7 @@ void DeferrableTaskServer::serve() {
       remaining_ =
           common::max(remaining_ - r.elapsed, rtsj::RelativeTime::zero());
     }
-    vm_.timeline().record(vm_.now(), common::TraceKind::kCapacity,
+    vm_.trace().record(vm_.now(), common::TraceKind::kCapacity,
                           params_.name(), remaining_.count());
   }
   serving_ = false;

@@ -23,7 +23,7 @@ void PollingTaskServer::run(rtsj::RealtimeThread& thread) {
     ++activations_;
     ++next_activation_;
     remaining_ = params_.capacity();
-    vm_.timeline().record(vm_.now(), common::TraceKind::kReplenish,
+    vm_.trace().record(vm_.now(), common::TraceKind::kReplenish,
                           params_.name(), remaining_.count());
     if (!params_.poll_overhead().is_zero()) vm_.work(params_.poll_overhead());
     queue_->begin_instance();
@@ -39,7 +39,7 @@ void PollingTaskServer::run(rtsj::RealtimeThread& thread) {
       const DispatchResult r = dispatch(*request, remaining_);
       remaining_ = common::max(remaining_ - r.elapsed,
                                rtsj::RelativeTime::zero());
-      vm_.timeline().record(vm_.now(), common::TraceKind::kCapacity,
+      vm_.trace().record(vm_.now(), common::TraceKind::kCapacity,
                             params_.name(), remaining_.count());
     }
     // Polling policy: whatever capacity is left is lost until the next

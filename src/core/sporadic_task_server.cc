@@ -37,7 +37,7 @@ void SporadicTaskServer::serve() {
     const DispatchResult r = dispatch(*request, remaining_);
     const rtsj::RelativeTime consumed = common::min(r.elapsed, remaining_);
     remaining_ -= consumed;
-    vm_.timeline().record(vm_.now(), common::TraceKind::kCapacity,
+    vm_.trace().record(vm_.now(), common::TraceKind::kCapacity,
                           params_.name(), remaining_.count());
     // SS replenishment: the consumed amount returns one period after the
     // burst began.
@@ -45,7 +45,7 @@ void SporadicTaskServer::serve() {
       remaining_ = common::min(remaining_ + consumed, params_.capacity());
       ++replenishments_;
       ++activations_;
-      vm_.timeline().record(vm_.now(), common::TraceKind::kReplenish,
+      vm_.trace().record(vm_.now(), common::TraceKind::kReplenish,
                             params_.name(), remaining_.count());
       if (!serving_ && !queue_->empty()) wake_up_.fire();
     });

@@ -29,7 +29,7 @@ void TaskServer::servable_event_released(ServableAsyncEventHandler* handler,
   r.seq = next_seq_++;
   ++released_;
   released_cost_ += handler->cost();
-  vm_.timeline().record(vm_.now(), common::TraceKind::kRelease,
+  vm_.trace().record(vm_.now(), common::TraceKind::kRelease,
                         handler->name());
   queue_->push(r);
   on_release(r);
@@ -79,7 +79,7 @@ TaskServer::DispatchResult TaskServer::dispatch(const Request& request,
   } else {
     out.interrupted = true;
     ++interrupted_;
-    vm_.timeline().record(t1, common::TraceKind::kAbort,
+    vm_.trace().record(t1, common::TraceKind::kAbort,
                           request.handler->name());
   }
   outcomes_.push_back(out);

@@ -36,7 +36,6 @@ RunMetrics compute_run_metrics(const model::RunResult& run) {
 SetMetrics compute_set_metrics(const std::vector<model::RunResult>& runs) {
   SetMetrics set;
   common::Accumulator aart, air, asr;
-  common::QuantileReservoir tail;
   for (const auto& run : runs) {
     const RunMetrics m = compute_run_metrics(run);
     ++set.systems;
@@ -47,15 +46,15 @@ SetMetrics compute_set_metrics(const std::vector<model::RunResult>& runs) {
       asr.add(m.served_ratio);
     }
     for (const auto& job : run.jobs) {
-      if (job.served) tail.add(job.response().to_tu());
+      if (job.served) set.response_sketch.add(job.response().to_tu());
     }
   }
   set.aart = aart.mean();
   set.air = air.mean();
   set.asr = asr.mean();
-  set.p50_response_tu = tail.p50();
-  set.p95_response_tu = tail.p95();
-  set.p99_response_tu = tail.p99();
+  set.p50_response_tu = set.response_sketch.p50();
+  set.p95_response_tu = set.response_sketch.p95();
+  set.p99_response_tu = set.response_sketch.p99();
   return set;
 }
 

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/sketch.h"
 #include "exp/cross_core.h"
 #include "model/run_result.h"
 
@@ -32,10 +33,15 @@ struct SetMetrics {
   double asr = 0.0;
   // Quantiles of the served responses pooled across every run in the set
   // (not averages of per-run quantiles — tail latency doesn't average
-  // meaningfully).
+  // meaningfully). Derived from response_sketch, so two sets' quantiles can
+  // be pooled exactly by merging their sketches.
   double p50_response_tu = 0.0;
   double p95_response_tu = 0.0;
   double p99_response_tu = 0.0;
+  // Mergeable distribution of every served response in the set. Integer
+  // bucket counts merge exactly, which is what lets the shard harness pool
+  // per-worker cells into quantiles byte-identical for any --jobs N.
+  common::LogSketch response_sketch;
   std::size_t systems = 0;
   std::size_t total_jobs = 0;
 };

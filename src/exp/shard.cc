@@ -144,38 +144,53 @@ CellResult run_cell(const WorkUnit& unit) {
 //
 //   begin <idx>
 //   cell <idx> <aart> <air> <asr> <p50> <p95> <p99> <systems> <jobs>
-//        <digest> <gen_s> <run_s>
+//        <digest> <gen_s> <run_s> sketch <alpha> <zero> <n> <idx>:<cnt>...
 //
 // Doubles travel as C99 hexfloats ("%a"), which strtod round-trips exactly
-// — the merged metrics are bit-identical to an in-process run. The `begin`
-// record exists so a crash can be blamed on the in-flight cell.
+// — the merged metrics are bit-identical to an in-process run. The trailing
+// field is the cell's response sketch (common/sketch.h text form): integer
+// bucket counts, so the driver can pool cells into table-level quantiles
+// that are byte-identical for any worker count. The `begin` record exists
+// so a crash can be blamed on the in-flight cell.
 
 namespace {
 
 std::string encode_cell(std::uint32_t index, const CellResult& r) {
   char buf[512];
   std::snprintf(buf, sizeof buf,
-                "cell %u %a %a %a %a %a %a %zu %zu %016" PRIx64 " %a %a\n",
+                "cell %u %a %a %a %a %a %a %zu %zu %016" PRIx64 " %a %a ",
                 index, r.metrics.aart, r.metrics.air, r.metrics.asr,
                 r.metrics.p50_response_tu, r.metrics.p95_response_tu,
                 r.metrics.p99_response_tu, r.metrics.systems,
                 r.metrics.total_jobs, r.spec_digest, r.gen_seconds,
                 r.run_seconds);
-  return buf;
+  std::string out = buf;
+  out += r.metrics.response_sketch.encode();
+  out += '\n';
+  return out;
 }
 
 bool decode_cell(const std::string& line, std::uint32_t* index,
                  CellResult* r) {
   unsigned idx = 0;
   std::uint64_t digest = 0;
+  int consumed = 0;
   const int n = std::sscanf(
       line.c_str(), "cell %u %la %la %la %la %la %la %zu %zu %" SCNx64
-                    " %la %la",
+                    " %la %la %n",
       &idx, &r->metrics.aart, &r->metrics.air, &r->metrics.asr,
       &r->metrics.p50_response_tu, &r->metrics.p95_response_tu,
       &r->metrics.p99_response_tu, &r->metrics.systems,
-      &r->metrics.total_jobs, &digest, &r->gen_seconds, &r->run_seconds);
-  if (n != 12) return false;
+      &r->metrics.total_jobs, &digest, &r->gen_seconds, &r->run_seconds,
+      &consumed);
+  if (n != 12 || consumed <= 0 ||
+      static_cast<std::size_t>(consumed) > line.size()) {
+    return false;
+  }
+  if (!common::LogSketch::decode(line.substr(static_cast<std::size_t>(consumed)),
+                                 &r->metrics.response_sketch)) {
+    return false;
+  }
   *index = idx;
   r->spec_digest = digest;
   return true;

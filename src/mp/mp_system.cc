@@ -276,6 +276,13 @@ MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
                   options.policy == SchedPolicy::kPartitioned ? nullptr
                                                               : &engine,
                   rebalancer.get());
+  for (std::size_t c = 0;
+       c < options.core_trace_sinks.size() && c < subs.size(); ++c) {
+    if (options.core_trace_sinks[c] != nullptr) {
+      machine.attach_trace_sink(c, options.core_trace_sinks[c]);
+    }
+  }
+  machine.set_metrics(options.metrics);
   machine.start();
   machine.run_until(spec.horizon, options.quantum);
   out.per_core = machine.collect();
@@ -290,6 +297,32 @@ MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
     out.rebalance_admissions = rebalancer->admissions();
     out.rebalance_still_rejected = rebalancer->still_rejected();
     out.rebalance_utilization = rebalancer->measured_utilization();
+  }
+  if (options.metrics != nullptr) {
+    common::MetricsRegistry& m = *options.metrics;
+    m.add_counter("mp.channel.in_flight_at_horizon", out.channel_in_flight);
+    m.add_counter("mp.policy.pool_dispatches", out.pool_dispatches);
+    m.add_counter("mp.policy.steals", out.steals);
+    m.add_counter("mp.rebalance.passes", out.rebalance_passes);
+    m.add_counter("mp.rebalance.migrations", out.rebalance_migrations);
+    m.add_counter("mp.rebalance.admissions", out.rebalance_admissions);
+    // Busy fraction of each core over the whole run: entities of one core
+    // never overlap, so the per-entity busy windows sum to processor time.
+    const double horizon_ticks =
+        static_cast<double>((spec.horizon - TimePoint::origin()).count());
+    for (std::size_t c = 0; c < out.per_core.size(); ++c) {
+      std::int64_t busy = 0;
+      const auto& timeline = out.per_core[c].timeline;
+      for (const auto& who : timeline.entities()) {
+        for (const auto& iv : timeline.busy_intervals(who)) {
+          busy += (iv.end - iv.begin).count();
+        }
+      }
+      m.set_gauge("mp.core." + std::to_string(c) + ".utilization",
+                  horizon_ticks > 0.0
+                      ? static_cast<double>(busy) / horizon_ticks
+                      : 0.0);
+    }
   }
   return out;
 }

@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "analysis/partitioned.h"
+#include "common/metrics_registry.h"
 #include "common/time.h"
+#include "common/trace_sink.h"
 #include "exp/cross_core.h"
 #include "exp/exec_runner.h"
 #include "model/run_result.h"
@@ -39,6 +41,14 @@ struct MpRunOptions {
   // Online load rebalancing at the epoch boundaries (exec path only; the
   // simulator has no fabric and always runs the static partition).
   RebalanceConfig rebalance;
+  // Optional streaming trace sinks, one per core (exec path only). Entry k,
+  // when non-null, receives core k's full record stream alongside the
+  // materialized per-core timeline. May be shorter than the core count.
+  std::vector<common::TraceSink*> core_trace_sinks;
+  // Optional runtime-counter registry (exec path only): epoch, fabric,
+  // policy and rebalance counters plus per-core utilization gauges are
+  // recorded here during and after the run.
+  common::MetricsRegistry* metrics = nullptr;
 };
 
 // Per-core uniprocessor specs for a partition of `spec`: core k gets the

@@ -1,5 +1,7 @@
 #include "mp/multi_vm.h"
 
+#include <chrono>
+
 #include "common/diag.h"
 #include "mp/channel.h"
 #include "mp/rebalance.h"
@@ -41,6 +43,16 @@ MultiVm::MultiVm(std::vector<model::SystemSpec> per_core_specs,
 
 MultiVm::~MultiVm() = default;
 
+void MultiVm::attach_trace_sink(std::size_t core, common::TraceSink* sink) {
+  TSF_ASSERT(core < vms_.size(),
+             "attach_trace_sink: core " << core << " out of range");
+  auto tee = std::make_unique<common::TeeSink>();
+  tee->add(&vms_[core]->timeline());
+  tee->add(sink);
+  vms_[core]->set_trace_sink(tee.get());
+  tees_.push_back(std::move(tee));
+}
+
 void MultiVm::start() {
   for (auto& system : systems_) system->start();
 }
@@ -49,14 +61,30 @@ void MultiVm::run_until(TimePoint horizon, Duration quantum) {
   TSF_ASSERT(quantum > Duration::zero(), "lock-step quantum must be positive");
   while (now_ < horizon) {
     now_ = common::min(now_ + quantum, horizon);
+    const auto epoch_begin = std::chrono::steady_clock::now();
     for (auto& vm : vms_) vm->run_until(now_);
+    if (metrics_ != nullptr) {
+      metrics_->add_counter("mp.epochs");
+      metrics_->observe(
+          "mp.epoch.host_seconds",
+          std::chrono::duration_cast<std::chrono::duration<double>>(
+              std::chrono::steady_clock::now() - epoch_begin)
+              .count());
+    }
     // Every core is paused at now_: the deterministic instant at which
     // cross-core messages posted in earlier epochs become visible. Effects
     // (event fires, releases, server wake-ups) are enqueued now and
     // processed when the VMs resume into the next epoch. The scheduling
     // policy runs after the drain so pool dispatch and steal decisions see
     // the queue depths including this boundary's channel deliveries.
-    if (fabric_ != nullptr) fabric_->drain(now_);
+    if (fabric_ != nullptr) {
+      const std::size_t delivered = fabric_->drain(now_);
+      if (metrics_ != nullptr) {
+        metrics_->add_counter("mp.fabric.deliveries", delivered);
+        metrics_->observe("mp.fabric.drain_size",
+                          static_cast<double>(delivered));
+      }
+    }
     if (engine_ != nullptr) engine_->on_epoch(now_);
     // The rebalancer goes last: its load measurement and migration
     // decisions see the queue depths *including* this boundary's channel

@@ -18,7 +18,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/time.h"
+#include "common/trace_sink.h"
 #include "exp/exec_runner.h"
 #include "model/run_result.h"
 #include "model/spec.h"
@@ -62,6 +64,17 @@ class MultiVm {
   std::size_t cores() const { return vms_.size(); }
   rtsj::vm::VirtualMachine& vm(std::size_t core) { return *vms_[core]; }
 
+  // Streams core `core`'s trace into `sink` as well as its in-memory
+  // timeline (the VM's emission is replaced with an owned tee over both).
+  // Call before start(); the sink must outlive the MultiVm. One external
+  // sink per core — a later call for the same core supersedes the earlier.
+  void attach_trace_sink(std::size_t core, common::TraceSink* sink);
+
+  // Surfaces runtime counters during run_until: "mp.epochs",
+  // "mp.epoch.host_seconds", and with a fabric "mp.fabric.deliveries" /
+  // "mp.fabric.drain_size". The registry must outlive the run.
+  void set_metrics(common::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   // Arms every core's world. Call once, before run_until.
   void start();
 
@@ -81,6 +94,8 @@ class MultiVm {
   ChannelFabric* fabric_ = nullptr;
   SchedPolicyEngine* engine_ = nullptr;
   Rebalancer* rebalancer_ = nullptr;
+  common::MetricsRegistry* metrics_ = nullptr;
+  std::vector<std::unique_ptr<common::TeeSink>> tees_;
   common::TimePoint now_ = common::TimePoint::origin();
 };
 

@@ -68,7 +68,7 @@ bool AsyncEvent::handled_by(const AsyncEventHandler* handler) const {
 
 void AsyncEvent::fire() {
   ++fires_;
-  vm_.timeline().record(vm_.now(), common::TraceKind::kFire, name_);
+  vm_.trace().record(vm_.now(), common::TraceKind::kFire, name_);
   for (AsyncEventHandler* h : handlers_) h->release();
 }
 

@@ -75,7 +75,7 @@ void VirtualMachine::run_until(TimePoint horizon) {
     // The previous run_until provisionally closed the frozen fiber's trace
     // in case it was the last one. It wasn't: retract the pause record so a
     // seamless resume leaves no mark of the epoch boundary.
-    timeline_.retract(now_, common::TraceKind::kPreempt, frozen_->label_);
+    sink_->retract(now_, common::TraceKind::kPreempt, frozen_->label_);
     frozen_->trace_open_ = true;
     frozen_pause_recorded_ = false;
   }
@@ -311,13 +311,13 @@ void VirtualMachine::yield_to_scheduler(Fiber* self) {
 
 void VirtualMachine::open_trace(Fiber* fiber) {
   TSF_ASSERT(!fiber->trace_open_, "trace already open for " << fiber->name_);
-  timeline_.record(now_, common::TraceKind::kResume, fiber->label_);
+  sink_->record(now_, common::TraceKind::kResume, fiber->label_);
   fiber->trace_open_ = true;
 }
 
 void VirtualMachine::close_trace(Fiber* fiber) {
   if (!fiber->trace_open_) return;
-  timeline_.record(now_, common::TraceKind::kPreempt, fiber->label_);
+  sink_->record(now_, common::TraceKind::kPreempt, fiber->label_);
   fiber->trace_open_ = false;
 }
 

@@ -110,6 +110,19 @@ class VirtualMachine {
   common::Timeline& timeline() { return timeline_; }
   std::uint64_t context_switches() const { return context_switches_; }
 
+  // The sink every trace record goes through; the in-memory timeline by
+  // default. All framework emission (servers, async events, the kernel
+  // itself) must use this, not timeline(), so external consumers see the
+  // whole stream.
+  common::TraceSink& trace() { return *sink_; }
+
+  // Replaces the trace sink (e.g. with a TeeSink feeding the timeline plus
+  // streaming consumers); nullptr restores the internal timeline. The sink
+  // must outlive the VM or be reset before destruction.
+  void set_trace_sink(common::TraceSink* sink) {
+    sink_ = sink != nullptr ? sink : &timeline_;
+  }
+
   // ---- world construction (outside fibers or from fibers) ----
 
   // The fiber starts parked; start_fiber makes it ready.
@@ -197,6 +210,7 @@ class VirtualMachine {
   bool shutting_down_ = false;
   std::exception_ptr pending_error_;
   common::Timeline timeline_;
+  common::TraceSink* sink_ = &timeline_;  // declared after timeline_
 };
 
 }  // namespace tsf::rtsj::vm

@@ -12,6 +12,7 @@ using common::TimePoint;
 using common::TraceKind;
 
 Simulator::Simulator(model::SystemSpec spec) : spec_(std::move(spec)) {
+  trace_.add(&result_.timeline);
   TSF_ASSERT(!spec_.horizon.is_never(), "simulator needs a finite horizon");
   const auto policy = spec_.server.policy;
   TSF_ASSERT(policy != model::ServerPolicy::kNone || true,
@@ -71,7 +72,7 @@ void Simulator::process_arrivals() {
     j.release = spec.release;
     j.remaining = spec.cost;
     aqueue_.push_back(j);
-    result_.timeline.record(now_, TraceKind::kRelease, spec.name);
+    trace_.record(now_, TraceKind::kRelease, spec.name);
     ++next_arrival_;
   }
   for (std::size_t i = 0; i < spec_.periodic_tasks.size(); ++i) {
@@ -92,8 +93,7 @@ void Simulator::process_replenishment() {
                             spec_.server.capacity);
     ss_replenishments_.pop_front();
     ++result_.server_activations;
-    result_.timeline.record(now_, TraceKind::kReplenish, "server",
-                            capacity_.count());
+    trace_.record(now_, TraceKind::kReplenish, "server", capacity_.count());
   }
   while (next_replenish_ <= now_) {
     ++result_.server_activations;
@@ -106,8 +106,7 @@ void Simulator::process_replenishment() {
     } else {
       capacity_ = spec_.server.capacity;
     }
-    result_.timeline.record(now_, TraceKind::kReplenish, "server",
-                            capacity_.count());
+    trace_.record(now_, TraceKind::kReplenish, "server", capacity_.count());
     next_replenish_ += spec_.server.period;
   }
 }
@@ -165,12 +164,12 @@ TimePoint Simulator::next_static_event() const {
 void Simulator::switch_runner(Runner next, const std::string& label) {
   if (runner_ == next && runner_label_ == label) return;
   if (runner_ != Runner::kIdle) {
-    result_.timeline.record(now_, TraceKind::kPreempt, runner_label_);
+    trace_.record(now_, TraceKind::kPreempt, runner_label_);
   }
   runner_ = next;
   runner_label_ = label;
   if (runner_ != Runner::kIdle) {
-    result_.timeline.record(now_, TraceKind::kResume, runner_label_);
+    trace_.record(now_, TraceKind::kResume, runner_label_);
   }
 }
 
@@ -186,7 +185,7 @@ void Simulator::complete_aperiodic_head() {
     // Pending work exhausted: the Polling Server forfeits its remainder.
     ps_in_instance_ = false;
     capacity_ = Duration::zero();
-    result_.timeline.record(now_, TraceKind::kCapacity, "server", 0);
+    trace_.record(now_, TraceKind::kCapacity, "server", 0);
   }
 }
 

@@ -16,6 +16,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/trace_sink.h"
 #include "model/run_result.h"
 #include "model/spec.h"
 
@@ -27,6 +28,10 @@ class Simulator {
 
   // Runs to spec.horizon and extracts per-job outcomes and the trace.
   model::RunResult run();
+
+  // Adds a streaming consumer alongside the materialized result timeline;
+  // every record the engine emits reaches both. The sink must outlive run().
+  void add_trace_sink(common::TraceSink* sink) { trace_.add(sink); }
 
  private:
   struct PeriodicJob {
@@ -58,6 +63,7 @@ class Simulator {
   model::SystemSpec spec_;
   common::TimePoint now_;
   model::RunResult result_;
+  common::TeeSink trace_;  // fans out to result_.timeline + external sinks
 
   // Periodic state: per-task FIFO of released-but-unfinished jobs plus the
   // next release instant.

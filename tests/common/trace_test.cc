@@ -70,6 +70,38 @@ TEST(Timeline, CsvHasHeaderAndRows) {
   EXPECT_NE(csv.find("1000,release,x,42,note"), std::string::npos);
 }
 
+TEST(Timeline, CsvQuotesAwkwardFieldsAndRoundTrips) {
+  Timeline t;
+  t.record(at(1), TraceKind::kRelease, "x", 1, "plain");
+  t.record(at(2), TraceKind::kFire, "a,b", 2, "comma, note");
+  t.record(at(3), TraceKind::kComplete, "x", 3, "say \"hi\"");
+  t.record(at(4), TraceKind::kCapacity, "x", 4, "two\nlines");
+  const std::string csv = t.to_csv();
+  // Plain fields stay unquoted (historical format), awkward ones are
+  // RFC-4180 quoted with '"' doubled.
+  EXPECT_NE(csv.find("1000,release,x,1,plain"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\"two\nlines\""), std::string::npos) << csv;
+
+  Timeline back;
+  std::string error;
+  ASSERT_TRUE(timeline_from_csv(csv, &back, &error)) << error;
+  EXPECT_EQ(fingerprint(back), fingerprint(t));
+  ASSERT_EQ(back.records().size(), 4u);
+  EXPECT_EQ(back.records()[1].who, "a,b");
+  EXPECT_EQ(back.records()[3].note, "two\nlines");
+}
+
+TEST(Timeline, CsvParserRejectsMalformedRows) {
+  Timeline out;
+  std::string error;
+  EXPECT_FALSE(timeline_from_csv("no header here", &out, &error));
+  EXPECT_FALSE(timeline_from_csv(
+      "ticks,kind,who,value,note\n1000,notakind,x,0,\n", &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
 TEST(Gantt, RendersBusyCellsAndReleases) {
   Timeline t;
   t.record(at(0), TraceKind::kRelease, "a");

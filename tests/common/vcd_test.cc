@@ -1,7 +1,12 @@
 // VCD export of execution timelines.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "common/trace.h"
+#include "common/trace_stream.h"
 
 namespace tsf::common {
 namespace {
@@ -46,6 +51,63 @@ TEST(Vcd, BackToBackHandoffOrdersFallBeforeRise) {
   ASSERT_NE(fall, std::string::npos);
   ASSERT_NE(rise, std::string::npos);
   EXPECT_LT(fall, rise);
+}
+
+TEST(Vcd, ManyEntitiesGetMultiCharIdentifiers) {
+  // Identifiers are bijective base-94: the 95th entity widens to two
+  // characters instead of walking off the printable range.
+  Timeline t;
+  std::vector<std::string> rows;
+  for (int i = 0; i < 100; ++i) {
+    const std::string name = "e" + std::to_string(i);
+    t.record(at(i), TraceKind::kResume, name);
+    t.record(at(i + 200), TraceKind::kPreempt, name);
+    rows.push_back(name);
+  }
+  const std::string vcd = to_vcd(t, rows);
+  EXPECT_NE(vcd.find("$var wire 1 ! e0 $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 ~ e93 $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 !! e94 $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 !\" e95 $end"), std::string::npos);
+}
+
+TEST(StreamingVcd, ByteIdenticalToMaterializedExport) {
+  Timeline t;
+  // Handoffs at the same instant, a zero-length window, idle gaps, and
+  // non-interval marks interleaved — everything the edge logic must handle.
+  t.record(at(0), TraceKind::kRelease, "a");
+  t.record(at(0), TraceKind::kResume, "a");
+  t.record(at(50), TraceKind::kPreempt, "a");
+  t.record(at(50), TraceKind::kResume, "b");
+  t.record(at(70), TraceKind::kResume, "c");
+  t.record(at(70), TraceKind::kPreempt, "c");  // zero-length: no edges
+  t.record(at(90), TraceKind::kComplete, "b");
+  t.record(at(120), TraceKind::kResume, "a");
+  t.record(at(150), TraceKind::kAbort, "a");
+
+  std::ostringstream body;
+  StreamingVcd stream(body);
+  for (const auto& r : t.records()) {
+    stream.record(r.at, r.kind, r.who, r.value, r.note);
+  }
+  stream.finish();
+  EXPECT_EQ(stream.header() + body.str(), to_vcd(t, t.entities()));
+}
+
+TEST(StreamingVcd, RetractedProvisionalPauseLeavesNoEdge) {
+  // The VM's horizon-pause pattern: both paths must agree after a retract.
+  Timeline t;
+  std::ostringstream body;
+  StreamingVcd stream(body);
+  for (TraceSink* sink :
+       {static_cast<TraceSink*>(&t), static_cast<TraceSink*>(&stream)}) {
+    sink->record(at(0), TraceKind::kResume, "task");
+    sink->record(at(40), TraceKind::kPreempt, "task");
+    EXPECT_TRUE(sink->retract(at(40), TraceKind::kPreempt, "task"));
+    sink->record(at(60), TraceKind::kPreempt, "task");
+  }
+  stream.finish();
+  EXPECT_EQ(stream.header() + body.str(), to_vcd(t, t.entities()));
 }
 
 TEST(Vcd, SpacesInNamesSanitised) {

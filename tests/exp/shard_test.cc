@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sketch.h"
 #include "gtest/gtest.h"
 
 namespace tsf::exp {
@@ -46,6 +47,7 @@ void expect_identical(const CellResult& a, const CellResult& b,
   EXPECT_EQ(a.metrics.p99_response_tu, b.metrics.p99_response_tu) << label;
   EXPECT_EQ(a.metrics.systems, b.metrics.systems) << label;
   EXPECT_EQ(a.metrics.total_jobs, b.metrics.total_jobs) << label;
+  EXPECT_TRUE(a.metrics.response_sketch == b.metrics.response_sketch) << label;
   EXPECT_EQ(a.spec_digest, b.spec_digest) << label;
 }
 
@@ -67,6 +69,36 @@ TEST(ShardHarness, WorkerCountsProduceIdenticalResults) {
       expect_identical(baseline.cells[i], sharded.cells[i],
                        units[i].label + " @ jobs=" + std::to_string(jobs));
     }
+  }
+}
+
+TEST(ShardHarness, PooledSketchQuantilesIdenticalAcrossWorkerCounts) {
+  // The reason the sketch exists: cross-cell quantiles pooled by exact
+  // bucket merge must be bitwise identical however the cells were sharded.
+  const auto units = small_grid();
+  ShardOptions serial;
+  serial.jobs = 1;
+  const ShardOutcome baseline = run_units(units, serial);
+  ASSERT_TRUE(baseline.ok) << baseline.error;
+  common::LogSketch expected;
+  for (const auto& cell : baseline.cells) {
+    expected.merge(cell.metrics.response_sketch);
+  }
+  ASSERT_GT(expected.count(), 0u);
+
+  for (const int jobs : {2, 8}) {
+    ShardOptions options;
+    options.jobs = jobs;
+    const ShardOutcome sharded = run_units(units, options);
+    ASSERT_TRUE(sharded.ok) << sharded.error;
+    common::LogSketch pooled;
+    for (const auto& cell : sharded.cells) {
+      pooled.merge(cell.metrics.response_sketch);
+    }
+    EXPECT_TRUE(pooled == expected) << "jobs=" << jobs;
+    EXPECT_EQ(pooled.encode(), expected.encode()) << "jobs=" << jobs;
+    EXPECT_EQ(pooled.p50(), expected.p50()) << "jobs=" << jobs;
+    EXPECT_EQ(pooled.p99(), expected.p99()) << "jobs=" << jobs;
   }
 }
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/trace.h"
+#include "common/trace_sink.h"
 
 namespace tsf::sim {
 namespace {
@@ -198,6 +199,18 @@ TEST(SimDeterminism, RepeatedRunsIdentical) {
   const auto r1 = simulate(s);
   const auto r2 = simulate(s);
   EXPECT_EQ(r1.timeline.to_csv(), r2.timeline.to_csv());
+}
+
+TEST(SimStreaming, AttachedSinkSeesTheExactRecordStream) {
+  auto s = scenario_base(model::ServerPolicy::kDeferrable, tu(3));
+  add_job(s, "a", 1, tu(2));
+  add_job(s, "b", 3, tu(4));
+  Simulator sim(s);
+  common::StreamingFingerprint streamed;
+  sim.add_trace_sink(&streamed);
+  const auto r = sim.run();
+  EXPECT_EQ(streamed.digest(), common::fingerprint(r.timeline));
+  EXPECT_EQ(streamed.records(), r.timeline.records().size());
 }
 
 TEST(SimMetadata, ActivationAndDispatchCounters) {

@@ -2,6 +2,7 @@
 // runtime and print outcomes, metrics and Gantt charts.
 //
 // Usage:   tsf_run <spec-file> [--mode sim|exec|both] [--no-gantt]
+//                  [--vcd FILE] [--trace FILE] [--metrics-json FILE]
 // See examples/specs/ for spec files and src/cli/spec_file.h for the format.
 #include <cstring>
 #include <iostream>
@@ -12,7 +13,8 @@
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: tsf_run <spec-file> [--mode sim|exec|both]"
-                 " [--no-gantt] [--vcd <file>]\n";
+                 " [--no-gantt] [--vcd <file>] [--trace <file>]"
+                 " [--metrics-json <file>]\n";
     return 2;
   }
   auto outcome = tsf::cli::load_spec_file(argv[1]);
@@ -33,6 +35,10 @@ int main(int argc, char** argv) {
       outcome.config.gantt = false;
     } else if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc) {
       outcome.config.vcd_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      outcome.config.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      outcome.config.metrics_json_path = argv[++i];
     } else {
       std::cerr << "unknown argument '" << argv[i] << "'\n";
       return 2;

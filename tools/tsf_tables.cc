@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/json_writer.h"
+#include "common/sketch.h"
 #include "exp/shard.h"
 
 namespace {
@@ -149,9 +150,11 @@ int main(int argc, char** argv) {
     json.key("policy").value(model::to_string(table.policy));
     json.key("mode").value(exp::to_string(table.mode));
     json.key("cells").begin_array();
+    common::LogSketch pooled;  // exact merge of the per-cell sketches
     for (std::size_t c = 0; c < sets.size(); ++c) {
       const exp::CellResult& cell = outcome.cells[t * sets.size() + c];
       assembled.cells[c] = cell.metrics;
+      pooled.merge(cell.metrics.response_sketch);
       gen_seconds += cell.gen_seconds;
       run_seconds += cell.run_seconds;
       json.begin_object();
@@ -169,6 +172,14 @@ int main(int argc, char** argv) {
       json.end_object();
     }
     json.end_array();
+    // Table-level response quantiles over every served job of every set,
+    // pooled by exact sketch merge — byte-identical for any --jobs N.
+    json.key("pooled").begin_object();
+    json.key("samples").value(static_cast<std::uint64_t>(pooled.count()));
+    json.key("p50_response_tu").value(pooled.p50());
+    json.key("p95_response_tu").value(pooled.p95());
+    json.key("p99_response_tu").value(pooled.p99());
+    json.end_object();
     json.end_object();
     if (text) {
       std::cout << exp::format_paper_table(assembled) << '\n';
