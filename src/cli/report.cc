@@ -217,6 +217,7 @@ std::string run_and_report(const CliConfig& config) {
     mp::MpRunOptions mp_options;
     mp_options.strategy = config.partition;
     mp_options.policy = config.policy;
+    mp_options.backend = config.backend;
     mp_options.exec = config.exec_options;
     mp_options.quantum = config.quantum;
     mp_options.rebalance = config.rebalance;
@@ -244,14 +245,33 @@ std::string run_and_report(const CliConfig& config) {
       if (!config.metrics_json_path.empty()) {
         mp_options.metrics = &metrics;
       }
+      // The threads backend measures wall-clock throughput; always collect
+      // metrics for it so the report can show the measurement even without
+      // --metrics-json.
+      if (config.backend == mp::ExecBackend::kThreads) {
+        mp_options.metrics = &metrics;
+      }
       const auto run = mp::run_partitioned_exec(
           config.spec, verdict.partition, mp_options);
+      const std::string substrate =
+          config.backend == mp::ExecBackend::kThreads
+              ? "pinned worker threads"
+              : "lock-step VMs";
       const std::string exec_label =
           config.policy == mp::SchedPolicy::kPartitioned
-              ? "partitioned execution (lock-step VMs)"
-              : std::string(mp::to_string(config.policy)) +
-                    " execution (lock-step VMs)";
+              ? "partitioned execution (" + substrate + ")"
+              : std::string(mp::to_string(config.policy)) + " execution (" +
+                    substrate + ")";
       render_run(os, config, exec_label, run.merged);
+      if (config.backend == mp::ExecBackend::kThreads) {
+        os << "threads backend: wall "
+           << common::fmt_fixed(metrics.gauge("threads.wall_seconds") * 1e3, 2)
+           << "ms, " << common::fmt_fixed(
+                  metrics.gauge("threads.events_per_sec") / 1e3, 1)
+           << "k events/s, "
+           << static_cast<std::size_t>(metrics.gauge("threads.workers_pinned"))
+           << "/" << config.spec.cores << " workers pinned\n";
+      }
       if (!run.channel_deliveries.empty() || run.channel_in_flight > 0 ||
           config.policy != mp::SchedPolicy::kPartitioned) {
         const auto ch = exp::compute_channel_metrics(run.channel_deliveries,

@@ -286,6 +286,13 @@ struct Parser {
         error(line, "unknown scheduling policy '" + value +
                         "' (partitioned|global|semi)");
       }
+    } else if (key == "backend") {
+      const auto backend = mp::parse_exec_backend(value);
+      if (backend.has_value()) {
+        out.config.backend = *backend;
+      } else {
+        error(line, "unknown backend '" + value + "' (lockstep|threads)");
+      }
     } else if (key == "rebalance") {
       const auto mode = mp::parse_rebalance_mode(value);
       if (mode.has_value()) {
@@ -371,6 +378,20 @@ struct Parser {
       out.errors.push_back(std::string("scheduling policy '") +
                            mp::to_string(out.config.policy) +
                            "' needs a multi-core run (cores > 1)");
+    }
+    if (out.config.backend == mp::ExecBackend::kThreads) {
+      // The threads backend is the multi-core execution substrate; a
+      // uniprocessor or sim-only run never reaches it, so a spec asking for
+      // it there is a mistake worth flagging, not silently ignoring.
+      if (out.config.spec.cores <= 1) {
+        out.errors.push_back(
+            "backend = threads needs a multi-core run (cores > 1)");
+      }
+      if (out.config.mode == RunMode::kSim) {
+        out.errors.push_back(
+            "backend = threads applies to the execution engine (mode = "
+            "exec|both)");
+      }
     }
     if (out.config.rebalance.mode != mp::RebalanceMode::kOff &&
         out.config.spec.cores <= 1) {

@@ -36,6 +36,7 @@
 //     cores    = 4                # optional; > 1 → partitioned runtime
 //     partition = ffd             # ffd|wfd|bfd bin-packing heuristic
 //     policy   = semi             # partitioned|global|semi job scheduling
+//     backend  = threads          # lockstep|threads execution substrate
 //     quantum  = 0.5              # lock-step epoch of the multi-core VMs
 //     channel_latency = 0.25      # min cross-core message in-flight time
 //     rebalance = drift           # off|drift|admit online load rebalancing
@@ -49,6 +50,7 @@
 #include "exp/exec_runner.h"
 #include "exp/tables.h"
 #include "model/spec.h"
+#include "mp/mp_system.h"
 #include "mp/partition.h"
 #include "mp/rebalance.h"
 #include "mp/sched_policy.h"
@@ -77,6 +79,10 @@ struct CliConfig {
   // the static partition, a global shared ready pool, or semi-partitioned
   // work stealing.
   mp::SchedPolicy policy = mp::SchedPolicy::kPartitioned;
+  // Execution substrate (exec path of multi-core specs): the deterministic
+  // lock-step oracle, or one pinned OS worker thread per core measuring
+  // wall-clock throughput (same virtual-time results, cross-validated).
+  mp::ExecBackend backend = mp::ExecBackend::kLockstep;
   // Lock-step epoch of the partitioned execution (mp::MultiVm). Also the
   // granularity at which cross-core channel messages are delivered.
   common::Duration quantum = common::Duration::time_units(1);

@@ -88,6 +88,13 @@ model::RunResult run_exec(const model::SystemSpec& spec,
 // deliver_migrated are invoked by the fabric at epoch boundaries. With a
 // null port (uniprocessor run_exec), `fires` resolves locally and fires
 // synchronously at handler completion.
+//
+// Threading contract (backend = threads): completion posting through `port`
+// happens mid-epoch, concurrently with other cores' worlds — the port
+// implementation must be thread-safe (mp::ThreadedRuntime hands each core a
+// port staging into a lock-free MPSC mailbox). Every CoreEndpoint method,
+// by contrast, is only ever invoked at an epoch boundary while all workers
+// are synchronized at the barrier, so the endpoint itself needs no locks.
 class ExecSystem : public CoreEndpoint {
  public:
   ExecSystem(rtsj::vm::VirtualMachine& vm, const model::SystemSpec& spec,

@@ -1,0 +1,20 @@
+#include "mp/mailbox.h"
+
+#include <algorithm>
+
+namespace tsf::mp {
+
+void sort_replay_order(std::vector<StagedFire>* batch) {
+  // Stable order on the (from_core, seq) key. The key is already unique per
+  // element (each producer's seq is strictly increasing), so std::sort
+  // would do, but being explicit costs nothing and guards against a future
+  // producer reusing sequence numbers.
+  std::stable_sort(batch->begin(), batch->end(),
+                   [](const StagedFire& a, const StagedFire& b) {
+                     if (a.from_core != b.from_core)
+                       return a.from_core < b.from_core;
+                     return a.seq < b.seq;
+                   });
+}
+
+}  // namespace tsf::mp

@@ -1,0 +1,112 @@
+// Lock-free MPSC mailboxes for the real-threads execution backend.
+//
+// Under `backend = threads` every core's worker runs concurrently inside an
+// epoch, so a handler completing on core A cannot touch the ChannelFabric
+// directly (the fabric's routing table and mailboxes are plain containers,
+// and the lock-step delivery order would be lost anyway). Instead each
+// outbound fire is *staged*: pushed into one shared MpscQueue as a
+// StagedFire carrying its producing core and a per-producer sequence
+// number. The epoch-barrier coordinator — the single consumer — drains the
+// queue while every worker is parked at the barrier, sorts the batch into
+// replay order, and replays it through ChannelFabric::post_fire.
+//
+// Replay order is what makes the threads backend bit-reproducible against
+// the lock-step oracle: MultiVm advances VMs sequentially within an epoch,
+// so the fabric's global post order is exactly (core, per-core post order)
+// per epoch. Sorting an epoch's staged fires by (from_core, seq) therefore
+// reconstructs the oracle's post order no matter how the OS interleaved the
+// workers.
+//
+// The queue itself is Dmitry Vyukov's non-intrusive MPSC design: producers
+// exchange the head pointer (wait-free) and then publish the link; the
+// single consumer chases the links from a stub node. Per-producer FIFO is
+// inherited from the head's modification order. The consumer may observe a
+// transiently broken link (a producer between exchange and publish), in
+// which case pop() returns false; here the consumer only drains at epoch
+// barriers, when every producer is quiescent and ordered before it, so a
+// drain loop always sees the complete batch.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+
+namespace tsf::mp {
+
+// One staged cross-core fire: everything ChannelFabric::post_fire needs,
+// plus the (from_core, seq) replay key.
+struct StagedFire {
+  std::string job;
+  std::size_t from_core = 0;
+  common::TimePoint posted = common::TimePoint::never();
+  // Per-producer sequence number (each core's port counts its own posts);
+  // combined with from_core it totally orders an epoch's batch.
+  std::uint64_t seq = 0;
+};
+
+// Sorts an epoch's drained batch into the lock-step oracle's post order:
+// by producing core, then per-producer sequence.
+void sort_replay_order(std::vector<StagedFire>* batch);
+
+// Vyukov non-intrusive MPSC queue. push() is safe from any number of
+// threads concurrently; pop() must only ever be called from one consumer
+// thread at a time. Unbounded; nodes are heap-allocated per push.
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* stub = new Node();
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  ~MpscQueue() {
+    Node* n = tail_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  // Multi-producer: wait-free exchange on the head, then link publication.
+  void push(T value) {
+    Node* n = new Node();
+    n->value = std::move(value);
+    Node* prev = head_.exchange(n, std::memory_order_acq_rel);
+    prev->next.store(n, std::memory_order_release);
+  }
+
+  // Single-consumer. Returns false when empty — or when the next link is
+  // not yet published (a producer paused between exchange and publish);
+  // callers that need a complete drain must only rely on it after
+  // synchronizing with every producer.
+  bool pop(T* out) {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    *out = std::move(next->value);
+    tail_ = next;
+    delete tail;
+    return true;
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  std::atomic<Node*> head_;  // producers exchange here
+  alignas(64) Node* tail_;   // consumer-owned; stub-chasing pointer
+};
+
+}  // namespace tsf::mp

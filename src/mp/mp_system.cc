@@ -11,11 +11,28 @@
 #include "common/rng.h"
 #include "mp/channel.h"
 #include "mp/multi_vm.h"
+#include "mp/threaded_runtime.h"
 #include "sim/simulator.h"
 
 namespace tsf::mp {
 
 using common::TimePoint;
+
+const char* to_string(ExecBackend backend) {
+  switch (backend) {
+    case ExecBackend::kLockstep:
+      return "lockstep";
+    case ExecBackend::kThreads:
+      return "threads";
+  }
+  return "?";
+}
+
+std::optional<ExecBackend> parse_exec_backend(std::string_view name) {
+  if (name == "lockstep") return ExecBackend::kLockstep;
+  if (name == "threads") return ExecBackend::kThreads;
+  return std::nullopt;
+}
 
 // Whether a job is handed to the global shared ready pool instead of any
 // core's static assignment: unpinned and released by time (a triggered job
@@ -272,20 +289,36 @@ MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
                                               out.partition, options.strategy);
   }
 
-  MultiVm machine(subs, options.exec, &fabric,
-                  options.policy == SchedPolicy::kPartitioned ? nullptr
-                                                              : &engine,
-                  rebalancer.get());
-  for (std::size_t c = 0;
-       c < options.core_trace_sinks.size() && c < subs.size(); ++c) {
-    if (options.core_trace_sinks[c] != nullptr) {
-      machine.attach_trace_sink(c, options.core_trace_sinks[c]);
+  SchedPolicyEngine* engine_ptr =
+      options.policy == SchedPolicy::kPartitioned ? nullptr : &engine;
+  double threads_wall_seconds = 0.0;
+  if (options.backend == ExecBackend::kThreads) {
+    ThreadedRuntime machine(subs, options.exec, &fabric, engine_ptr,
+                            rebalancer.get());
+    for (std::size_t c = 0;
+         c < options.core_trace_sinks.size() && c < subs.size(); ++c) {
+      if (options.core_trace_sinks[c] != nullptr) {
+        machine.attach_trace_sink(c, options.core_trace_sinks[c]);
+      }
     }
+    machine.set_metrics(options.metrics);
+    machine.run(spec.horizon, options.quantum);
+    threads_wall_seconds = machine.wall_seconds();
+    out.per_core = machine.collect();
+  } else {
+    MultiVm machine(subs, options.exec, &fabric, engine_ptr,
+                    rebalancer.get());
+    for (std::size_t c = 0;
+         c < options.core_trace_sinks.size() && c < subs.size(); ++c) {
+      if (options.core_trace_sinks[c] != nullptr) {
+        machine.attach_trace_sink(c, options.core_trace_sinks[c]);
+      }
+    }
+    machine.set_metrics(options.metrics);
+    machine.start();
+    machine.run_until(spec.horizon, options.quantum);
+    out.per_core = machine.collect();
   }
-  machine.set_metrics(options.metrics);
-  machine.start();
-  machine.run_until(spec.horizon, options.quantum);
-  out.per_core = machine.collect();
   out.merged = merge_results(spec, out.partition, out.per_core);
   out.channel_deliveries = fabric.deliveries();
   out.channel_in_flight = fabric.in_flight() + engine.pool_pending();
@@ -322,6 +355,26 @@ MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
                   horizon_ticks > 0.0
                       ? static_cast<double>(busy) / horizon_ticks
                       : 0.0);
+    }
+    if (options.backend == ExecBackend::kThreads) {
+      // The measurement the deterministic oracle can't make: wall-clock
+      // throughput and response-time tails on real threads. The response
+      // samples are virtual-time quantities (identical to the oracle's,
+      // cross-validated by backend_equivalence_test); the *_per_sec gauges
+      // and wall_seconds are host measurements and vary run to run.
+      std::size_t served = 0;
+      for (const auto& job : out.merged.jobs) {
+        if (!job.served) continue;
+        ++served;
+        m.observe("threads.response_tu", job.response().to_tu());
+      }
+      if (threads_wall_seconds > 0.0) {
+        m.set_gauge("threads.events_per_sec",
+                    static_cast<double>(out.merged.timeline.records().size()) /
+                        threads_wall_seconds);
+        m.set_gauge("threads.jobs_per_sec",
+                    static_cast<double>(served) / threads_wall_seconds);
+      }
     }
   }
   return out;

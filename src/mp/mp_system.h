@@ -13,6 +13,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "analysis/partitioned.h"
@@ -29,6 +31,20 @@
 
 namespace tsf::mp {
 
+// Which substrate drives the per-core VMs on the exec path:
+//  * kLockstep — mp::MultiVm, one driver thread advancing every core
+//    sequentially to common epoch boundaries. Bit-reproducible; the oracle.
+//  * kThreads — mp::ThreadedRuntime, one pinned OS worker per core running
+//    concurrently between boundaries, cross-core fires staged through
+//    lock-free MPSC mailboxes and replayed in oracle order at each
+//    boundary. Same virtual-time results (cross-validated by
+//    tests/mp/backend_equivalence_test.cc), plus wall-clock throughput and
+//    tail-latency measurement ("threads.*" metrics).
+enum class ExecBackend { kLockstep, kThreads };
+
+const char* to_string(ExecBackend backend);
+std::optional<ExecBackend> parse_exec_backend(std::string_view name);
+
 struct MpRunOptions {
   PackingStrategy strategy = PackingStrategy::kFirstFitDecreasing;
   // How jobs move (or don't) between cores at run time (exec path only;
@@ -36,6 +52,9 @@ struct MpRunOptions {
   SchedPolicy policy = SchedPolicy::kPartitioned;
   // Execution-engine options (ignored by the simulator path).
   exp::ExecOptions exec;
+  // Execution substrate (exec path only): the lock-step oracle or the
+  // real-threads measurement backend.
+  ExecBackend backend = ExecBackend::kLockstep;
   // Lock-step epoch of the MultiVm (execution path only).
   common::Duration quantum = common::Duration::time_units(1);
   // Online load rebalancing at the epoch boundaries (exec path only; the

@@ -1,0 +1,204 @@
+#include "mp/threaded_runtime.h"
+
+#include <barrier>
+#include <thread>
+#include <utility>
+
+#include "common/diag.h"
+#include "mp/channel.h"
+#include "mp/rebalance.h"
+#include "mp/sched_policy.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace tsf::mp {
+
+using common::Duration;
+using common::TimePoint;
+
+// Pins the calling thread to `core` (modulo the host CPU count). Returns
+// whether the pin took; on platforms without pthread_setaffinity_np the
+// worker simply runs wherever the OS puts it — the backend's correctness
+// never depends on placement, only the wall-clock numbers do.
+static bool pin_current_thread(std::size_t core) {
+#if defined(__linux__)
+  const long cpus = sysconf(_SC_NPROCESSORS_ONLN);
+  if (cpus <= 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(core % static_cast<std::size_t>(cpus)), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
+// The thread-safe completion port: a handler finishing on core `core` (on
+// that core's worker, or one of its VM's fiber threads) stages the fire
+// into the shared MPSC queue instead of touching the fabric. `next_seq` is
+// plain — only this core's world posts through this port, and within one
+// world exactly one fiber (or the worker) runs at a time.
+struct ThreadedRuntime::StagedPort : exp::CrossCorePort {
+  StagedPort(ThreadedRuntime* runtime, std::size_t core)
+      : runtime(runtime), core(core) {}
+  void fire_remote(const std::string& job, TimePoint now) override {
+    runtime->staged_.push(StagedFire{job, core, now, next_seq++});
+  }
+  ThreadedRuntime* runtime;
+  std::size_t core;
+  std::uint64_t next_seq = 0;
+};
+
+ThreadedRuntime::ThreadedRuntime(std::vector<model::SystemSpec> per_core_specs,
+                                 const exp::ExecOptions& options,
+                                 ChannelFabric* fabric,
+                                 SchedPolicyEngine* engine,
+                                 Rebalancer* rebalancer)
+    : fabric_(fabric), engine_(engine), rebalancer_(rebalancer) {
+  TSF_ASSERT(!per_core_specs.empty(), "ThreadedRuntime needs at least one core");
+  TSF_ASSERT(fabric_ != nullptr,
+             "the threads backend stages fires through the channel fabric");
+  TSF_ASSERT(fabric_->cores() == per_core_specs.size(),
+             "channel fabric sized for " << fabric_->cores()
+                                         << " cores, ThreadedRuntime has "
+                                         << per_core_specs.size());
+  vms_.reserve(per_core_specs.size());
+  systems_.reserve(per_core_specs.size());
+  ports_.reserve(per_core_specs.size());
+  for (std::size_t c = 0; c < per_core_specs.size(); ++c) {
+    const auto& spec = per_core_specs[c];
+    vms_.push_back(
+        std::make_unique<rtsj::vm::VirtualMachine>(options.kernel));
+    ports_.push_back(std::make_unique<StagedPort>(this, c));
+    systems_.push_back(std::make_unique<exp::ExecSystem>(
+        *vms_.back(), spec, options, ports_.back().get()));
+    fabric_->connect(c, systems_.back().get());
+    for (const auto& job : spec.aperiodic_jobs) fabric_->bind(c, job.name);
+  }
+}
+
+ThreadedRuntime::~ThreadedRuntime() = default;
+
+void ThreadedRuntime::attach_trace_sink(std::size_t core,
+                                        common::TraceSink* sink) {
+  TSF_ASSERT(core < vms_.size(),
+             "attach_trace_sink: core " << core << " out of range");
+  auto tee = std::make_unique<common::TeeSink>();
+  tee->add(&vms_[core]->timeline());
+  tee->add(sink);
+  vms_[core]->set_trace_sink(tee.get());
+  tees_.push_back(std::move(tee));
+}
+
+void ThreadedRuntime::record_failure(std::exception_ptr error) {
+  const std::lock_guard<std::mutex> lock(error_mutex_);
+  if (!first_error_) first_error_ = std::move(error);
+}
+
+void ThreadedRuntime::on_boundary() noexcept {
+  now_ = common::min(now_ + quantum_, horizon_);
+
+  // Replay the epoch's staged fires in the lock-step oracle's post order.
+  // Every producer is parked at the barrier and its pushes happen-before
+  // this step, so the drain loop sees the complete batch.
+  replay_.clear();
+  StagedFire fire;
+  while (staged_.pop(&fire)) replay_.push_back(std::move(fire));
+  sort_replay_order(&replay_);
+  for (auto& f : replay_) fabric_->post_fire(f.from_core, f.job, f.posted);
+
+  if (metrics_ != nullptr) {
+    metrics_->add_counter("mp.epochs");
+    metrics_->observe(
+        "mp.epoch.host_seconds",
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - epoch_begin_)
+            .count());
+  }
+  // Same boundary sequence as MultiVm::run_until: drain, then the policy
+  // engine, then the rebalancer — each seeing the queue depths the previous
+  // step produced.
+  const std::size_t delivered = fabric_->drain(now_);
+  if (metrics_ != nullptr) {
+    metrics_->add_counter("mp.fabric.deliveries", delivered);
+    metrics_->observe("mp.fabric.drain_size", static_cast<double>(delivered));
+  }
+  if (engine_ != nullptr) engine_->on_epoch(now_);
+  if (rebalancer_ != nullptr) rebalancer_->on_epoch(now_);
+  epoch_begin_ = std::chrono::steady_clock::now();
+}
+
+void ThreadedRuntime::run(TimePoint horizon, Duration quantum) {
+  TSF_ASSERT(quantum > Duration::zero(), "epoch quantum must be positive");
+  TSF_ASSERT(!ran_, "ThreadedRuntime::run is one-shot");
+  ran_ = true;
+  horizon_ = horizon;
+  quantum_ = quantum;
+
+  const std::size_t cores = vms_.size();
+  std::barrier start_barrier(static_cast<std::ptrdiff_t>(cores));
+  std::barrier<BoundaryFn> epoch_barrier(static_cast<std::ptrdiff_t>(cores),
+                                         BoundaryFn{this});
+
+  const auto run_begin = std::chrono::steady_clock::now();
+  epoch_begin_ = run_begin;
+
+  std::vector<std::thread> workers;
+  workers.reserve(cores);
+  for (std::size_t c = 0; c < cores; ++c) {
+    workers.emplace_back([this, c, horizon, quantum, &start_barrier,
+                          &epoch_barrier] {
+      if (pin_current_thread(c)) {
+        pinned_.fetch_add(1, std::memory_order_relaxed);
+      }
+      // start() on the worker so the world's fiber threads are spawned
+      // here and inherit the affinity; the start barrier guarantees every
+      // endpoint is armed before any boundary can deliver into it.
+      systems_[c]->start();
+      start_barrier.arrive_and_wait();
+      TimePoint now = TimePoint::origin();
+      while (now < horizon) {
+        now = common::min(now + quantum, horizon);
+        try {
+          vms_[c]->run_until(now);
+        } catch (...) {
+          // Mid-horizon abort: surface the first error, leave the barrier
+          // (arrive_and_drop completes the current phase for the others)
+          // and let every worker unwind after this phase.
+          record_failure(std::current_exception());
+          failed_.store(true, std::memory_order_relaxed);
+          epoch_barrier.arrive_and_drop();
+          return;
+        }
+        epoch_barrier.arrive_and_wait();
+        // The barrier completion step ordered this read after any failing
+        // worker's store: all survivors agree on the abort phase.
+        if (failed_.load(std::memory_order_relaxed)) return;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  wall_seconds_ = std::chrono::duration_cast<std::chrono::duration<double>>(
+                      std::chrono::steady_clock::now() - run_begin)
+                      .count();
+  if (metrics_ != nullptr) {
+    metrics_->set_gauge("threads.wall_seconds", wall_seconds_);
+    metrics_->set_gauge("threads.workers_pinned",
+                        static_cast<double>(workers_pinned()));
+  }
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+std::vector<model::RunResult> ThreadedRuntime::collect() {
+  std::vector<model::RunResult> out;
+  out.reserve(systems_.size());
+  for (auto& system : systems_) out.push_back(system->collect());
+  return out;
+}
+
+}  // namespace tsf::mp

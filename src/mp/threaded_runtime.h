@@ -1,0 +1,145 @@
+// ThreadedRuntime — the real-threads execution backend (`backend = threads`).
+//
+// MultiVm's sibling: the same per-core worlds (one rtsj::vm::VirtualMachine
+// + exp::ExecSystem per core, the same ChannelFabric / SchedPolicyEngine /
+// Rebalancer boundary hooks), but each core is driven by its own OS worker
+// thread, pinned to a CPU where the platform allows it. Workers advance
+// their VMs through the same epoch-boundary sequence concurrently and meet
+// at a std::barrier; the barrier's completion function — running on exactly
+// one thread, synchronized against all workers by the barrier itself — does
+// the boundary work: replay the epoch's staged cross-core fires into the
+// fabric in oracle order, drain, run the scheduling policy and rebalancer,
+// bump metrics.
+//
+// Why the result is bit-identical to the lock-step oracle: within one
+// epoch a core's VM is a closed deterministic world (cross-core effects
+// only enter at boundaries), so each worker's epoch is independent of host
+// scheduling; and the staged-fire replay (mp/mailbox.h) reconstructs the
+// oracle's global post order from the (from_core, per-producer seq) keys.
+// Every boundary decision therefore sees exactly the state the lock-step
+// backend would — the determinism suites stay the oracle, and the threads
+// backend adds the measurement the oracle can't make: wall-clock throughput
+// and tail latency on real silicon ("threads.*" metrics).
+//
+// What is NOT reproducible run-to-run: the wall-clock numbers themselves
+// (threads.wall_seconds, mp.epoch.host_seconds). Everything virtual-time —
+// traces, outcomes, channel ledger, response distributions — is.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "common/time.h"
+#include "common/trace_sink.h"
+#include "exp/exec_runner.h"
+#include "mp/mailbox.h"
+#include "model/run_result.h"
+#include "model/spec.h"
+#include "rtsj/vm/vm.h"
+
+namespace tsf::mp {
+
+class ChannelFabric;
+class Rebalancer;
+class SchedPolicyEngine;
+
+class ThreadedRuntime {
+ public:
+  // Mirrors MultiVm's constructor contract: one VM + ExecSystem per spec,
+  // every job bound into the fabric's routing table, endpoints connected in
+  // core order. The fabric is required (it is the cross-core substrate the
+  // staged fires replay into); engine and rebalancer are optional and must
+  // outlive the runtime, like the fabric.
+  ThreadedRuntime(std::vector<model::SystemSpec> per_core_specs,
+                  const exp::ExecOptions& options, ChannelFabric* fabric,
+                  SchedPolicyEngine* engine = nullptr,
+                  Rebalancer* rebalancer = nullptr);
+  ~ThreadedRuntime();
+  ThreadedRuntime(const ThreadedRuntime&) = delete;
+  ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
+
+  std::size_t cores() const { return vms_.size(); }
+
+  // Same contract as MultiVm::attach_trace_sink: call before run(); the
+  // sink must outlive the runtime. The sink is only ever written by core
+  // `core`'s worker thread during run() (and the join in run() orders those
+  // writes before run() returns).
+  void attach_trace_sink(std::size_t core, common::TraceSink* sink);
+
+  // Runtime counters ("mp.epochs", "mp.fabric.deliveries", ... — the same
+  // names the lock-step backend emits, so downstream consumers are backend
+  // agnostic) plus the wall-clock gauges ("threads.wall_seconds",
+  // "threads.workers_pinned"). Only touched from the barrier completion
+  // function and after the join — never concurrently.
+  void set_metrics(common::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  // Runs the whole horizon: spawns one worker per core, pins it (best
+  // effort), starts the core's world on that thread (so the world's fiber
+  // threads inherit the affinity), drives the epoch sequence, joins. Not
+  // resumable — one call per runtime. Rethrows the first error a core's
+  // world raised (after all workers have unwound).
+  void run(common::TimePoint horizon,
+           common::Duration quantum = common::Duration::time_units(1));
+
+  // Per-core results, in core order. Destructive; call once after run().
+  std::vector<model::RunResult> collect();
+
+  // Wall-clock seconds spent inside run()'s epoch loop, and how many
+  // workers the platform actually pinned (0 on hosts without
+  // pthread_setaffinity_np).
+  double wall_seconds() const { return wall_seconds_; }
+  std::size_t workers_pinned() const {
+    return pinned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct BoundaryFn {
+    ThreadedRuntime* runtime;
+    void operator()() noexcept { runtime->on_boundary(); }
+  };
+  friend struct BoundaryFn;
+  struct StagedPort;
+
+  // The barrier completion step: staged-fire replay in oracle order, fabric
+  // drain, policy engine, rebalancer, metrics. Runs on one worker thread
+  // while every other worker is parked at the barrier.
+  void on_boundary() noexcept;
+  void record_failure(std::exception_ptr error);
+
+  // Destruction order matters (as in MultiVm): systems_ before vms_.
+  std::vector<std::unique_ptr<rtsj::vm::VirtualMachine>> vms_;
+  std::vector<std::unique_ptr<exp::ExecSystem>> systems_;
+  std::vector<std::unique_ptr<StagedPort>> ports_;
+  ChannelFabric* fabric_ = nullptr;
+  SchedPolicyEngine* engine_ = nullptr;
+  Rebalancer* rebalancer_ = nullptr;
+  common::MetricsRegistry* metrics_ = nullptr;
+  std::vector<std::unique_ptr<common::TeeSink>> tees_;
+
+  // The one shared staging queue every core's port pushes into; drained
+  // only by the barrier completion function.
+  MpscQueue<StagedFire> staged_;
+  std::vector<StagedFire> replay_;  // reused per-boundary batch buffer
+
+  // Epoch cursor for the completion function; workers track the identical
+  // sequence locally (same arithmetic, same inputs).
+  common::TimePoint now_ = common::TimePoint::origin();
+  common::TimePoint horizon_ = common::TimePoint::origin();
+  common::Duration quantum_ = common::Duration::time_units(1);
+  std::chrono::steady_clock::time_point epoch_begin_;
+
+  std::atomic<bool> failed_{false};
+  std::atomic<std::size_t> pinned_{0};
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+  double wall_seconds_ = 0.0;
+  bool ran_ = false;
+};
+
+}  // namespace tsf::mp

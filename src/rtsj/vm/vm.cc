@@ -10,13 +10,21 @@ VirtualMachine::VirtualMachine(OverheadModel overhead) : overhead_(overhead) {}
 
 VirtualMachine::~VirtualMachine() {
   shutting_down_ = true;
-  // Wake every parked fiber one at a time; each throws FiberShutdown from its
-  // park point, unwinds, and exits without handing the baton to anyone.
+  // Signal termination to every unfinished fiber BEFORE joining any thread.
+  // Each released fiber observes shutting_down_ on wake (the semaphore
+  // hand-off orders the flag write before the read), throws FiberShutdown
+  // from its park point, unwinds, and exits without handing the baton to
+  // anyone. Signalling first matters when a run aborted mid-horizon: a
+  // fiber that is already unwinding (its state not yet kFinished when we
+  // look) must never be joined while another parked fiber still waits for
+  // its wake-up token, or teardown could stall behind a fiber whose exit
+  // depends on state the parked one holds. Finished fibers get no token —
+  // they are past their last acquire and only need the join.
   for (auto& f : fibers_) {
-    if (f->thread_.joinable()) {
-      if (!f->finished()) f->sem_.release();
-      f->thread_.join();
-    }
+    if (f->thread_.joinable() && !f->finished()) f->sem_.release();
+  }
+  for (auto& f : fibers_) {
+    if (f->thread_.joinable()) f->thread_.join();
   }
 }
 
@@ -42,7 +50,12 @@ void VirtualMachine::fiber_main(Fiber* self) {
     } catch (const FiberShutdown&) {
       // normal teardown path
     } catch (...) {
-      if (!pending_error_) pending_error_ = std::current_exception();
+      // During teardown every released fiber unwinds concurrently, so
+      // pending_error_ (single-threaded baton state) must not be touched —
+      // the VM is being destroyed and nobody would rethrow it anyway.
+      if (!shutting_down_ && !pending_error_) {
+        pending_error_ = std::current_exception();
+      }
     }
   }
   self->state_ = Fiber::State::kFinished;

@@ -1,0 +1,181 @@
+// Cross-validation contract of the real-threads backend: for every spec in
+// the determinism suites, `backend = threads` must produce the SAME
+// served/missed job sets as the lock-step oracle, with response-time
+// distributions (LogSketch) within the declared tolerance. Each threads run
+// is repeated 3x to shake out host-scheduling ordering sensitivity.
+//
+// The declared contract is set equality + sketch-quantile tolerance; the
+// suite additionally asserts trace-fingerprint equality, which the staged
+// replay design makes achievable (the threads backend reconstructs the
+// oracle's boundary order exactly) and which turns any future ordering
+// regression into a hard failure instead of a tolerance-shaped soft one.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/sketch.h"
+#include "common/trace.h"
+#include "mp/mp_system.h"
+
+namespace tsf::mp {
+namespace {
+
+using common::Duration;
+using common::TimePoint;
+
+// Declared cross-validation tolerance on response-time quantiles, in time
+// units. With equal served sets the distributions are identical and the
+// observed difference is 0; the tolerance bounds how far a future
+// relaxation of the replay ordering would be allowed to drift.
+constexpr double kQuantileToleranceTu = 0.25;
+
+Duration tu(std::int64_t n) { return Duration::time_units(n); }
+TimePoint at_tu(std::int64_t n) {
+  return TimePoint::origin() + Duration::time_units(n);
+}
+
+// The determinism suites' busy spec: per-core periodic load, a deferrable
+// server, aperiodic traffic, a cross-core fire chain and a migratable job.
+model::SystemSpec busy_spec(int cores) {
+  model::SystemSpec spec;
+  spec.name = "backend-eq";
+  spec.cores = cores;
+  spec.server.policy = model::ServerPolicy::kDeferrable;
+  spec.server.capacity = tu(2);
+  spec.server.period = tu(6);
+  spec.server.priority = 30;
+  for (int c = 0; c < cores; ++c) {
+    model::PeriodicTaskSpec t;
+    t.name = "tau" + std::to_string(c);
+    t.period = tu(8);
+    t.cost = tu(3);
+    t.priority = 10;
+    spec.periodic_tasks.push_back(t);
+  }
+  for (int j = 0; j < 8; ++j) {
+    model::AperiodicJobSpec job;
+    job.name = "a" + std::to_string(j);
+    job.release = at_tu(1 + 2 * j);
+    job.cost = tu(1);
+    spec.aperiodic_jobs.push_back(job);
+  }
+  spec.aperiodic_jobs[0].fires = "trig";
+  model::AperiodicJobSpec trig;
+  trig.name = "trig";
+  trig.triggered = true;
+  trig.cost = tu(1);
+  spec.aperiodic_jobs.push_back(trig);
+  model::AperiodicJobSpec roam;
+  roam.name = "roam";
+  roam.release = at_tu(5);
+  roam.cost = tu(1);
+  roam.migrate = true;
+  spec.aperiodic_jobs.push_back(roam);
+  spec.horizon = at_tu(24);
+  return spec;
+}
+
+// (job, release) identity sets plus the served-response distribution.
+struct RunSignature {
+  std::set<std::pair<std::string, std::int64_t>> served;
+  std::set<std::pair<std::string, std::int64_t>> missed;
+  common::LogSketch responses;
+  std::uint64_t fingerprint = 0;
+};
+
+RunSignature signature_of(const MpRunResult& run) {
+  RunSignature sig;
+  for (const auto& job : run.merged.jobs) {
+    const auto key = std::make_pair(
+        job.name, (job.release - TimePoint::origin()).count());
+    if (job.served) {
+      sig.served.insert(key);
+      sig.responses.add(job.response().to_tu());
+    } else {
+      sig.missed.insert(key);
+    }
+  }
+  sig.fingerprint = common::fingerprint(run.merged.timeline);
+  return sig;
+}
+
+void expect_equivalent(const model::SystemSpec& spec,
+                       MpRunOptions options, const char* label) {
+  options.backend = ExecBackend::kLockstep;
+  const auto oracle = signature_of(run_partitioned_exec(spec, options));
+  ASSERT_FALSE(oracle.served.empty()) << label << ": oracle served nothing";
+
+  options.backend = ExecBackend::kThreads;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const auto threads = signature_of(run_partitioned_exec(spec, options));
+    SCOPED_TRACE(std::string(label) + " repeat " + std::to_string(repeat));
+    // The contract: identical served/missed sets...
+    EXPECT_EQ(threads.served, oracle.served);
+    EXPECT_EQ(threads.missed, oracle.missed);
+    // ...and response quantiles within the declared tolerance.
+    for (const double q : {0.50, 0.95, 0.99}) {
+      EXPECT_NEAR(threads.responses.quantile(q),
+                  oracle.responses.quantile(q), kQuantileToleranceTu)
+          << "quantile " << q;
+    }
+    // Stronger than the contract: the staged replay reconstructs the
+    // oracle's boundary order, so the traces are bit-identical.
+    EXPECT_EQ(threads.fingerprint, oracle.fingerprint);
+  }
+}
+
+TEST(BackendEquivalence, PartitionedWithChannels) {
+  expect_equivalent(busy_spec(2), MpRunOptions{}, "partitioned");
+}
+
+TEST(BackendEquivalence, GlobalPool) {
+  MpRunOptions options;
+  options.policy = SchedPolicy::kGlobal;
+  expect_equivalent(busy_spec(2), options, "global");
+}
+
+TEST(BackendEquivalence, SemiPartitionedStealing) {
+  MpRunOptions options;
+  options.policy = SchedPolicy::kSemiPartitioned;
+  expect_equivalent(busy_spec(3), options, "semi");
+}
+
+TEST(BackendEquivalence, DriftRebalance) {
+  MpRunOptions options;
+  options.rebalance.mode = RebalanceMode::kDrift;
+  options.rebalance.drift = 0.05;
+  options.rebalance.period = tu(4);
+  expect_equivalent(busy_spec(2), options, "rebalance");
+}
+
+TEST(BackendEquivalence, SubQuantumEpochAndJitter) {
+  // Fractional quantum plus execution-time jitter: the staged replay must
+  // keep oracle order when posts land mid-epoch at non-integral instants.
+  MpRunOptions options;
+  options.policy = SchedPolicy::kSemiPartitioned;
+  options.quantum = common::Duration::from_tu(0.5);
+  options.exec.cost_jitter = 0.2;
+  expect_equivalent(busy_spec(2), options, "sub-quantum+jitter");
+}
+
+TEST(BackendEquivalence, ThreadsBackendIsRunToRunDeterministic) {
+  // The threads backend is not just oracle-equivalent; it is deterministic
+  // in its own right (sorted replay over deterministic per-core worlds).
+  MpRunOptions options;
+  options.policy = SchedPolicy::kGlobal;
+  options.backend = ExecBackend::kThreads;
+  const auto spec = busy_spec(3);
+  const auto first = signature_of(run_partitioned_exec(spec, options));
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    const auto again = signature_of(run_partitioned_exec(spec, options));
+    EXPECT_EQ(again.fingerprint, first.fingerprint) << "repeat " << repeat;
+    EXPECT_EQ(again.served, first.served);
+  }
+}
+
+}  // namespace
+}  // namespace tsf::mp

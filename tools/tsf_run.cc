@@ -1,7 +1,8 @@
 // tsf_run — run a system spec file on the simulator and/or the RTSJ-style
 // runtime and print outcomes, metrics and Gantt charts.
 //
-// Usage:   tsf_run <spec-file> [--mode sim|exec|both] [--no-gantt]
+// Usage:   tsf_run <spec-file> [--mode sim|exec|both]
+//                  [--backend lockstep|threads] [--no-gantt]
 //                  [--vcd FILE] [--trace FILE] [--metrics-json FILE]
 // See examples/specs/ for spec files and src/cli/spec_file.h for the format.
 #include <cstring>
@@ -13,8 +14,8 @@
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: tsf_run <spec-file> [--mode sim|exec|both]"
-                 " [--no-gantt] [--vcd <file>] [--trace <file>]"
-                 " [--metrics-json <file>]\n";
+                 " [--backend lockstep|threads] [--no-gantt] [--vcd <file>]"
+                 " [--trace <file>] [--metrics-json <file>]\n";
     return 2;
   }
   auto outcome = tsf::cli::load_spec_file(argv[1]);
@@ -31,6 +32,13 @@ int main(int argc, char** argv) {
         std::cerr << "unknown --mode '" << mode << "'\n";
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      const auto backend = tsf::mp::parse_exec_backend(argv[++i]);
+      if (!backend.has_value()) {
+        std::cerr << "unknown --backend '" << argv[i] << "'\n";
+        return 2;
+      }
+      outcome.config.backend = *backend;
     } else if (std::strcmp(argv[i], "--no-gantt") == 0) {
       outcome.config.gantt = false;
     } else if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc) {
