@@ -1,0 +1,84 @@
+#include "analysis/offline_value.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace tsf::analysis {
+
+using common::Duration;
+using common::TimePoint;
+
+ValueAccrual compute_value_accrual(const model::SystemSpec& spec,
+                                   const model::RunResult& merged,
+                                   std::size_t serving_cores) {
+  ValueAccrual out;
+
+  // What the run banked: a served job's value counts iff it completed by
+  // its (release-relative) deadline; soft jobs always bank. Values come
+  // from the spec (outcomes don't carry them), matched by name.
+  std::map<std::string, const model::AperiodicJobSpec*> by_name;
+  for (const auto& job : spec.aperiodic_jobs) by_name[job.name] = &job;
+  for (const auto& outcome : merged.jobs) {
+    if (!outcome.served) continue;
+    const auto it = by_name.find(outcome.name);
+    if (it == by_name.end()) continue;
+    const model::AperiodicJobSpec& job = *it->second;
+    if (!job.relative_deadline.is_zero() &&
+        outcome.completion > outcome.release + job.relative_deadline) {
+      continue;
+    }
+    out.accrued += job.effective_value();
+  }
+
+  // The clairvoyant bound. Supply: full-speed service on every serving
+  // core for ceil(horizon / period) whole server periods' worth of
+  // capacity — an overestimate of anything a bandwidth-limited server can
+  // deliver, which is what keeps ratio <= 1.
+  const Duration horizon = spec.horizon - TimePoint::origin();
+  double supply_tu = 0.0;
+  if (!spec.server.period.is_zero()) {
+    const double periods =
+        std::ceil(horizon.to_tu() / spec.server.period.to_tu());
+    supply_tu = static_cast<double>(serving_cores) * periods *
+                spec.server.capacity.to_tu();
+  }
+
+  // Individually feasible jobs (a clairvoyant machine still can't finish a
+  // job whose own cost overruns its deadline or the horizon), in
+  // decreasing value-density order, taken fractionally.
+  struct Item {
+    double value;
+    double cost_tu;
+  };
+  std::vector<Item> items;
+  items.reserve(spec.aperiodic_jobs.size());
+  for (const auto& job : spec.aperiodic_jobs) {
+    const Duration cost = job.cost;
+    if (!job.relative_deadline.is_zero() && cost > job.relative_deadline) {
+      continue;
+    }
+    if (job.release + cost > spec.horizon) continue;
+    items.push_back({job.effective_value(), cost.to_tu()});
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    return a.value * b.cost_tu > b.value * a.cost_tu;  // density desc
+  });
+  double remaining = supply_tu;
+  for (const auto& item : items) {
+    if (remaining <= 0.0) break;
+    const double fraction =
+        item.cost_tu <= remaining ? 1.0 : remaining / item.cost_tu;
+    out.bound += item.value * fraction;
+    remaining -= item.cost_tu * fraction;
+  }
+
+  out.ratio = out.bound > 0.0 ? out.accrued / out.bound : 0.0;
+  return out;
+}
+
+}  // namespace tsf::analysis

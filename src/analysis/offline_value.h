@@ -1,0 +1,43 @@
+// Offline clairvoyant value-accrual upper bound, and the value-accrual
+// ratio a storm run is scored by.
+//
+// The bound is deliberately generous — a clairvoyant scheduler that knows
+// every release in advance, serves at full processor speed on every serving
+// core (no server bandwidth throttling, no overheads, no queue discipline)
+// and may split jobs fractionally. Its accrued value is computed as a
+// fractional knapsack: jobs that could individually meet their deadline are
+// taken in decreasing value-density order against a service supply of
+// ceil(horizon / server_period) * capacity per serving core. Every
+// relaxation only raises the bound, so for any real run
+//
+//     ratio = accrued / bound <= 1,
+//
+// and the ratio orders policies the way D-over's competitive-factor
+// analysis does (Koren & Shasha): a policy closer to 1 extracted more of
+// the value the storm ever made reachable.
+#pragma once
+
+#include <cstddef>
+
+#include "model/run_result.h"
+#include "model/spec.h"
+
+namespace tsf::analysis {
+
+struct ValueAccrual {
+  // Value actually banked by the run: sum of effective_value over served
+  // jobs that met their deadline (soft jobs — no deadline — always bank).
+  double accrued = 0.0;
+  // The clairvoyant fractional-knapsack upper bound.
+  double bound = 0.0;
+  // accrued / bound; 0 when the bound is 0.
+  double ratio = 0.0;
+};
+
+// `merged` must be the merged result of running `spec`; `serving_cores` the
+// number of cores carrying a server replica (>= 1 for any serving run).
+ValueAccrual compute_value_accrual(const model::SystemSpec& spec,
+                                   const model::RunResult& merged,
+                                   std::size_t serving_cores);
+
+}  // namespace tsf::analysis

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "analysis/global.h"
+#include "analysis/offline_value.h"
 #include "common/metrics_registry.h"
 #include "common/table.h"
 #include "common/trace.h"
@@ -11,6 +12,7 @@
 #include "common/trace_stream.h"
 #include "exp/metrics.h"
 #include "mp/mp_system.h"
+#include "mp/overload.h"
 #include "sim/simulator.h"
 
 namespace tsf::cli {
@@ -29,7 +31,10 @@ void render_run(std::ostream& os, const CliConfig& config,
     jobs.add_row(
         {job.name, common::to_string(job.release),
          common::to_string(job.cost),
-         job.served ? "served" : (job.interrupted ? "interrupted" : "unserved"),
+         job.served ? "served"
+                    : (job.shed ? "shed"
+                                : (job.interrupted ? "interrupted"
+                                                   : "unserved")),
          job.served ? common::to_string(job.completion) : "-",
          job.served ? common::to_string(job.response()) : "-"});
   }
@@ -321,6 +326,40 @@ std::string run_and_report(const CliConfig& config) {
              << common::fmt_fixed(run.rebalance_utilization[c], 3);
         }
         os << '\n';
+      }
+      if (config.exec_options.overload.enabled()) {
+        const auto& ov = config.exec_options.overload;
+        os << "overload (" << exp::to_string(ov.mode) << ", threshold "
+           << common::fmt_fixed(ov.threshold, 2) << ", period "
+           << common::to_string(ov.period) << "): " << run.sheds
+           << " shed, " << run.takeovers << " takeovers";
+        if (ov.mode == exp::OverloadMode::kShed) {
+          os << ", " << run.overload_passes << " passes";
+        }
+        os << '\n';
+        std::size_t serving = 0;
+        for (const auto& core : run.partition.cores) {
+          if (core.has_server) ++serving;
+        }
+        const auto accrual = analysis::compute_value_accrual(
+            config.spec, run.merged, serving);
+        os << "value accrual: " << common::fmt_fixed(accrual.accrued, 2)
+           << " of clairvoyant bound "
+           << common::fmt_fixed(accrual.bound, 2) << " (ratio "
+           << common::fmt_fixed(accrual.ratio, 3) << ")\n";
+        const auto violations = mp::check_overload_invariants(config.spec,
+                                                              run);
+        if (violations.empty()) {
+          os << "forbidden-behavior check: clean ("
+             << "serve-after-shed, shed-admitted-work, shed-ledger, "
+                "admitted-deadline-miss)\n";
+        } else {
+          os << "forbidden-behavior check: " << violations.size()
+             << " VIOLATION(S)\n";
+          for (const auto& v : violations) {
+            os << "  " << v.name << ": " << v.detail << '\n';
+          }
+        }
       }
       os << "trace fingerprint: " << std::hex
          << common::fingerprint(run.merged.timeline) << std::dec << "\n";

@@ -249,6 +249,9 @@ struct Parser {
         error(line, "unknown mode '" + value + "'");
       }
     } else if (key == "overheads") {
+      // The profile replaces the whole ExecOptions block; the overload
+      // policy is orthogonal and must survive either key order.
+      const exp::OverloadConfig overload = out.config.exec_options.overload;
       if (value == "ideal") {
         out.config.exec_options = exp::ideal_execution_options();
       } else if (value == "paper") {
@@ -256,6 +259,7 @@ struct Parser {
       } else {
         error(line, "unknown overheads profile '" + value + "'");
       }
+      out.config.exec_options.overload = overload;
     } else if (key == "gantt") {
       parse_bool(line, value, &out.config.gantt);
     } else if (key == "cores") {
@@ -316,6 +320,31 @@ struct Parser {
           error(line, "rebalance_period must be positive");
         } else {
           out.config.rebalance.period = period;
+        }
+      }
+    } else if (key == "overload") {
+      const auto mode = exp::parse_overload_mode(value);
+      if (mode.has_value()) {
+        out.config.exec_options.overload.mode = *mode;
+      } else {
+        error(line, "unknown overload mode '" + value + "' (off|shed|dover)");
+      }
+    } else if (key == "overload_threshold") {
+      double threshold = 0.0;
+      if (parse_double(line, value, &threshold)) {
+        if (threshold <= 0.0) {
+          error(line, "overload_threshold must be positive");
+        } else {
+          out.config.exec_options.overload.threshold = threshold;
+        }
+      }
+    } else if (key == "overload_period") {
+      Duration period;
+      if (parse_duration(line, value, &period)) {
+        if (period.is_zero()) {
+          error(line, "overload_period must be positive");
+        } else {
+          out.config.exec_options.overload.period = period;
         }
       }
     } else if (key == "partition") {
@@ -398,6 +427,21 @@ struct Parser {
       out.errors.push_back(std::string("rebalance '") +
                            mp::to_string(out.config.rebalance.mode) +
                            "' needs a multi-core run (cores > 1)");
+    }
+    if (out.config.exec_options.overload.enabled()) {
+      // Both overload policies live in the partitioned execution runtime:
+      // shed is an epoch-boundary governor, dover a per-core exec queue.
+      if (out.config.spec.cores <= 1) {
+        out.errors.push_back(
+            std::string("overload '") +
+            exp::to_string(out.config.exec_options.overload.mode) +
+            "' needs a multi-core run (cores > 1)");
+      }
+      if (out.config.mode == RunMode::kSim) {
+        out.errors.push_back(
+            "overload policies apply to the execution engine (mode = "
+            "exec|both)");
+      }
     }
     const auto& server = out.config.spec.server;
     if (server.policy != model::ServerPolicy::kNone &&

@@ -42,6 +42,9 @@
 //     rebalance = drift           # off|drift|admit online load rebalancing
 //     rebalance_drift = 0.25      # measured-vs-packed utilization trigger
 //     rebalance_period = 6        # window + min gap between passes (tu)
+//     overload = shed             # off|shed|dover overload policy
+//     overload_threshold = 0.75   # measured-utilization shed trigger
+//     overload_period = 6         # shed window + min gap between passes (tu)
 #pragma once
 
 #include <string>

@@ -31,6 +31,12 @@ const char* to_string(TraceKind kind) {
       return "fire";
     case TraceKind::kNote:
       return "note";
+    case TraceKind::kAdmit:
+      return "admit";
+    case TraceKind::kDemote:
+      return "demote";
+    case TraceKind::kShed:
+      return "shed";
   }
   return "?";
 }

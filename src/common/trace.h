@@ -33,12 +33,18 @@ enum class TraceKind {
   kCapacity,   // server capacity changed (value = remaining capacity, ticks)
   kFire,       // async event fired
   kNote,       // free-form annotation
+  kAdmit,      // overload: job admitted to the privileged set (value =
+               //           release ticks)
+  kDemote,     // overload: job demoted out of the privileged set (value =
+               //           release ticks)
+  kShed,       // overload: job dropped, never to be served (value = release
+               //           ticks, note = reason)
 };
 
 // One past the last TraceKind value — bounds kind counters and validates
 // kinds read back from serialized traces.
 inline constexpr std::size_t kTraceKindCount =
-    static_cast<std::size_t>(TraceKind::kNote) + 1;
+    static_cast<std::size_t>(TraceKind::kShed) + 1;
 
 const char* to_string(TraceKind kind);
 

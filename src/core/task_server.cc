@@ -35,6 +35,81 @@ void TaskServer::servable_event_released(ServableAsyncEventHandler* handler,
   on_release(r);
 }
 
+void TaskServer::enable_dover(DOverParams dover) {
+  TSF_ASSERT(queue_->empty(), "enable_dover on server " << params_.name()
+                                  << " after requests were queued");
+  TSF_ASSERT(dover.meta, "enable_dover needs a job-meta callback");
+  DOverQueue::Config config;
+  config.importance_ratio = dover.importance_ratio;
+  // Serving cost c on a bandwidth-limited server takes ~ c * period/capacity
+  // of wall-clock virtual time — the scale of the feasibility test.
+  config.bandwidth_num = params_.period().count();
+  config.bandwidth_den = params_.capacity().count();
+  config.now = [this] { return vm_.now(); };
+  config.meta = std::move(dover.meta);
+  config.on_admit = [this](const Request& r, bool takeover) {
+    vm_.trace().record(vm_.now(), common::TraceKind::kAdmit,
+                       r.handler->name(), r.release.ticks(),
+                       takeover ? std::string_view{"takeover"}
+                                : std::string_view{});
+    if (takeover) {
+      model::ShedEvent ev;
+      ev.kind = model::ShedEvent::Kind::kTakeover;
+      ev.job = r.handler->name();
+      ev.release = r.release;
+      ev.at = vm_.now();
+      ev.reason = "takeover";
+      shed_events_.push_back(std::move(ev));
+    }
+  };
+  config.on_demote = [this](const Request& r) {
+    vm_.trace().record(vm_.now(), common::TraceKind::kDemote,
+                       r.handler->name(), r.release.ticks());
+  };
+  config.on_shed = [this](const Request& r, const std::string& reason) {
+    record_shed(r, reason);
+  };
+  queue_ = std::make_unique<DOverQueue>(std::move(config));
+  dover_enabled_ = true;
+}
+
+void TaskServer::record_shed(const Request& request,
+                             const std::string& reason) {
+  ++shed_count_;
+  model::JobOutcome out;
+  out.name = request.handler->name();
+  out.release = request.release;
+  out.cost = request.handler->cost();
+  out.shed = true;
+  outcomes_.push_back(std::move(out));
+  vm_.trace().record(vm_.now(), common::TraceKind::kShed,
+                     request.handler->name(), request.release.ticks(),
+                     reason);
+  model::ShedEvent ev;
+  ev.kind = model::ShedEvent::Kind::kShed;
+  ev.job = request.handler->name();
+  ev.release = request.release;
+  ev.at = vm_.now();
+  ev.reason = reason;
+  shed_events_.push_back(std::move(ev));
+}
+
+bool TaskServer::shed_pending_request(const std::string& job,
+                                      rtsj::AbsoluteTime release) {
+  // The same mid-bind guard as stealing: a request released at this very
+  // boundary instant still has its server wake-up in flight.
+  const rtsj::AbsoluteTime now = vm_.now();
+  std::optional<Request> taken = queue_->steal(
+      [&](const Request& r) {
+        return r.release < now && r.release == release &&
+               r.handler->name() == job;
+      },
+      [](const Request&, const Request&) { return false; });
+  if (!taken.has_value()) return false;
+  record_shed(*taken, "overload");
+  return true;
+}
+
 std::optional<Request> TaskServer::steal_pending_request(
     const StealEligibleFn& eligible, const StealBeforeFn& before) {
   // A release landing exactly on the current instant is still mid-bind: at
@@ -72,15 +147,21 @@ TaskServer::DispatchResult TaskServer::dispatch(const Request& request,
   out.release = request.release;
   out.cost = request.handler->cost();
   out.start = t0;
+  // Completion records carry the release instant so the invariant checker
+  // can match a dispatch back to the exact (job, release) it served. Both
+  // land after set_label restored the server label, so busy_intervals sees
+  // the job's window already closed and ignores them.
   if (completed) {
     out.served = true;
     out.completion = t1;
     ++served_;
+    vm_.trace().record(t1, common::TraceKind::kComplete,
+                       request.handler->name(), request.release.ticks());
   } else {
     out.interrupted = true;
     ++interrupted_;
     vm_.trace().record(t1, common::TraceKind::kAbort,
-                          request.handler->name());
+                       request.handler->name(), request.release.ticks());
   }
   outcomes_.push_back(out);
 

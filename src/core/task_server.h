@@ -19,9 +19,11 @@
 #include <string>
 #include <vector>
 
+#include "core/dover_queue.h"
 #include "core/pending_queue.h"
 #include "core/servable_async_event_handler.h"
 #include "core/task_server_parameters.h"
+#include "model/run_result.h"
 #include "model/spec.h"
 #include "rtsj/schedulable.h"
 #include "rtsj/vm/vm.h"
@@ -65,6 +67,33 @@ class TaskServer : public rtsj::Schedulable, public rtsj::Scheduler {
   void visit_pending(const std::function<void(const Request&)>& fn) const {
     queue_->visit(fn);
   }
+
+  // Swaps the pending queue for the D-over overload discipline
+  // (core/dover_queue.h): privileged-set admission on every release plus the
+  // LST takeover rule, with kAdmit/kDemote/kShed trace records and the
+  // exactly-once shed ledger emitted from here. `meta` maps a request to its
+  // scheduling value and firm deadline. Call before start() and before any
+  // release — the queue must still be empty.
+  struct DOverParams {
+    double importance_ratio = 1.0;  // k = dmax/dmin of value densities
+    std::function<DOverQueue::JobMeta(const Request&)> meta;
+  };
+  void enable_dover(DOverParams dover);
+  bool dover_enabled() const { return dover_enabled_; }
+
+  // The utilization governor's shed hook (overload = shed): drops the
+  // pending request matching (job, release) — removed from the queue,
+  // outcome marked shed, kShed trace record and ledger event emitted with
+  // reason "overload". Returns false when no such request is pending.
+  bool shed_pending_request(const std::string& job,
+                            rtsj::AbsoluteTime release);
+
+  // Every overload decision taken on this server, in decision order — the
+  // exactly-once ledger half the invariant checker reconciles.
+  const std::vector<model::ShedEvent>& shed_events() const {
+    return shed_events_;
+  }
+  std::uint64_t shed_count() const { return shed_count_; }
 
   const TaskServerParameters& params() const { return params_; }
   rtsj::RelativeTime remaining_capacity() const { return remaining_; }
@@ -126,6 +155,10 @@ class TaskServer : public rtsj::Schedulable, public rtsj::Scheduler {
   // Server ignores it; event-driven servers wake up.
   virtual void on_release(const Request& request) = 0;
 
+  // Shared shed bookkeeping (dover callbacks + the governor hook): outcome,
+  // trace record and ledger event, exactly once per dropped request.
+  void record_shed(const Request& request, const std::string& reason);
+
   rtsj::vm::VirtualMachine& vm_;
   TaskServerParameters params_;
   std::unique_ptr<PendingQueue> queue_;
@@ -138,6 +171,9 @@ class TaskServer : public rtsj::Schedulable, public rtsj::Scheduler {
   std::uint64_t dispatches_ = 0;
   std::uint64_t next_seq_ = 0;
   std::vector<model::JobOutcome> outcomes_;
+  bool dover_enabled_ = false;
+  std::uint64_t shed_count_ = 0;
+  std::vector<model::ShedEvent> shed_events_;
 };
 
 }  // namespace tsf::core

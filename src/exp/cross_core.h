@@ -35,6 +35,9 @@ struct MigratedJob {
   // Scheduling value (ready-pool / steal ordering); zero means "use the
   // declared cost", mirroring AperiodicJobSpec::effective_value().
   double value = 0.0;
+  // Firm deadline relative to release (zero = soft job, never shed). Travels
+  // with the job so the receiving core's overload policy keeps honoring it.
+  common::Duration relative_deadline = common::Duration::zero();
 
   double effective_value() const {
     return value == 0.0 ? declared_cost.to_tu() : value;
@@ -143,6 +146,32 @@ class CoreEndpoint {
     (void)task;
     return false;
   }
+
+  // --- overload shedding (mp::OverloadGovernor; defaults keep plain
+  //     endpoints working unchanged)
+
+  // A pending firm request the governor may drop: identity plus the fields
+  // its lowest-value-density-first ordering needs.
+  struct ShedCandidate {
+    std::string job;
+    common::TimePoint release = common::TimePoint::never();
+    common::Duration declared_cost = common::Duration::zero();
+    double value = 0.0;
+    common::Duration relative_deadline = common::Duration::zero();
+  };
+  // Read-only copies of every pending request the governor could shed right
+  // now: firm (non-zero relative deadline), released strictly before the
+  // current instant, and not currently being served. Queue order.
+  virtual std::vector<ShedCandidate> shed_candidates() const { return {}; }
+  // Drops the specific pending request the snapshot promised (matched by
+  // (job, release)): removes it from the queue, records the shed outcome,
+  // the kShed trace record and the ledger event. Returns false if the
+  // request is no longer pending.
+  virtual bool shed_exact(const std::string& job, common::TimePoint release) {
+    (void)job;
+    (void)release;
+    return false;
+  }
 };
 
 // One message's life, recorded by the fabric for the latency metrics: when
@@ -162,7 +191,11 @@ struct ChannelDelivery {
   // release; the gap is the queue wait before the rebalance). from_core ==
   // kNoCore: the online admission of a periodic task the offline
   // partitioner had rejected (posted == delivered == the admission instant).
-  enum class Kind { kFire, kMigrate, kPool, kSteal, kRebalance };
+  // kShed / kTakeover: overload-policy ledger entries folded in from the
+  // per-core ShedEvent records (from_core == to_core == the deciding core;
+  // posted = the job's release, delivered = the decision instant).
+  enum class Kind { kFire, kMigrate, kPool, kSteal, kRebalance, kShed,
+                    kTakeover };
   static constexpr std::size_t kNoCore = static_cast<std::size_t>(-1);
 
   Kind kind = Kind::kFire;

@@ -99,8 +99,35 @@ ExecSystem::ExecSystem(rtsj::vm::VirtualMachine& vm,
       // pool/migrated jobs.
       build_job(job.name, job.effective_declared_cost(), actual, job.fires,
                 /*with_timer=*/!job.triggered, job.release, job.value,
-                /*stealable=*/job.affinity < 0);
+                /*stealable=*/job.affinity < 0, job.relative_deadline);
     }
+  }
+
+  // overload = dover: swap the server's pending queue for the D-over
+  // discipline before anything is released. The importance ratio k is the
+  // spread of value densities across this core's firm jobs — the paper's
+  // parameter of the (1+sqrt(k))^2 competitive bound.
+  if (server_ != nullptr &&
+      options.overload.mode == OverloadMode::kDover) {
+    double dmin = 0.0, dmax = 0.0;
+    for (const auto& job : spec_.aperiodic_jobs) {
+      if (job.relative_deadline.is_zero()) continue;
+      const double cost_tu = job.effective_declared_cost().to_tu();
+      if (cost_tu <= 0.0) continue;
+      const double density = job.effective_value() / cost_tu;
+      if (dmin == 0.0 || density < dmin) dmin = density;
+      if (density > dmax) dmax = density;
+    }
+    core::TaskServer::DOverParams dover;
+    dover.importance_ratio = dmin > 0.0 ? dmax / dmin : 1.0;
+    dover.meta = [this](const core::Request& r) {
+      const JobInfo& info = info_of(r);
+      core::DOverQueue::JobMeta meta;
+      meta.value = info.value == 0.0 ? info.declared.to_tu() : info.value;
+      meta.relative_deadline = info.relative_deadline;
+      return meta;
+    };
+    server_->enable_dover(std::move(dover));
   }
 }
 
@@ -130,7 +157,8 @@ rtsj::RealtimeThread* ExecSystem::build_task(
 void ExecSystem::build_job(const std::string& name, common::Duration declared,
                            common::Duration actual, const std::string& fires,
                            bool with_timer, common::TimePoint release,
-                           double value, bool stealable) {
+                           double value, bool stealable,
+                           common::Duration relative_deadline) {
   core::ServableAsyncEventHandler::Logic logic;
   if (fires.empty()) {
     logic = [actual](rtsj::Timed& timed) { timed.work(actual); };
@@ -151,7 +179,8 @@ void ExecSystem::build_job(const std::string& name, common::Duration declared,
   events_.back()->add_handler(handlers_.back().get());
   events_by_job_[name] = events_.back().get();
   handlers_by_job_[name] = handlers_.back().get();
-  job_info_[name] = JobInfo{declared, actual, fires, value, stealable};
+  job_info_[name] =
+      JobInfo{declared, actual, fires, value, stealable, relative_deadline};
   if (with_timer) {
     timers_.push_back(std::make_unique<rtsj::OneShotTimer>(
         vm_, release, events_.back().get()));
@@ -183,7 +212,7 @@ void ExecSystem::deliver_migrated(const MigratedJob& job) {
              "migrated job " << job.name << " delivered twice");
   build_job(job.name, job.declared_cost, job.actual_cost, job.fires,
             /*with_timer=*/false, common::TimePoint::origin(), job.value,
-            /*stealable=*/true);
+            /*stealable=*/true, job.relative_deadline);
   events_by_job_[job.name]->fire();
 }
 
@@ -201,7 +230,8 @@ void ExecSystem::deliver_job(const MigratedJob& job,
   // the handler already built here; costs are identical by construction.
   if (handlers_by_job_.find(job.name) == handlers_by_job_.end()) {
     build_job(job.name, job.declared_cost, job.actual_cost, job.fires,
-              /*with_timer=*/false, release, job.value, /*stealable=*/true);
+              /*with_timer=*/false, release, job.value, /*stealable=*/true,
+              job.relative_deadline);
   }
   stolen_away_.erase(job.name);  // stolen back: this core owns a release again
   // Release directly through the server with the preserved instant: the
@@ -227,6 +257,7 @@ StolenJob ExecSystem::to_stolen(const core::Request& r) const {
   stolen.job.actual_cost = info.actual;
   stolen.job.fires = info.fires;
   stolen.job.value = info.value;
+  stolen.job.relative_deadline = info.relative_deadline;
   stolen.release = r.release;
   return stolen;
 }
@@ -281,6 +312,33 @@ common::Duration ExecSystem::released_cost() const {
   return server_ != nullptr ? server_->released_cost() : common::Duration::zero();
 }
 
+std::vector<CoreEndpoint::ShedCandidate> ExecSystem::shed_candidates() const {
+  std::vector<ShedCandidate> out;
+  if (server_ == nullptr) return out;
+  const common::TimePoint now = vm_.now();
+  server_->visit_pending([&](const core::Request& r) {
+    // Sheddable = firm (carries a deadline) and released strictly before
+    // this boundary instant — a boundary-coincident release is still
+    // mid-bind, exactly like the steal guard.
+    const JobInfo& info = info_of(r);
+    if (info.relative_deadline.is_zero() || r.release >= now) return;
+    ShedCandidate c;
+    c.job = r.handler->name();
+    c.release = r.release;
+    c.declared_cost = info.declared;
+    c.value = info.value == 0.0 ? info.declared.to_tu() : info.value;
+    c.relative_deadline = info.relative_deadline;
+    out.push_back(std::move(c));
+  });
+  return out;
+}
+
+bool ExecSystem::shed_exact(const std::string& job,
+                            common::TimePoint release) {
+  if (server_ == nullptr) return false;
+  return server_->shed_pending_request(job, release);
+}
+
 bool ExecSystem::admit_task(const model::PeriodicTaskSpec& task) {
   TSF_ASSERT(task.start >= vm_.now(),
              "task " << task.name << " admitted with a start in the past");
@@ -311,6 +369,7 @@ model::RunResult ExecSystem::collect() {
     }
     result_.server_activations = server_->activation_count();
     result_.server_dispatches = server_->dispatch_count();
+    result_.shed_events = server_->shed_events();
   }
   result_.jobs.reserve(spec_.aperiodic_jobs.size());
   for (const auto& job : spec_.aperiodic_jobs) {

@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "common/time.h"
 #include "exp/cross_core.h"
+#include "exp/overload.h"
 #include "model/run_result.h"
 #include "model/spec.h"
 #include "rtsj/vm/vm.h"
@@ -47,6 +48,10 @@ struct ExecOptions {
   // is never changed.
   double cost_jitter = 0.0;
   std::uint64_t jitter_seed = 7;
+  // Overload policy (exp/overload.h). kDover swaps each serving core's
+  // pending queue for the D-over discipline at construction; kShed is acted
+  // on by the mp layer's OverloadGovernor at epoch boundaries.
+  OverloadConfig overload;
 };
 
 // One job's actual demand under ExecOptions::cost_jitter: the cost scaled
@@ -123,6 +128,9 @@ class ExecSystem : public CoreEndpoint {
                                        common::TimePoint release) override;
   common::Duration released_cost() const override;
   bool admit_task(const model::PeriodicTaskSpec& task) override;
+  std::vector<ShedCandidate> shed_candidates() const override;
+  bool shed_exact(const std::string& job,
+                  common::TimePoint release) override;
 
  private:
   // What deliver_job / steal_pending need to rebuild a job elsewhere: the
@@ -135,6 +143,8 @@ class ExecSystem : public CoreEndpoint {
     std::string fires;
     double value = 0.0;  // scheduling value (0 = declared cost)
     bool stealable = false;
+    // Firm deadline relative to release; zero = soft (never shed).
+    common::Duration relative_deadline = common::Duration::zero();
   };
 
   const JobInfo& info_of(const core::Request& r) const;
@@ -147,7 +157,8 @@ class ExecSystem : public CoreEndpoint {
   void build_job(const std::string& name, common::Duration declared,
                  common::Duration actual, const std::string& fires,
                  bool with_timer, common::TimePoint release,
-                 double value = 0.0, bool stealable = false);
+                 double value = 0.0, bool stealable = false,
+                 common::Duration relative_deadline = common::Duration::zero());
   // Routes a completed handler's `fires` target: through the port when the
   // fabric is attached, synchronously otherwise.
   void fire_target(const std::string& job);

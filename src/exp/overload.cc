@@ -1,0 +1,24 @@
+#include "exp/overload.h"
+
+namespace tsf::exp {
+
+const char* to_string(OverloadMode mode) {
+  switch (mode) {
+    case OverloadMode::kOff:
+      return "off";
+    case OverloadMode::kShed:
+      return "shed";
+    case OverloadMode::kDover:
+      return "dover";
+  }
+  return "?";
+}
+
+std::optional<OverloadMode> parse_overload_mode(std::string_view name) {
+  if (name == "off") return OverloadMode::kOff;
+  if (name == "shed") return OverloadMode::kShed;
+  if (name == "dover") return OverloadMode::kDover;
+  return std::nullopt;
+}
+
+}  // namespace tsf::exp

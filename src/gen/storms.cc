@@ -1,0 +1,203 @@
+#include "gen/storms.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/diag.h"
+#include "common/rng.h"
+
+namespace tsf::gen {
+
+using common::Duration;
+using common::TimePoint;
+
+const char* to_string(StormShape shape) {
+  switch (shape) {
+    case StormShape::kRouterPacketStorm:
+      return "router";
+    case StormShape::kMarketOpenBurst:
+      return "market";
+    case StormShape::kCascadingFaultBurst:
+      return "cascade";
+  }
+  return "?";
+}
+
+std::optional<StormShape> parse_storm_shape(std::string_view name) {
+  if (name == "router") return StormShape::kRouterPacketStorm;
+  if (name == "market") return StormShape::kMarketOpenBurst;
+  if (name == "cascade") return StormShape::kCascadingFaultBurst;
+  return std::nullopt;
+}
+
+namespace {
+
+// One firm job; value and deadline carried explicitly, declared == cost.
+void add_job(model::SystemSpec& spec, const std::string& name,
+             TimePoint release, Duration cost, double value,
+             Duration deadline) {
+  TSF_ASSERT(cost > Duration::zero(), "storm job needs a positive cost");
+  model::AperiodicJobSpec job;
+  job.name = name;
+  job.release = release;
+  job.cost = cost;
+  job.value = value;
+  job.relative_deadline = deadline;
+  spec.aperiodic_jobs.push_back(std::move(job));
+}
+
+void make_router(model::SystemSpec& spec, const StormParams& p,
+                 common::Rng& rng, double budget_tu) {
+  // Sustained saturation: the budget is spread evenly over every period but
+  // the last (jobs released into the final period would be pure horizon
+  // noise). Packets are small and mostly low-value; every eighth is a
+  // control packet worth 8x its cost.
+  const int windows = std::max(1, p.horizon_periods - 1);
+  const double per_window = budget_tu / windows;
+  std::size_t id = 0;
+  for (int w = 0; w < windows; ++w) {
+    const TimePoint start = TimePoint::origin() + p.server_period * w;
+    double offered = 0.0;
+    while (offered < per_window) {
+      const Duration cost = Duration::from_tu(rng.uniform(0.3, 0.7));
+      const bool control = id % 8 == 7;
+      const double value = cost.to_tu() * (control ? 8.0 : 1.0);
+      const Duration deadline =
+          Duration::from_tu(rng.uniform(3.0, control ? 9.0 : 6.0));
+      const std::int64_t offset =
+          rng.uniform_i64(0, p.server_period.count() - 1);
+      add_job(spec, "pkt" + std::to_string(id++),
+              start + Duration::ticks(offset), cost, value, deadline);
+      offered += cost.to_tu();
+    }
+  }
+}
+
+void make_market(model::SystemSpec& spec, const StormParams& p,
+                 common::Rng& rng, double bandwidth_per_tu) {
+  // A quiet prelude trickle, then the open: a burst of orders with
+  // heavy-tailed values compressed into the first post-open period. The
+  // burst budget is the overload factor times what the machine could serve
+  // inside the longest order deadline — more would only pad the infeasible
+  // tail.
+  const TimePoint open = TimePoint::origin() + p.server_period * 2;
+  std::size_t id = 0;
+  for (int w = 0; w < 2; ++w) {
+    const TimePoint start = TimePoint::origin() + p.server_period * w;
+    for (int j = 0; j < 2; ++j) {
+      const Duration cost = Duration::from_tu(rng.uniform(0.3, 0.6));
+      const std::int64_t offset =
+          rng.uniform_i64(0, p.server_period.count() - 1);
+      add_job(spec, "bg" + std::to_string(id++),
+              start + Duration::ticks(offset), cost, cost.to_tu(),
+              Duration::from_tu(9.0));
+    }
+  }
+  const double max_deadline_tu = p.server_period.to_tu() * 3.0;
+  const double budget_tu =
+      p.overload_factor * bandwidth_per_tu * max_deadline_tu;
+  double offered = 0.0;
+  std::size_t ord = 0;
+  while (offered < budget_tu) {
+    const Duration cost = Duration::from_tu(rng.uniform(0.4, 1.2));
+    // Heavy tail: density 1, 2, 4, 8 or 16 times cost.
+    const double density =
+        static_cast<double>(std::uint64_t{1} << rng.uniform_u64(5));
+    const Duration deadline =
+        Duration::from_tu(rng.uniform(max_deadline_tu / 3.0, max_deadline_tu));
+    const std::int64_t offset = rng.uniform_i64(0, p.server_period.count() - 1);
+    add_job(spec, "ord" + std::to_string(ord++),
+            open + Duration::ticks(offset), cost, cost.to_tu() * density,
+            deadline);
+    offered += cost.to_tu();
+  }
+}
+
+void make_cascade(model::SystemSpec& spec, const StormParams& p,
+                  common::Rng& rng, double budget_tu) {
+  // Four waves, two periods apart. The leading edge is the symptom storm:
+  // every affected component floods cheap low-value alarms (weight 8 of
+  // 15). Diagnosis then escalates — each following wave is half the size
+  // but twice the value density, ending in the rare root-cause alarms
+  // (weight 1, density 8). FIFO service drowns in the early noise exactly
+  // when the valuable tail arrives; shedding the backlog is what frees
+  // capacity for it. Each wave spreads over one full server period so the
+  // release-rate window sees a sustained spike, not a single tick.
+  constexpr int kWaves = 4;
+  constexpr double kWeightSum = 1.0 + 2.0 + 4.0 + 8.0;
+  std::size_t id = 0;
+  for (int w = 0; w < kWaves; ++w) {
+    const TimePoint start = TimePoint::origin() + p.server_period * (1 + 2 * w);
+    const double wave_budget =
+        budget_tu * static_cast<double>(8 >> w) / kWeightSum;
+    const double mean_cost = 0.6;
+    const double density = static_cast<double>(1 << w);
+    const Duration deadline =
+        Duration::from_tu(p.server_period.to_tu() * 2.0);
+    double offered = 0.0;
+    while (offered < wave_budget) {
+      const Duration cost = Duration::from_tu(
+          std::max(0.1, rng.uniform(mean_cost * 0.7, mean_cost * 1.3)));
+      const std::int64_t offset =
+          rng.uniform_i64(0, p.server_period.count() - 1);
+      add_job(spec, "alrm" + std::to_string(id++),
+              start + Duration::ticks(offset), cost, cost.to_tu() * density,
+              deadline);
+      offered += cost.to_tu();
+    }
+  }
+}
+
+}  // namespace
+
+model::SystemSpec make_storm(const StormParams& params) {
+  TSF_ASSERT(params.cores >= 2, "a storm needs a multi-core machine");
+  TSF_ASSERT(params.overload_factor > 0.0,
+             "overload_factor must be positive");
+  TSF_ASSERT(!params.server_capacity.is_zero() &&
+                 !params.server_period.is_zero(),
+             "storm server needs a positive capacity and period");
+  TSF_ASSERT(params.horizon_periods >= 4, "storms need room to develop");
+
+  model::SystemSpec spec;
+  spec.name = std::string("storm-") + to_string(params.shape);
+  spec.cores = params.cores;
+  spec.server.policy = model::ServerPolicy::kPolling;
+  spec.server.capacity = params.server_capacity;
+  spec.server.period = params.server_period;
+  spec.server.priority = 30;
+  spec.horizon =
+      TimePoint::origin() + params.server_period * params.horizon_periods;
+
+  common::Rng rng(params.seed);
+  // Service bandwidth: what all serving cores together retire per tu.
+  const double bandwidth_per_tu = static_cast<double>(params.cores) *
+                                  params.server_capacity.to_tu() /
+                                  params.server_period.to_tu();
+  const double budget_tu = params.overload_factor * bandwidth_per_tu *
+                           params.server_period.to_tu() *
+                           params.horizon_periods;
+  switch (params.shape) {
+    case StormShape::kRouterPacketStorm:
+      make_router(spec, params, rng, budget_tu);
+      break;
+    case StormShape::kMarketOpenBurst:
+      make_market(spec, params, rng, bandwidth_per_tu);
+      break;
+    case StormShape::kCascadingFaultBurst:
+      make_cascade(spec, params, rng, budget_tu);
+      break;
+  }
+  // Release order (ties by name) keeps downstream spec-order iteration
+  // aligned with time, like the random generator's streams.
+  std::stable_sort(spec.aperiodic_jobs.begin(), spec.aperiodic_jobs.end(),
+                   [](const model::AperiodicJobSpec& a,
+                      const model::AperiodicJobSpec& b) {
+                     if (a.release != b.release) return a.release < b.release;
+                     return a.name < b.name;
+                   });
+  return spec;
+}
+
+}  // namespace tsf::gen

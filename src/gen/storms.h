@@ -1,0 +1,68 @@
+// Overload storm synthesis — workloads that deliberately offer the serving
+// cores more firm (deadline + value) aperiodic work than their server
+// replicas can possibly serve, so the overload policies ([run] overload =
+// off|shed|dover) have something real to disagree about. Three shapes:
+//
+//  * kRouterPacketStorm — sustained saturation: every server period of the
+//    storm window releases a dense batch of small packets, most cheap and
+//    low-value, a few high-value control packets mixed in. The policy
+//    question is per-period triage under a persistent overload.
+//
+//  * kMarketOpenBurst — one spike: a quiet prelude, then at the open a
+//    burst of heavy-tailed-value orders compressed into a single server
+//    period. The policy question is what to keep from a backlog that
+//    arrived almost at once and cannot all meet its deadlines.
+//
+//  * kCascadingFaultBurst — escalating waves: the fault's leading edge is
+//    a broad storm of cheap low-value symptom alarms; diagnosis escalates
+//    through waves that are each half the size but twice the value
+//    density, ending in the rare root-cause alarms. The policy question is
+//    keeping capacity free for the valuable tail while the noise is
+//    already queued in front of it.
+//
+// Every generated job is firm: it carries a relative deadline and an
+// explicit value, declared cost equals true cost (overload is about too
+// much honest work, not lying about it), and jobs are unpinned so the
+// partitioner spreads them round-robin over the serving cores. Generation
+// is deterministic in (params, seed) via common::Rng.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/time.h"
+#include "model/spec.h"
+
+namespace tsf::gen {
+
+enum class StormShape {
+  kRouterPacketStorm,
+  kMarketOpenBurst,
+  kCascadingFaultBurst,
+};
+
+// "router" | "market" | "cascade".
+const char* to_string(StormShape shape);
+std::optional<StormShape> parse_storm_shape(std::string_view name);
+
+struct StormParams {
+  StormShape shape = StormShape::kRouterPacketStorm;
+  std::uint64_t seed = 2007;
+  int cores = 2;
+  // Offered firm load as a multiple of the machine's total service
+  // bandwidth (cores * capacity / period) over the storm window. 1.0 is
+  // saturation; the default is a storm no policy can fully serve.
+  double overload_factor = 2.5;
+  common::Duration server_capacity = common::Duration::time_units(2);
+  common::Duration server_period = common::Duration::time_units(6);
+  int horizon_periods = 10;
+};
+
+// One storm system: per-core polling server replicas (placed by the
+// partitioner), no periodic background load, and the shape's firm aperiodic
+// stream. spec.cores = params.cores.
+model::SystemSpec make_storm(const StormParams& params);
+
+}  // namespace tsf::gen

@@ -167,6 +167,7 @@ struct JobOutcome {
   Duration cost = Duration::zero();
   bool served = false;       // completed before the horizon
   bool interrupted = false;  // abandoned (AIE / capacity overrun); exec only
+  bool shed = false;         // dropped by an overload policy; never dispatched
   TimePoint start = TimePoint::never();
   TimePoint completion = TimePoint::never();
 

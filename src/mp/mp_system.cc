@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "mp/channel.h"
 #include "mp/multi_vm.h"
+#include "mp/overload.h"
 #include "mp/threaded_runtime.h"
 #include "sim/simulator.h"
 
@@ -79,10 +80,12 @@ std::vector<model::SystemSpec> split_spec(const model::SystemSpec& spec,
 }
 
 // How final an outcome is, for the (job, release) dedupe: a served record
-// beats an interrupted one beats an unserved placeholder.
+// beats an interrupted or shed one beats an unserved placeholder. A shed
+// outcome is final — the overload policy decided the job's fate, and the
+// record must not be dropped as a shadow of some other core's pending copy.
 static int outcome_rank(const model::JobOutcome& o) {
   if (o.served) return 2;
-  if (o.interrupted) return 1;
+  if (o.interrupted || o.shed) return 1;
   return 0;
 }
 
@@ -194,6 +197,15 @@ model::RunResult merge_results(const model::SystemSpec& spec,
                            std::move(r.note));
   }
 
+  // The shed/takeover ledger: concatenated in core order (each core's
+  // events are already in decision order), with the deciding core stamped.
+  for (std::size_t c = 0; c < per_core.size(); ++c) {
+    for (model::ShedEvent event : per_core[c].shed_events) {
+      event.core = c;
+      merged.shed_events.push_back(std::move(event));
+    }
+  }
+
   for (const auto& result : per_core) {
     merged.server_activations += result.server_activations;
     merged.server_dispatches += result.server_dispatches;
@@ -274,6 +286,7 @@ MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
     m.actual_cost = exp::jittered_cost(jitter_rng, options.exec, job.cost);
     m.fires = job.fires;
     m.value = job.value;
+    m.relative_deadline = job.relative_deadline;
     if (pooled) {
       // The pool is a shared structure, not a channel: no channel_latency,
       // only the wait for the first epoch boundary >= release.
@@ -288,13 +301,21 @@ MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
     rebalancer = std::make_unique<Rebalancer>(options.rebalance, fabric, spec,
                                               out.partition, options.strategy);
   }
+  // Mode kDover needs no governor — the per-core D-over queues shed and
+  // take over locally; their decisions surface through the same per-core
+  // shed_events ledger the fold below collects.
+  std::unique_ptr<OverloadGovernor> governor;
+  if (options.exec.overload.mode == exp::OverloadMode::kShed) {
+    governor = std::make_unique<OverloadGovernor>(options.exec.overload,
+                                                  fabric, spec, out.partition);
+  }
 
   SchedPolicyEngine* engine_ptr =
       options.policy == SchedPolicy::kPartitioned ? nullptr : &engine;
   double threads_wall_seconds = 0.0;
   if (options.backend == ExecBackend::kThreads) {
     ThreadedRuntime machine(subs, options.exec, &fabric, engine_ptr,
-                            rebalancer.get());
+                            rebalancer.get(), governor.get());
     for (std::size_t c = 0;
          c < options.core_trace_sinks.size() && c < subs.size(); ++c) {
       if (options.core_trace_sinks[c] != nullptr) {
@@ -307,7 +328,7 @@ MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
     out.per_core = machine.collect();
   } else {
     MultiVm machine(subs, options.exec, &fabric, engine_ptr,
-                    rebalancer.get());
+                    rebalancer.get(), governor.get());
     for (std::size_t c = 0;
          c < options.core_trace_sinks.size() && c < subs.size(); ++c) {
       if (options.core_trace_sinks[c] != nullptr) {
@@ -331,6 +352,31 @@ MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
     out.rebalance_still_rejected = rebalancer->still_rejected();
     out.rebalance_utilization = rebalancer->measured_utilization();
   }
+  if (governor != nullptr) {
+    out.overload_passes = governor->passes();
+    out.overload_utilization = governor->measured_utilization();
+  }
+  // Fold the per-core shed/takeover ledger into the delivery ledger — one
+  // kShed / kTakeover record per event, deciding core on both ends — so the
+  // channel metrics and the invariant checker read a single source.
+  for (const auto& event : out.merged.shed_events) {
+    exp::ChannelDelivery d;
+    d.kind = event.kind == model::ShedEvent::Kind::kTakeover
+                 ? exp::ChannelDelivery::Kind::kTakeover
+                 : exp::ChannelDelivery::Kind::kShed;
+    d.job = event.job;
+    d.from_core = event.core;
+    d.to_core = event.core;
+    d.posted = event.release;
+    d.delivered = event.at;
+    d.ok = true;
+    out.channel_deliveries.push_back(std::move(d));
+    if (event.kind == model::ShedEvent::Kind::kTakeover) {
+      ++out.takeovers;
+    } else {
+      ++out.sheds;
+    }
+  }
   if (options.metrics != nullptr) {
     common::MetricsRegistry& m = *options.metrics;
     m.add_counter("mp.channel.in_flight_at_horizon", out.channel_in_flight);
@@ -339,6 +385,9 @@ MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
     m.add_counter("mp.rebalance.passes", out.rebalance_passes);
     m.add_counter("mp.rebalance.migrations", out.rebalance_migrations);
     m.add_counter("mp.rebalance.admissions", out.rebalance_admissions);
+    m.add_counter("mp.overload.passes", out.overload_passes);
+    m.add_counter("mp.overload.sheds", out.sheds);
+    m.add_counter("mp.overload.takeovers", out.takeovers);
     // Busy fraction of each core over the whole run: entities of one core
     // never overlap, so the per-entity busy windows sum to processor time.
     const double horizon_ticks =

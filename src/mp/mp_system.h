@@ -60,6 +60,9 @@ struct MpRunOptions {
   // Online load rebalancing at the epoch boundaries (exec path only; the
   // simulator has no fabric and always runs the static partition).
   RebalanceConfig rebalance;
+  // The overload policy rides in exec.overload (exp/overload.h): kDover is
+  // lowered into each serving core's pending queue by the ExecSystem; kShed
+  // constructs an OverloadGovernor that runs last at every boundary.
   // Optional streaming trace sinks, one per core (exec path only). Entry k,
   // when non-null, receives core k's full record stream alongside the
   // materialized per-core timeline. May be shorter than the core count.
@@ -135,6 +138,15 @@ struct MpRunResult {
   // The last measured per-core utilization sample — the post-rebalance
   // load picture.
   std::vector<double> rebalance_utilization;
+  // Overload-policy results (zero / empty when overload = off). Every shed
+  // and takeover also appears, exactly once each, as a kShed / kTakeover
+  // record in channel_deliveries and in merged.shed_events (core filled
+  // in) — the exactly-once ledger the invariant checker reconciles.
+  std::uint64_t overload_passes = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t takeovers = 0;
+  // The governor's last measured per-core utilization sample (mode shed).
+  std::vector<double> overload_utilization;
 };
 
 // One sim::Simulator per core (theoretical policies, resumable service).

@@ -4,6 +4,7 @@
 
 #include "common/diag.h"
 #include "mp/channel.h"
+#include "mp/overload.h"
 #include "mp/rebalance.h"
 #include "mp/sched_policy.h"
 
@@ -14,13 +15,19 @@ using common::TimePoint;
 
 MultiVm::MultiVm(std::vector<model::SystemSpec> per_core_specs,
                  const exp::ExecOptions& options, ChannelFabric* fabric,
-                 SchedPolicyEngine* engine, Rebalancer* rebalancer)
-    : fabric_(fabric), engine_(engine), rebalancer_(rebalancer) {
+                 SchedPolicyEngine* engine, Rebalancer* rebalancer,
+                 OverloadGovernor* governor)
+    : fabric_(fabric),
+      engine_(engine),
+      rebalancer_(rebalancer),
+      governor_(governor) {
   TSF_ASSERT(!per_core_specs.empty(), "MultiVm needs at least one core");
   TSF_ASSERT(engine_ == nullptr || fabric_ != nullptr,
              "a scheduling-policy engine needs the channel fabric");
   TSF_ASSERT(rebalancer_ == nullptr || fabric_ != nullptr,
              "a rebalancer needs the channel fabric");
+  TSF_ASSERT(governor_ == nullptr || fabric_ != nullptr,
+             "an overload governor needs the channel fabric");
   TSF_ASSERT(fabric_ == nullptr || fabric_->cores() == per_core_specs.size(),
              "channel fabric sized for " << (fabric ? fabric->cores() : 0)
                                          << " cores, MultiVm has "
@@ -86,10 +93,13 @@ void MultiVm::run_until(TimePoint horizon, Duration quantum) {
       }
     }
     if (engine_ != nullptr) engine_->on_epoch(now_);
-    // The rebalancer goes last: its load measurement and migration
-    // decisions see the queue depths *including* this boundary's channel
-    // deliveries and policy moves.
+    // The rebalancer runs after the policy engine: its load measurement and
+    // migration decisions see the queue depths *including* this boundary's
+    // channel deliveries and policy moves.
     if (rebalancer_ != nullptr) rebalancer_->on_epoch(now_);
+    // The overload governor goes last of all: shedding is the final resort,
+    // taken only on backlog migration could not (or chose not to) place.
+    if (governor_ != nullptr) governor_->on_epoch(now_);
   }
 }
 

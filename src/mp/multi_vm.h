@@ -29,6 +29,7 @@
 namespace tsf::mp {
 
 class ChannelFabric;
+class OverloadGovernor;
 class Rebalancer;
 class SchedPolicyEngine;
 
@@ -49,14 +50,19 @@ class MultiVm {
   // deterministic pause. The engine must outlive the MultiVm too.
   //
   // With a rebalancer (which also requires a fabric), the online
-  // load-rebalancing pass (mp/rebalance.h) runs last at every boundary —
-  // after the drain and the policy engine, so it sees the queue depths
-  // including this boundary's deliveries. It must outlive the MultiVm.
+  // load-rebalancing pass (mp/rebalance.h) runs after the drain and the
+  // policy engine, so it sees the queue depths including this boundary's
+  // deliveries. It must outlive the MultiVm.
+  //
+  // With a governor (which also requires a fabric), the overload shed pass
+  // (mp/overload.h) runs last of all — after the rebalancer, so shedding is
+  // the final resort once migration had its chance to place the backlog.
   explicit MultiVm(std::vector<model::SystemSpec> per_core_specs,
                    const exp::ExecOptions& options,
                    ChannelFabric* fabric = nullptr,
                    SchedPolicyEngine* engine = nullptr,
-                   Rebalancer* rebalancer = nullptr);
+                   Rebalancer* rebalancer = nullptr,
+                   OverloadGovernor* governor = nullptr);
   ~MultiVm();
   MultiVm(const MultiVm&) = delete;
   MultiVm& operator=(const MultiVm&) = delete;
@@ -94,6 +100,7 @@ class MultiVm {
   ChannelFabric* fabric_ = nullptr;
   SchedPolicyEngine* engine_ = nullptr;
   Rebalancer* rebalancer_ = nullptr;
+  OverloadGovernor* governor_ = nullptr;
   common::MetricsRegistry* metrics_ = nullptr;
   std::vector<std::unique_ptr<common::TeeSink>> tees_;
   common::TimePoint now_ = common::TimePoint::origin();

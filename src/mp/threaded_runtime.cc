@@ -6,6 +6,7 @@
 
 #include "common/diag.h"
 #include "mp/channel.h"
+#include "mp/overload.h"
 #include "mp/rebalance.h"
 #include "mp/sched_policy.h"
 
@@ -58,8 +59,12 @@ ThreadedRuntime::ThreadedRuntime(std::vector<model::SystemSpec> per_core_specs,
                                  const exp::ExecOptions& options,
                                  ChannelFabric* fabric,
                                  SchedPolicyEngine* engine,
-                                 Rebalancer* rebalancer)
-    : fabric_(fabric), engine_(engine), rebalancer_(rebalancer) {
+                                 Rebalancer* rebalancer,
+                                 OverloadGovernor* governor)
+    : fabric_(fabric),
+      engine_(engine),
+      rebalancer_(rebalancer),
+      governor_(governor) {
   TSF_ASSERT(!per_core_specs.empty(), "ThreadedRuntime needs at least one core");
   TSF_ASSERT(fabric_ != nullptr,
              "the threads backend stages fires through the channel fabric");
@@ -130,6 +135,7 @@ void ThreadedRuntime::on_boundary() noexcept {
   }
   if (engine_ != nullptr) engine_->on_epoch(now_);
   if (rebalancer_ != nullptr) rebalancer_->on_epoch(now_);
+  if (governor_ != nullptr) governor_->on_epoch(now_);
   epoch_begin_ = std::chrono::steady_clock::now();
 }
 

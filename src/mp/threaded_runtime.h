@@ -46,6 +46,7 @@
 namespace tsf::mp {
 
 class ChannelFabric;
+class OverloadGovernor;
 class Rebalancer;
 class SchedPolicyEngine;
 
@@ -54,12 +55,13 @@ class ThreadedRuntime {
   // Mirrors MultiVm's constructor contract: one VM + ExecSystem per spec,
   // every job bound into the fabric's routing table, endpoints connected in
   // core order. The fabric is required (it is the cross-core substrate the
-  // staged fires replay into); engine and rebalancer are optional and must
-  // outlive the runtime, like the fabric.
+  // staged fires replay into); engine, rebalancer and governor are optional
+  // and must outlive the runtime, like the fabric.
   ThreadedRuntime(std::vector<model::SystemSpec> per_core_specs,
                   const exp::ExecOptions& options, ChannelFabric* fabric,
                   SchedPolicyEngine* engine = nullptr,
-                  Rebalancer* rebalancer = nullptr);
+                  Rebalancer* rebalancer = nullptr,
+                  OverloadGovernor* governor = nullptr);
   ~ThreadedRuntime();
   ThreadedRuntime(const ThreadedRuntime&) = delete;
   ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
@@ -107,8 +109,8 @@ class ThreadedRuntime {
   struct StagedPort;
 
   // The barrier completion step: staged-fire replay in oracle order, fabric
-  // drain, policy engine, rebalancer, metrics. Runs on one worker thread
-  // while every other worker is parked at the barrier.
+  // drain, policy engine, rebalancer, overload governor, metrics. Runs on
+  // one worker thread while every other worker is parked at the barrier.
   void on_boundary() noexcept;
   void record_failure(std::exception_ptr error);
 
@@ -119,6 +121,7 @@ class ThreadedRuntime {
   ChannelFabric* fabric_ = nullptr;
   SchedPolicyEngine* engine_ = nullptr;
   Rebalancer* rebalancer_ = nullptr;
+  OverloadGovernor* governor_ = nullptr;
   common::MetricsRegistry* metrics_ = nullptr;
   std::vector<std::unique_ptr<common::TeeSink>> tees_;
 

@@ -1,0 +1,197 @@
+// Mutation tests for the forbidden-behavior checker: each test seeds a
+// deliberately broken record stream (or ledger) and asserts the checker
+// FAILS with the right violation name — proving the machine checks in
+// FORBIDDEN_BEHAVIOR_CATALOG.md are not vacuously green. The clean-stream
+// test pins the other direction: a conforming run produces zero violations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/invariant_checker.h"
+
+namespace tsf::common {
+namespace {
+
+TimePoint at_tu(double tu) {
+  return TimePoint::origin() + Duration::from_tu(tu);
+}
+
+bool has_violation(const std::vector<InvariantChecker::Violation>& violations,
+                   std::string_view name) {
+  return std::any_of(violations.begin(), violations.end(),
+                     [&](const InvariantChecker::Violation& v) {
+                       return v.name == name;
+                     });
+}
+
+// A conforming overload run: one job admitted and completed in deadline,
+// one job shed with a matching ledger entry, one soft job served late.
+TEST(InvariantChecker, CleanStreamProducesNoViolations) {
+  InvariantChecker checker;
+  checker.add_job("keep", 6000);
+  checker.add_job("drop", 6000);
+  checker.add_job("soft", 0);
+
+  checker.record(at_tu(1), TraceKind::kAdmit, "keep", 1000);
+  checker.record(at_tu(2), TraceKind::kShed, "drop", 1500, "overload");
+  checker.note_shed_ledger(0, "drop", 1500, /*takeover=*/false);
+  checker.record(at_tu(4), TraceKind::kComplete, "keep", 1000);
+  checker.record(at_tu(9), TraceKind::kComplete, "soft", 500);
+
+  EXPECT_TRUE(checker.finish().empty());
+}
+
+TEST(InvariantChecker, ServeAfterShedIsCaught) {
+  InvariantChecker checker;
+  checker.add_job("zombie", 6000);
+
+  checker.record(at_tu(1), TraceKind::kShed, "zombie", 1000, "overload");
+  checker.note_shed_ledger(0, "zombie", 1000, /*takeover=*/false);
+  // The forbidden behavior: the job completes after it was dropped.
+  checker.record(at_tu(3), TraceKind::kComplete, "zombie", 1000);
+
+  const auto violations = checker.finish();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_TRUE(has_violation(violations, InvariantChecker::kServeAfterShed));
+}
+
+TEST(InvariantChecker, SheddingAdmittedWorkIsCaught) {
+  InvariantChecker checker;
+  checker.add_job("vip", 6000);
+
+  checker.record(at_tu(1), TraceKind::kAdmit, "vip", 1000);
+  // The forbidden behavior: shedding a job in the privileged set.
+  checker.record(at_tu(2), TraceKind::kShed, "vip", 1000, "overload");
+  checker.note_shed_ledger(0, "vip", 1000, /*takeover=*/false);
+
+  const auto violations = checker.finish();
+  EXPECT_TRUE(has_violation(violations, InvariantChecker::kShedAdmittedWork));
+}
+
+TEST(InvariantChecker, DemotedWorkMayBeShedWithoutViolation) {
+  InvariantChecker checker;
+  checker.add_job("demoted", 6000);
+
+  checker.record(at_tu(1), TraceKind::kAdmit, "demoted", 1000);
+  checker.record(at_tu(2), TraceKind::kDemote, "demoted", 1000);
+  checker.record(at_tu(3), TraceKind::kShed, "demoted", 1000, "lst");
+  checker.note_shed_ledger(0, "demoted", 1000, /*takeover=*/false);
+
+  EXPECT_FALSE(has_violation(checker.finish(),
+                             InvariantChecker::kShedAdmittedWork));
+}
+
+TEST(InvariantChecker, ShedWithoutLedgerEntryIsCaught) {
+  InvariantChecker checker;
+  checker.add_job("lost", 6000);
+
+  checker.record(at_tu(1), TraceKind::kShed, "lost", 1000, "overload");
+  // No note_shed_ledger: the trace says shed, the ledger never heard of it.
+
+  const auto violations = checker.finish();
+  EXPECT_TRUE(
+      has_violation(violations, InvariantChecker::kShedLedgerMismatch));
+}
+
+TEST(InvariantChecker, LedgerEntryWithoutShedRecordIsCaught) {
+  InvariantChecker checker;
+  checker.add_job("phantom", 6000);
+
+  // The ledger claims a shed the trace never shows.
+  checker.note_shed_ledger(0, "phantom", 1000, /*takeover=*/false);
+
+  const auto violations = checker.finish();
+  EXPECT_TRUE(
+      has_violation(violations, InvariantChecker::kShedLedgerMismatch));
+}
+
+TEST(InvariantChecker, DoubleShedIsCaught) {
+  InvariantChecker checker;
+  checker.add_job("twice", 6000);
+
+  checker.record(at_tu(1), TraceKind::kShed, "twice", 1000, "overload");
+  checker.note_shed_ledger(0, "twice", 1000, /*takeover=*/false);
+  checker.record(at_tu(2), TraceKind::kShed, "twice", 1000, "overload");
+  checker.note_shed_ledger(0, "twice", 1000, /*takeover=*/false);
+
+  const auto violations = checker.finish();
+  EXPECT_TRUE(
+      has_violation(violations, InvariantChecker::kShedLedgerMismatch));
+}
+
+TEST(InvariantChecker, AdmittedDeadlineMissWhileSheddableServedIsCaught) {
+  InvariantChecker checker;
+  checker.add_job("vip", 6000);    // firm, deadline = release + 6tu
+  checker.add_job("filler", 6000);  // firm, never admitted
+
+  checker.record(at_tu(1), TraceKind::kAdmit, "vip", 1000);
+  // The forbidden behavior: the core serves non-admitted (sheddable) firm
+  // work to completion inside vip's scheduling window...
+  checker.record(at_tu(3), TraceKind::kComplete, "filler", 2000);
+  // ...and vip's deadline (t = 7tu) passes without a completion.
+  const auto violations = checker.finish();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_TRUE(
+      has_violation(violations, InvariantChecker::kAdmittedDeadlineMiss));
+}
+
+TEST(InvariantChecker, AdmittedDeadlineMissWithIdleCoresIsNotFlagged) {
+  // Same miss, but no sheddable work was served in the window: an admitted
+  // job missing on an underestimated cost is a policy outcome, not a
+  // forbidden behavior.
+  InvariantChecker checker;
+  checker.add_job("vip", 6000);
+
+  checker.record(at_tu(1), TraceKind::kAdmit, "vip", 1000);
+  EXPECT_TRUE(checker.finish().empty());
+}
+
+TEST(InvariantChecker, SheddableServedOnOtherCoreIsNotFlagged) {
+  // The deadline-miss check is per core: a different core serving its own
+  // sheddable backlog does not displace this core's admitted job.
+  InvariantChecker checker;
+  checker.add_job("vip", 6000);
+  checker.add_job("filler", 6000);
+
+  checker.set_core(0);
+  checker.record(at_tu(1), TraceKind::kAdmit, "vip", 1000);
+  checker.set_core(1);
+  checker.record(at_tu(3), TraceKind::kComplete, "filler", 2000);
+
+  EXPECT_TRUE(checker.finish().empty());
+}
+
+TEST(InvariantChecker, UnregisteredEntitiesAreIgnored) {
+  InvariantChecker checker;
+  checker.add_job("real", 6000);
+
+  // Periodic tasks and server fibers share the trace; none of their
+  // records may leak into the firm-job bookkeeping.
+  checker.record(at_tu(1), TraceKind::kShed, "tau0", 0, "not-a-job");
+  checker.record(at_tu(2), TraceKind::kComplete, "server", 0);
+  checker.record(at_tu(3), TraceKind::kComplete, "real", 1000);
+
+  EXPECT_TRUE(checker.finish().empty());
+}
+
+TEST(InvariantChecker, CoreSinksTagTheRightCore) {
+  InvariantChecker checker;
+  checker.add_job("a", 6000);
+
+  TraceSink* c0 = checker.core_sink(0);
+  TraceSink* c1 = checker.core_sink(1);
+  c0->record(at_tu(1), TraceKind::kShed, "a", 1000, "overload");
+  checker.note_shed_ledger(1, "a", 1000, /*takeover=*/false);
+  // Wrong core in the ledger: core 0 shed without an entry AND core 1 has
+  // an entry without a shed — two mismatches.
+  const auto violations = checker.finish();
+  EXPECT_EQ(violations.size(), 2u);
+  EXPECT_TRUE(
+      has_violation(violations, InvariantChecker::kShedLedgerMismatch));
+  (void)c1;
+}
+
+}  // namespace
+}  // namespace tsf::common

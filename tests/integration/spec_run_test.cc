@@ -141,6 +141,51 @@ TEST(SpecRunIntegration, GlobalPolicySpecMatchesGoldenReport) {
       });
 }
 
+// Storm specs (emitted by tools/make_storms.cc from the canonical
+// generator storms) run under overload = dover; every report must carry
+// the value-accrual ratio against the clairvoyant bound and a clean
+// forbidden-behavior line. Ratios pinned here are the same cells
+// bench/overload.cc gates, so a silent policy regression shows up twice.
+
+TEST(SpecRunIntegration, RouterStormSpecMatchesGoldenReport) {
+  check_policy_golden(
+      "examples/specs/mp_storm_router.tsf",
+      "tests/integration/golden/mp_storm_router.txt",
+      {
+          "overload (dover, threshold 0.75, period 6tu): 152 shed,"
+          " 3 takeovers",
+          "value accrual: 64.77 of clairvoyant bound 131.00 (ratio 0.494)",
+          "forbidden-behavior check: clean",
+          "trace fingerprint: ",
+      });
+}
+
+TEST(SpecRunIntegration, MarketStormSpecMatchesGoldenReport) {
+  check_policy_golden(
+      "examples/specs/mp_storm_market.tsf",
+      "tests/integration/golden/mp_storm_market.txt",
+      {
+          "overload (dover, threshold 0.75, period 6tu): 20 shed,"
+          " 0 takeovers",
+          "value accrual: 80.50 of clairvoyant bound 191.40 (ratio 0.421)",
+          "forbidden-behavior check: clean",
+          "trace fingerprint: ",
+      });
+}
+
+TEST(SpecRunIntegration, CascadeStormSpecMatchesGoldenReport) {
+  check_policy_golden(
+      "examples/specs/mp_storm_cascade.tsf",
+      "tests/integration/golden/mp_storm_cascade.txt",
+      {
+          "overload (dover, threshold 0.75, period 6tu): 122 shed,"
+          " 0 takeovers",
+          "value accrual: 102.78 of clairvoyant bound 148.79 (ratio 0.691)",
+          "forbidden-behavior check: clean",
+          "trace fingerprint: ",
+      });
+}
+
 TEST(SpecRunIntegration, RebalanceSpecMatchesGoldenReport) {
   check_policy_golden(
       "examples/specs/mp_rebalance.tsf",

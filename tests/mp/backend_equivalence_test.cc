@@ -19,7 +19,9 @@
 
 #include "common/sketch.h"
 #include "common/trace.h"
+#include "gen/storms.h"
 #include "mp/mp_system.h"
+#include "mp/overload.h"
 
 namespace tsf::mp {
 namespace {
@@ -83,6 +85,7 @@ model::SystemSpec busy_spec(int cores) {
 struct RunSignature {
   std::set<std::pair<std::string, std::int64_t>> served;
   std::set<std::pair<std::string, std::int64_t>> missed;
+  std::set<std::pair<std::string, std::int64_t>> shed;
   common::LogSketch responses;
   std::uint64_t fingerprint = 0;
 };
@@ -95,6 +98,8 @@ RunSignature signature_of(const MpRunResult& run) {
     if (job.served) {
       sig.served.insert(key);
       sig.responses.add(job.response().to_tu());
+    } else if (job.shed) {
+      sig.shed.insert(key);
     } else {
       sig.missed.insert(key);
     }
@@ -113,9 +118,10 @@ void expect_equivalent(const model::SystemSpec& spec,
   for (int repeat = 0; repeat < 3; ++repeat) {
     const auto threads = signature_of(run_partitioned_exec(spec, options));
     SCOPED_TRACE(std::string(label) + " repeat " + std::to_string(repeat));
-    // The contract: identical served/missed sets...
+    // The contract: identical served/missed/shed sets...
     EXPECT_EQ(threads.served, oracle.served);
     EXPECT_EQ(threads.missed, oracle.missed);
+    EXPECT_EQ(threads.shed, oracle.shed);
     // ...and response quantiles within the declared tolerance.
     for (const double q : {0.50, 0.95, 0.99}) {
       EXPECT_NEAR(threads.responses.quantile(q),
@@ -160,6 +166,45 @@ TEST(BackendEquivalence, SubQuantumEpochAndJitter) {
   options.quantum = common::Duration::from_tu(0.5);
   options.exec.cost_jitter = 0.2;
   expect_equivalent(busy_spec(2), options, "sub-quantum+jitter");
+}
+
+// Overloaded storm cells: while the governor sheds (or D-over rejects and
+// takes over), the threads backend must still replay the lock-step oracle
+// bit-for-bit — equal served/missed/shed sets AND equal fingerprints, so a
+// shed decision landing on a different epoch in either backend is a hard
+// failure, not a tolerance-shaped soft one.
+TEST(BackendEquivalence, OverloadStormShedding) {
+  const gen::StormShape shapes[] = {gen::StormShape::kRouterPacketStorm,
+                                    gen::StormShape::kMarketOpenBurst,
+                                    gen::StormShape::kCascadingFaultBurst};
+  for (const auto shape : shapes) {
+    gen::StormParams params;
+    params.shape = shape;
+    params.server_capacity = tu(1);
+    params.horizon_periods = 4;
+    // Hot enough that the utilization governor actually trips on the
+    // scaled-down 1tu replicas, not just the D-over admission test.
+    params.overload_factor = 4.0;
+    const auto spec = gen::make_storm(params);
+    for (const auto mode :
+         {exp::OverloadMode::kShed, exp::OverloadMode::kDover}) {
+      MpRunOptions options;
+      options.quantum = common::Duration::from_tu(0.5);
+      options.exec.overload.mode = mode;
+      options.exec.overload.threshold = 0.75;
+      options.exec.overload.period = tu(6);
+      const std::string label =
+          std::string("storm ") + gen::to_string(shape) + "/" +
+          exp::to_string(mode);
+      expect_equivalent(spec, options, label.c_str());
+
+      // The storm must actually exercise the policy in both backends.
+      options.backend = ExecBackend::kThreads;
+      const auto threads = run_partitioned_exec(spec, options);
+      EXPECT_FALSE(threads.merged.shed_events.empty()) << label;
+      EXPECT_TRUE(check_overload_invariants(spec, threads).empty()) << label;
+    }
+  }
 }
 
 TEST(BackendEquivalence, ThreadsBackendIsRunToRunDeterministic) {
