@@ -12,14 +12,16 @@
 #include <iostream>
 
 #include "common/table.h"
+#include "exp/bench_cli.h"
 #include "exp/shard.h"
 
 int main(int argc, char** argv) {
   using namespace tsf;
-  exp::ShardOptions shard;
+  exp::BenchCli cli(exp::BenchCli::kShard);
   for (int i = 1; i < argc; ++i) {
-    if (!exp::parse_shard_flag(argc, argv, &i, &shard)) return 2;
+    if (!cli.consume(argc, argv, &i)) return cli.fail("bench_ablation_margin");
   }
+  const exp::ShardOptions& shard = cli.shard;
   std::cout << "=== §7 extension: interruption-avoidance margin sweep ===\n"
             << "(PS executions, calibrated overheads)\n\n";
 

@@ -10,14 +10,16 @@
 #include <iostream>
 
 #include "common/table.h"
+#include "exp/bench_cli.h"
 #include "exp/shard.h"
 
 int main(int argc, char** argv) {
   using namespace tsf;
-  exp::ShardOptions shard;
+  exp::BenchCli cli(exp::BenchCli::kShard);
   for (int i = 1; i < argc; ++i) {
-    if (!exp::parse_shard_flag(argc, argv, &i, &shard)) return 2;
+    if (!cli.consume(argc, argv, &i)) return cli.fail("bench_ablation_overhead");
   }
+  const exp::ShardOptions& shard = cli.shard;
   std::cout << "=== Ablation: timer-fire overhead sweep (PS executions) ===\n"
             << "(jitter fixed at the calibrated 15%)\n\n";
 

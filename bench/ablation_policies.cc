@@ -11,16 +11,18 @@
 #include <iostream>
 
 #include "common/table.h"
+#include "exp/bench_cli.h"
 #include "exp/shard.h"
 
 int main(int argc, char** argv) {
   using namespace tsf;
   using common::Duration;
   using common::TimePoint;
-  exp::ShardOptions shard;
+  exp::BenchCli cli(exp::BenchCli::kShard);
   for (int i = 1; i < argc; ++i) {
-    if (!exp::parse_shard_flag(argc, argv, &i, &shard)) return 2;
+    if (!cli.consume(argc, argv, &i)) return cli.fail("bench_ablation_policies");
   }
+  const exp::ShardOptions& shard = cli.shard;
   std::cout << "=== Extension: server policy comparison (executions) ===\n"
             << "(paper sets + Table 1's periodic tasks tau1(2,6), tau2(1,6);"
                " background server runs below them)\n\n";

@@ -10,14 +10,16 @@
 #include <iostream>
 
 #include "common/table.h"
+#include "exp/bench_cli.h"
 #include "exp/shard.h"
 
 int main(int argc, char** argv) {
   using namespace tsf;
-  exp::ShardOptions shard;
+  exp::BenchCli cli(exp::BenchCli::kShard);
   for (int i = 1; i < argc; ++i) {
-    if (!exp::parse_shard_flag(argc, argv, &i, &shard)) return 2;
+    if (!cli.consume(argc, argv, &i)) return cli.fail("bench_ablation_queue");
   }
+  const exp::ShardOptions& shard = cli.shard;
   std::cout << "=== Ablation: pending-queue discipline (PS executions) ===\n\n";
 
   std::vector<exp::WorkUnit> units;

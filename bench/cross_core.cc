@@ -21,6 +21,7 @@
 #include "common/json_writer.h"
 #include "common/table.h"
 #include "common/trace.h"
+#include "exp/bench_cli.h"
 #include "exp/metrics.h"
 #include "mp/mp_system.h"
 
@@ -75,15 +76,11 @@ model::SystemSpec ping_pong_spec(int pairs) {
 int main(int argc, char** argv) {
   // --json FILE: emit the per-quantum latency quantiles in the tsf-bench/1
   // schema so CI can gate regressions against bench/baselines/.
-  std::string json_path;
+  exp::BenchCli cli(exp::BenchCli::kJson);
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else {
-      std::cerr << "usage: bench_cross_core [--json FILE]\n";
-      return 2;
-    }
+    if (!cli.consume(argc, argv, &i)) return cli.fail("bench_cross_core");
   }
+  const std::string& json_path = cli.json_path;
   constexpr int kPairs = 40;
   const auto spec = ping_pong_spec(kPairs);
   const auto partition =
@@ -104,8 +101,8 @@ int main(int argc, char** argv) {
   for (const double quantum : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0}) {
     mp::MpRunOptions options;
     options.quantum = tu(quantum);
-    const auto run = mp::run_partitioned_exec(spec, partition, options);
-    const auto rerun = mp::run_partitioned_exec(spec, partition, options);
+    const auto run = mp::run(spec, partition, options);
+    const auto rerun = mp::run(spec, partition, options);
     const bool stable = common::fingerprint(run.merged.timeline) ==
                         common::fingerprint(rerun.merged.timeline);
     const auto ch =

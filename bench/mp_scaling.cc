@@ -18,6 +18,7 @@
 #include "common/json_writer.h"
 #include "common/table.h"
 #include "common/trace.h"
+#include "exp/bench_cli.h"
 #include "exp/metrics.h"
 #include "gen/generator.h"
 #include "mp/mp_system.h"
@@ -63,15 +64,11 @@ std::size_t served_count(const model::RunResult& result) {
 int main(int argc, char** argv) {
   // --json FILE: emit the per-(policy, cores) served-event counts in the
   // tsf-bench/1 schema so CI can gate regressions against bench/baselines/.
-  std::string json_path;
+  exp::BenchCli cli(exp::BenchCli::kJson);
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else {
-      std::cerr << "usage: bench_mp_scaling [--json FILE]\n";
-      return 2;
-    }
+    if (!cli.consume(argc, argv, &i)) return cli.fail("bench_mp_scaling");
   }
+  const std::string& json_path = cli.json_path;
   std::cout << "=== partitioned multi-core scaling ===\n"
             << "(saturating aperiodic load: 6 ev/period/core x 1tu mean cost"
                " vs a 2tu/6tu server replica per core; 50 server periods;"
@@ -94,9 +91,11 @@ int main(int argc, char** argv) {
 
       mp::MpRunOptions options;
       options.strategy = mp::PackingStrategy::kWorstFitDecreasing;
-      const auto sim_run = mp::run_partitioned_sim(spec, options);
-      const auto exec_run = mp::run_partitioned_exec(spec, options);
-      const auto exec_rerun = mp::run_partitioned_exec(spec, options);
+      mp::MpRunOptions sim_options = options;
+      sim_options.engine = mp::RunEngine::kSim;
+      const auto sim_run = mp::run(spec, sim_options);
+      const auto exec_run = mp::run(spec, options);
+      const auto exec_rerun = mp::run(spec, options);
 
       Sample s;
       s.cores = cores;

@@ -25,6 +25,7 @@
 #include "common/json_writer.h"
 #include "common/table.h"
 #include "common/trace.h"
+#include "exp/bench_cli.h"
 #include "gen/storms.h"
 #include "mp/mp_system.h"
 #include "mp/overload.h"
@@ -53,11 +54,11 @@ Cell run_cell(const model::SystemSpec& spec, exp::OverloadMode mode) {
   options.exec.overload.threshold = 0.75;
   options.exec.overload.period = tu(6);
 
-  const auto run = mp::run_partitioned_exec(spec, options);
+  const auto run = mp::run(spec, options);
   Cell cell;
   const auto fp = common::fingerprint(run.merged.timeline);
   for (int rerun = 0; rerun < 2; ++rerun) {
-    const auto again = mp::run_partitioned_exec(spec, options);
+    const auto again = mp::run(spec, options);
     cell.stable =
         cell.stable && fp == common::fingerprint(again.merged.timeline);
   }
@@ -80,15 +81,11 @@ Cell run_cell(const model::SystemSpec& spec, exp::OverloadMode mode) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
+  exp::BenchCli cli(exp::BenchCli::kJson);
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else {
-      std::cerr << "usage: bench_overload [--json FILE]\n";
-      return 2;
-    }
+    if (!cli.consume(argc, argv, &i)) return cli.fail("bench_overload");
   }
+  const std::string& json_path = cli.json_path;
 
   const gen::StormShape shapes[] = {gen::StormShape::kRouterPacketStorm,
                                     gen::StormShape::kMarketOpenBurst,

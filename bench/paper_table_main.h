@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "common/table.h"
+#include "exp/bench_cli.h"
 #include "exp/shard.h"
 
 namespace tsf::bench {
@@ -26,10 +27,13 @@ inline int run_paper_table_bench(model::ServerPolicy policy,
                                  exp::Mode mode,
                                  const PaperReference& reference,
                                  int argc = 0, char** argv = nullptr) {
-  exp::ShardOptions shard;
+  exp::BenchCli cli(exp::BenchCli::kShard);
   for (int i = 1; i < argc; ++i) {
-    if (!exp::parse_shard_flag(argc, argv, &i, &shard)) return 2;
+    if (!cli.consume(argc, argv, &i)) {
+      return cli.fail(argv != nullptr ? argv[0] : "bench_table");
+    }
   }
+  const exp::ShardOptions& shard = cli.shard;
   const exp::ExecOptions options = mode == exp::Mode::kExecution
                                        ? exp::paper_execution_options()
                                        : exp::ExecOptions{};

@@ -83,8 +83,8 @@ Cell run_cell(const model::SystemSpec& spec, mp::SchedPolicy policy) {
   options.strategy = mp::PackingStrategy::kWorstFitDecreasing;
   options.policy = policy;
   options.quantum = tu(0.5);
-  const auto run = mp::run_partitioned_exec(spec, options);
-  const auto rerun = mp::run_partitioned_exec(spec, options);
+  const auto run = mp::run(spec, options);
+  const auto rerun = mp::run(spec, options);
 
   Cell cell;
   cell.stable = common::fingerprint(run.merged.timeline) ==

@@ -26,6 +26,7 @@
 #include "common/json_writer.h"
 #include "common/table.h"
 #include "common/trace.h"
+#include "exp/bench_cli.h"
 #include "exp/metrics.h"
 #include "mp/mp_system.h"
 
@@ -86,12 +87,12 @@ Cell run_cell(const model::SystemSpec& spec, mp::RebalanceMode mode) {
   options.rebalance.drift = 0.15;
   options.rebalance.period = tu(6);
 
-  const auto run = mp::run_partitioned_exec(spec, options);
+  const auto run = mp::run(spec, options);
   Cell cell;
   cell.stable = true;
   const auto fp = common::fingerprint(run.merged.timeline);
   for (int rerun = 0; rerun < 2; ++rerun) {
-    const auto again = mp::run_partitioned_exec(spec, options);
+    const auto again = mp::run(spec, options);
     cell.stable = cell.stable &&
                   fp == common::fingerprint(again.merged.timeline);
   }
@@ -121,15 +122,11 @@ Cell run_cell(const model::SystemSpec& spec, mp::RebalanceMode mode) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
+  exp::BenchCli cli(exp::BenchCli::kJson);
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else {
-      std::cerr << "usage: bench_rebalance [--json FILE]\n";
-      return 2;
-    }
+    if (!cli.consume(argc, argv, &i)) return cli.fail("bench_rebalance");
   }
+  const std::string& json_path = cli.json_path;
 
   constexpr int kBursts = 10;
   const auto spec = drift_spec(kBursts);

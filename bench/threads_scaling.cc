@@ -28,6 +28,7 @@
 #include "common/json_writer.h"
 #include "common/table.h"
 #include "common/trace.h"
+#include "exp/bench_cli.h"
 #include "gen/generator.h"
 #include "mp/mp_system.h"
 
@@ -79,7 +80,7 @@ struct Sample {
 double time_run(const model::SystemSpec& spec, const mp::MpRunOptions& options,
                 mp::MpRunResult* out) {
   const auto begin = std::chrono::steady_clock::now();
-  *out = mp::run_partitioned_exec(spec, options);
+  *out = mp::run(spec, options);
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        begin)
       .count();
@@ -88,15 +89,11 @@ double time_run(const model::SystemSpec& spec, const mp::MpRunOptions& options,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string json_path;
+  exp::BenchCli cli(exp::BenchCli::kJson);
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else {
-      std::cerr << "usage: bench_threads_scaling [--json FILE]\n";
-      return 2;
-    }
+    if (!cli.consume(argc, argv, &i)) return cli.fail("bench_threads_scaling");
   }
+  const std::string& json_path = cli.json_path;
   std::cout << "=== real-threads backend scaling ===\n"
             << "(saturating aperiodic load, Deferrable servers, 50 server"
                " periods; every threads run cross-validated against the"

@@ -33,6 +33,7 @@
 #include "common/trace_io.h"
 #include "common/trace_sink.h"
 #include "common/trace_stream.h"
+#include "exp/bench_cli.h"
 
 namespace {
 
@@ -82,8 +83,9 @@ double max_rss_mb() {
 int main(int argc, char** argv) {
   std::uint64_t count = 1'000'000;
   std::uint64_t entities = 64;
-  std::string out_path, json_path;
+  std::string out_path;
   double rss_limit_mb = 0.0;
+  tsf::exp::BenchCli cli(tsf::exp::BenchCli::kJson);
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -98,16 +100,15 @@ int main(int argc, char** argv) {
       entities = std::strtoull(next("--entities"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--out") == 0) {
       out_path = next("--out");
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      json_path = next("--json");
     } else if (std::strcmp(argv[i], "--rss-limit-mb") == 0) {
       rss_limit_mb = std::strtod(next("--rss-limit-mb"), nullptr);
-    } else {
-      std::cerr << "usage: bench_trace_stream [--count N] [--entities M]"
-                   " [--out FILE] [--rss-limit-mb N] [--json FILE]\n";
-      return 2;
+    } else if (!cli.consume(argc, argv, &i)) {
+      return cli.fail("bench_trace_stream",
+                      " [--count N] [--entities M] [--out FILE]"
+                      " [--rss-limit-mb N]");
     }
   }
+  const std::string& json_path = cli.json_path;
   if (count == 0 || entities == 0) {
     std::cerr << "--count and --entities must be positive\n";
     return 2;

@@ -227,8 +227,9 @@ std::string run_and_report(const CliConfig& config) {
     mp_options.quantum = config.quantum;
     mp_options.rebalance = config.rebalance;
     if (config.mode == RunMode::kSim || config.mode == RunMode::kBoth) {
-      const auto run = mp::run_partitioned_sim(config.spec, verdict.partition,
-                                               mp_options);
+      mp::MpRunOptions sim_options = mp_options;
+      sim_options.engine = mp::RunEngine::kSim;
+      const auto run = mp::run(config.spec, verdict.partition, sim_options);
       render_run(os, config, "partitioned simulation", run.merged);
       if (config.spec.uses_channels()) {
         os << "note: the simulator has no channel fabric — triggered and"
@@ -256,8 +257,7 @@ std::string run_and_report(const CliConfig& config) {
       if (config.backend == mp::ExecBackend::kThreads) {
         mp_options.metrics = &metrics;
       }
-      const auto run = mp::run_partitioned_exec(
-          config.spec, verdict.partition, mp_options);
+      const auto run = mp::run(config.spec, verdict.partition, mp_options);
       const std::string substrate =
           config.backend == mp::ExecBackend::kThreads
               ? "pinned worker threads"

@@ -1,9 +1,12 @@
 #include "cli/spec_file.h"
 
+#include <algorithm>
 #include <charconv>
 #include <fstream>
+#include <initializer_list>
 #include <set>
 #include <sstream>
+#include <vector>
 
 namespace tsf::cli {
 
@@ -23,6 +26,40 @@ std::string trim(const std::string& s) {
 std::string strip_comment(const std::string& s) {
   const auto hash = s.find('#');
   return hash == std::string::npos ? s : s.substr(0, hash);
+}
+
+// Levenshtein distance, for close-typo detection on key names.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+// " — did you mean 'X'?" when a known key is within edit distance 2 of the
+// typo ("overlaod" → "overload"), empty otherwise. Ties go to the first
+// candidate listed.
+std::string suggest(const std::string& key,
+                    std::initializer_list<const char*> known) {
+  const char* best = nullptr;
+  std::size_t best_distance = 3;
+  for (const char* candidate : known) {
+    const std::size_t d = edit_distance(key, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best == nullptr ? ""
+                         : std::string(" -- did you mean '") + best + "'?";
 }
 
 struct Parser {
@@ -137,7 +174,8 @@ struct Parser {
       } else if (value == "sporadic") {
         server.policy = model::ServerPolicy::kSporadic;
       } else {
-        error(line, "unknown policy '" + value + "'");
+        error(line, "unknown policy '" + value +
+                        "' (none|background|polling|deferrable|sporadic)");
       }
     } else if (key == "capacity") {
       parse_duration(line, value, &server.capacity);
@@ -157,10 +195,13 @@ struct Parser {
       } else if (value == "list-of-lists") {
         server.queue = model::QueueDiscipline::kListOfLists;
       } else {
-        error(line, "unknown queue discipline '" + value + "'");
+        error(line, "unknown queue discipline '" + value +
+                        "' (fifo|first-fit|list-of-lists)");
       }
     } else {
-      error(line, "unknown server key '" + key + "'");
+      error(line, "unknown server key '" + key + "'" +
+                      suggest(key, {"policy", "capacity", "period", "priority",
+                                    "margin", "strict", "queue"}));
     }
   }
 
@@ -188,7 +229,9 @@ struct Parser {
         }
       }
     } else {
-      error(line, "unknown task key '" + key + "'");
+      error(line, "unknown task key '" + key + "'" +
+                      suggest(key, {"period", "cost", "deadline", "priority",
+                                    "start", "affinity"}));
     }
   }
 
@@ -227,7 +270,10 @@ struct Parser {
         }
       }
     } else {
-      error(line, "unknown job key '" + key + "'");
+      error(line, "unknown job key '" + key + "'" +
+                      suggest(key, {"release", "fires", "triggered", "migrate",
+                                    "cost", "declared", "deadline", "value",
+                                    "affinity"}));
     }
   }
 
@@ -246,20 +292,32 @@ struct Parser {
       } else if (value == "both") {
         out.config.mode = RunMode::kBoth;
       } else {
-        error(line, "unknown mode '" + value + "'");
+        error(line, "unknown mode '" + value + "' (sim|exec|both)");
       }
     } else if (key == "overheads") {
       // The profile replaces the whole ExecOptions block; the overload
-      // policy is orthogonal and must survive either key order.
+      // policy and the batch limit are orthogonal and must survive either
+      // key order.
       const exp::OverloadConfig overload = out.config.exec_options.overload;
+      const int batch = out.config.exec_options.batch;
       if (value == "ideal") {
         out.config.exec_options = exp::ideal_execution_options();
       } else if (value == "paper") {
         out.config.exec_options = exp::paper_execution_options();
       } else {
-        error(line, "unknown overheads profile '" + value + "'");
+        error(line, "unknown overheads profile '" + value + "' (ideal|paper)");
       }
       out.config.exec_options.overload = overload;
+      out.config.exec_options.batch = batch;
+    } else if (key == "batch") {
+      int batch = 1;
+      if (parse_int(line, value, &batch)) {
+        if (batch < 1) {
+          error(line, "batch must be at least 1 (1 = per-event dispatch)");
+        } else {
+          out.config.exec_options.batch = batch;
+        }
+      }
     } else if (key == "gantt") {
       parse_bool(line, value, &out.config.gantt);
     } else if (key == "cores") {
@@ -355,10 +413,18 @@ struct Parser {
       } else if (value == "bfd" || value == "best-fit") {
         out.config.partition = mp::PackingStrategy::kBestFitDecreasing;
       } else {
-        error(line, "unknown partition heuristic '" + value + "'");
+        error(line, "unknown partition heuristic '" + value +
+                        "' (ffd|wfd|bfd|first-fit|worst-fit|best-fit)");
       }
     } else {
-      error(line, "unknown run key '" + key + "'");
+      error(line, "unknown run key '" + key + "'" +
+                      suggest(key, {"horizon", "mode", "overheads", "batch",
+                                    "gantt", "cores", "quantum",
+                                    "channel_latency", "policy", "backend",
+                                    "rebalance", "rebalance_drift",
+                                    "rebalance_period", "overload",
+                                    "overload_threshold", "overload_period",
+                                    "partition"}));
     }
   }
 
@@ -421,6 +487,13 @@ struct Parser {
             "backend = threads applies to the execution engine (mode = "
             "exec|both)");
       }
+    }
+    if (out.config.exec_options.batch > 1 &&
+        out.config.mode == RunMode::kSim) {
+      // The simulator has no dispatch overhead to amortize; a batch > 1 in
+      // a sim-only run is a mistake worth flagging, not silently ignoring.
+      out.errors.push_back(
+          "batch applies to the execution engine (mode = exec|both)");
     }
     if (out.config.rebalance.mode != mp::RebalanceMode::kOff &&
         out.config.spec.cores <= 1) {

@@ -1,0 +1,116 @@
+#include "common/arena.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/diag.h"
+
+namespace tsf::common {
+
+namespace {
+
+constexpr std::size_t kSlabAlign = 4096;
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t slab_bytes) : slab_bytes_(slab_bytes) {
+  TSF_ASSERT(slab_bytes_ >= kMinClassBytes, "arena slab too small");
+}
+
+Arena::~Arena() {
+  Slab* s = slabs_;
+  while (s != nullptr) {
+    Slab* next = s->next;
+    ::operator delete(s, std::align_val_t{kSlabAlign});
+    s = next;
+  }
+}
+
+int Arena::class_of(std::size_t bytes) {
+  if (bytes < kMinClassBytes) bytes = kMinClassBytes;
+  const int shift = std::bit_width(bytes - 1) < kMinShift
+                        ? kMinShift
+                        : std::bit_width(bytes - 1);
+  TSF_ASSERT(shift <= kMaxShift, "arena block of " << bytes << " bytes "
+                                 << "exceeds the 64 MiB single-block ceiling");
+  return shift - kMinShift;
+}
+
+Arena::Slab* Arena::new_slab(std::size_t min_capacity) {
+  const std::size_t header = round_up(sizeof(Slab), kMinClassBytes);
+  const std::size_t capacity =
+      min_capacity > slab_bytes_ ? min_capacity : slab_bytes_;
+  const std::size_t total = round_up(header + capacity, kSlabAlign);
+  void* raw = ::operator new(total, std::align_val_t{kSlabAlign});
+  Slab* slab = static_cast<Slab*>(raw);
+  slab->next = slabs_;
+  slab->capacity = total - header;
+  slab->used = 0;
+  slabs_ = slab;
+  ++slab_count_;
+  bytes_reserved_ += total;
+  return slab;
+}
+
+void* Arena::bump(std::size_t bytes, std::size_t align) {
+  Slab* slab = slabs_;
+  if (slab != nullptr) {
+    const std::size_t header = round_up(sizeof(Slab), kMinClassBytes);
+    const auto base = reinterpret_cast<std::uintptr_t>(slab) + header;
+    const std::size_t aligned =
+        round_up(base + slab->used, align) - base;
+    if (aligned + bytes <= slab->capacity) {
+      slab->used = aligned + bytes;
+      return reinterpret_cast<void*>(base + aligned);
+    }
+  }
+  // A fresh slab's data start is kSlabAlign-aligned (header is a multiple
+  // of kMinClassBytes; bump from offset 0 keeps class-size multiples
+  // aligned because `align` <= kSlabAlign and the header rounds to it
+  // below). Over-provision so the block fits whatever the alignment costs.
+  Slab* fresh = new_slab(bytes + align);
+  const std::size_t header = round_up(sizeof(Slab), kMinClassBytes);
+  const auto base = reinterpret_cast<std::uintptr_t>(fresh) + header;
+  const std::size_t aligned = round_up(base, align) - base;
+  fresh->used = aligned + bytes;
+  return reinterpret_cast<void*>(base + aligned);
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  TSF_ASSERT(align <= kSlabAlign && (align & (align - 1)) == 0,
+             "unsupported arena alignment " << align);
+  // The class is keyed on max(bytes, align) so a freelisted block of class
+  // k is always at least min(2^k, 4096)-aligned and serves any same-class
+  // request regardless of which alignment first carved it.
+  const int cls = class_of(bytes > align ? bytes : align);
+  if (FreeNode* node = free_[cls]) {
+    free_[cls] = node->next;
+    ++freelist_hits_;
+    return node;
+  }
+  ++fresh_blocks_;
+  const std::size_t block = class_bytes(cls);
+  const std::size_t block_align = block < kSlabAlign ? block : kSlabAlign;
+  return bump(block, block_align);
+}
+
+void Arena::deallocate(void* p, std::size_t bytes, std::size_t align) {
+  if (p == nullptr) return;
+  // Same class key as allocate, or an over-aligned block would drift into a
+  // smaller class on release and never be found by its own class again.
+  const int cls = class_of(bytes > align ? bytes : align);
+  FreeNode* node = static_cast<FreeNode*>(p);
+  node->next = free_[cls];
+  free_[cls] = node;
+}
+
+void Arena::reset() {
+  std::memset(free_, 0, sizeof(free_));
+  for (Slab* s = slabs_; s != nullptr; s = s->next) s->used = 0;
+}
+
+}  // namespace tsf::common

@@ -1,0 +1,51 @@
+// A non-owning callable reference — std::function minus the ownership and
+// the heap.
+//
+// The servers rebuild their admission predicates (FitsFn) every activation
+// and hand them to PendingQueue::pop_fitting for the duration of one call;
+// std::function would copy the closure onto the heap whenever it outgrows
+// the small-object buffer, which is exactly the per-event allocation the
+// zero-alloc hot path forbids. FunctionRef stores two raw pointers
+// (closure, trampoline), so binding is free and allocation-impossible.
+//
+// Lifetime contract: the referenced callable must outlive every call
+// through the FunctionRef. Binding a temporary lambda in a call expression
+// is fine (the temporary lives to the end of the full expression); storing
+// a FunctionRef beyond the statement that created it is not.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace tsf::common {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = delete;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* object, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace tsf::common

@@ -25,11 +25,15 @@ void BackgroundServer::on_release(const Request& request) {
 
 void BackgroundServer::serve() {
   serving_ = true;
-  const FitsFn everything = [](rtsj::RelativeTime) { return true; };
-  while (auto request = queue_->pop_fitting(everything)) {
+  const auto everything = [](rtsj::RelativeTime) { return true; };
+  const auto follow = [](rtsj::RelativeTime, rtsj::RelativeTime) {
+    return true;
+  };
+  while (const std::size_t n = collect_batch(everything, follow)) {
     // Unbounded budget: background execution is never interrupted, it is
-    // merely preempted by every other task in the system.
-    dispatch(*request, rtsj::RelativeTime::infinite());
+    // merely preempted by every other task in the system. Batching still
+    // pays off — the per-dispatch overhead is charged once per burst.
+    dispatch_batch(n, rtsj::RelativeTime::infinite());
   }
   serving_ = false;
 }

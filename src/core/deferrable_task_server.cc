@@ -59,7 +59,7 @@ void DeferrableTaskServer::serve() {
                  ? remaining_ + params_.capacity()
                  : remaining_;
     };
-    const FitsFn fits = [&](rtsj::RelativeTime cost) {
+    const auto fits = [&](rtsj::RelativeTime cost) {
       // §7's interruption-avoidance margin (zero by default).
       const rtsj::RelativeTime padded = cost + params_.admission_margin();
       if (padded <= remaining_) return true;
@@ -73,12 +73,20 @@ void DeferrableTaskServer::serve() {
       }
       return true;
     };
-    auto request = queue_->pop_fitting(fits);
-    if (!request) break;
+    // Followers may only join a burst that stays strictly within the
+    // remaining capacity — a boundary-spanning head (extended budget) is
+    // always served solo, preserving §4.2's one-event spanning rule.
+    const auto follow_fits = [&](rtsj::RelativeTime cost,
+                                 rtsj::RelativeTime planned) {
+      return planned + cost + params_.admission_margin() <= remaining_;
+    };
+    const std::size_t n = collect_batch(fits, follow_fits);
+    if (n == 0) break;
 
-    const rtsj::RelativeTime budget = budget_for(request->handler->cost());
+    const rtsj::RelativeTime budget =
+        n == 1 ? budget_for(batch_[0].handler->cost()) : remaining_;
     const rtsj::AbsoluteTime t0 = vm_.now();
-    const DispatchResult r = dispatch(*request, budget);
+    const DispatchResult r = dispatch_batch(n, budget);
     // Wall-clock capacity accounting across a possible replenishment: only
     // consumption after the most recent replenishment matters.
     if (last_replenish_ > t0) {

@@ -14,7 +14,7 @@ rtsj::RelativeTime declared(const Request& r) {
 
 // Shared steal scan over one deque: removes the request `before` ranks
 // first among the `eligible` ones.
-std::optional<Request> steal_from(std::deque<Request>& q,
+std::optional<Request> steal_from(RequestDeque& q,
                                   const StealEligibleFn& eligible,
                                   const StealBeforeFn& before) {
   auto best = q.end();
@@ -30,14 +30,15 @@ std::optional<Request> steal_from(std::deque<Request>& q,
 }  // namespace
 
 std::unique_ptr<PendingQueue> PendingQueue::make(
-    model::QueueDiscipline discipline, rtsj::RelativeTime capacity) {
+    model::QueueDiscipline discipline, rtsj::RelativeTime capacity,
+    common::Arena* arena) {
   switch (discipline) {
     case model::QueueDiscipline::kStrictFifo:
-      return std::make_unique<StrictFifoQueue>();
+      return std::make_unique<StrictFifoQueue>(arena);
     case model::QueueDiscipline::kFifoFirstFit:
-      return std::make_unique<FifoFirstFitQueue>();
+      return std::make_unique<FifoFirstFitQueue>(arena);
     case model::QueueDiscipline::kListOfLists:
-      return std::make_unique<ListOfListsQueue>(capacity);
+      return std::make_unique<ListOfListsQueue>(capacity, arena);
   }
   TSF_PANIC("unknown queue discipline");
 }
@@ -92,8 +93,12 @@ void FifoFirstFitQueue::visit(
   for (const auto& r : q_) fn(r);
 }
 
-ListOfListsQueue::ListOfListsQueue(rtsj::RelativeTime capacity)
-    : capacity_(capacity) {
+ListOfListsQueue::ListOfListsQueue(rtsj::RelativeTime capacity,
+                                   common::Arena* arena)
+    : capacity_(capacity),
+      alloc_(arena),
+      active_(alloc_),
+      buckets_(common::ArenaAllocator<Bucket>(arena)) {
   TSF_ASSERT(capacity_ > rtsj::RelativeTime::zero(),
              "list-of-lists queue needs a positive capacity");
 }
@@ -107,13 +112,20 @@ void ListOfListsQueue::append(Request r) {
     return;
   }
   if (buckets_.empty() || buckets_.back().load + c > capacity_) {
-    buckets_.emplace_back();
+    buckets_.emplace_back(alloc_);
   }
   buckets_.back().load += c;
   buckets_.back().items.push_back(std::move(r));
 }
 
 void ListOfListsQueue::push(Request r) { append(std::move(r)); }
+
+void ListOfListsQueue::requeue(Request r) {
+  // The batched dispatcher only requeues requests it popped from the active
+  // instance this very activation, so the front of the active list is their
+  // original place (requeue happens in reverse pop order).
+  active_.push_front(std::move(r));
+}
 
 std::optional<Request> ListOfListsQueue::pop_fitting(const FitsFn& fits) {
   if (active_.empty() || !fits(declared(active_.front()))) return std::nullopt;
@@ -192,7 +204,7 @@ void ListOfListsQueue::visit(
 void ListOfListsQueue::begin_instance() {
   // Leftovers of the previous instance (possible only under overhead or
   // under-declared costs) are re-registered like fresh releases.
-  std::deque<Request> leftovers;
+  RequestDeque leftovers(alloc_);
   leftovers.swap(active_);
   for (auto& r : leftovers) append(std::move(r));
   if (!buckets_.empty()) {

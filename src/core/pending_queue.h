@@ -15,6 +15,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/function_ref.h"
 #include "model/spec.h"
 #include "rtsj/time.h"
 
@@ -31,18 +33,33 @@ struct Request {
 
 // Predicate deciding whether a request with the given declared cost can be
 // dispatched right now (the servers encode their capacity rules here).
-using FitsFn = std::function<bool(rtsj::RelativeTime declared_cost)>;
+// Non-owning (common::FunctionRef): the servers rebuild these per
+// activation on the hot path, so binding must never allocate — pass
+// lambdas in the call expression or keep the lambda alive alongside.
+using FitsFn = common::FunctionRef<bool(rtsj::RelativeTime declared_cost)>;
 
 // Work-stealing selectors (mp semi-partitioned policy): which pending
 // requests may leave this core, and which of two ranks first.
-using StealEligibleFn = std::function<bool(const Request&)>;
-using StealBeforeFn = std::function<bool(const Request&, const Request&)>;
+using StealEligibleFn = common::FunctionRef<bool(const Request&)>;
+using StealBeforeFn =
+    common::FunctionRef<bool(const Request&, const Request&)>;
+
+// The request containers: deque chunks come from the owning server's arena
+// (freelist-recycled, so steady-state push/pop touches no heap); with a
+// null arena they fall back to the global heap.
+using RequestDeque = std::deque<Request, common::ArenaAllocator<Request>>;
 
 class PendingQueue {
  public:
   virtual ~PendingQueue() = default;
 
   virtual void push(Request r) = 0;
+  // Returns a popped-but-unserved request to the *front* of the service
+  // order (the batched dispatcher's interrupted-tail path: requests behind
+  // an interrupted batch member never started and must not lose their
+  // place). Call in reverse pop order to restore the original sequence.
+  // Default: plain push (disciplines without a meaningful front).
+  virtual void requeue(Request r) { push(std::move(r)); }
   // Removes and returns the next dispatchable request, or nullopt when no
   // queued request satisfies `fits`.
   virtual std::optional<Request> pop_fitting(const FitsFn& fits) = 0;
@@ -70,14 +87,20 @@ class PendingQueue {
   // list-of-lists queue reacts (it rotates to the next instance bucket).
   virtual void begin_instance() {}
 
+  // `arena`, when non-null, backs the queue's request storage (one arena
+  // per owning server; the queue must not outlive it).
   static std::unique_ptr<PendingQueue> make(model::QueueDiscipline discipline,
-                                            rtsj::RelativeTime capacity);
+                                            rtsj::RelativeTime capacity,
+                                            common::Arena* arena = nullptr);
 };
 
 // Serve strictly in release order; an oversized head blocks everything.
 class StrictFifoQueue : public PendingQueue {
  public:
+  explicit StrictFifoQueue(common::Arena* arena = nullptr)
+      : q_(common::ArenaAllocator<Request>(arena)) {}
   void push(Request r) override { q_.push_back(std::move(r)); }
+  void requeue(Request r) override { q_.push_front(std::move(r)); }
   std::optional<Request> pop_fitting(const FitsFn& fits) override;
   bool empty() const override { return q_.empty(); }
   std::size_t size() const override { return q_.size(); }
@@ -87,13 +110,16 @@ class StrictFifoQueue : public PendingQueue {
   void visit(const std::function<void(const Request&)>& fn) const override;
 
  private:
-  std::deque<Request> q_;
+  RequestDeque q_;
 };
 
 // The paper's chooseNextEvent(): first request (in release order) that fits.
 class FifoFirstFitQueue : public PendingQueue {
  public:
+  explicit FifoFirstFitQueue(common::Arena* arena = nullptr)
+      : q_(common::ArenaAllocator<Request>(arena)) {}
   void push(Request r) override { q_.push_back(std::move(r)); }
+  void requeue(Request r) override { q_.push_front(std::move(r)); }
   std::optional<Request> pop_fitting(const FitsFn& fits) override;
   bool empty() const override { return q_.empty(); }
   std::size_t size() const override { return q_.size(); }
@@ -103,7 +129,7 @@ class FifoFirstFitQueue : public PendingQueue {
   void visit(const std::function<void(const Request&)>& fn) const override;
 
  private:
-  std::deque<Request> q_;
+  RequestDeque q_;
 };
 
 // §7: a list of lists of handlers, each inner list holding at most one
@@ -116,9 +142,12 @@ class FifoFirstFitQueue : public PendingQueue {
 // equation (5) (see ResponseTimePredictor).
 class ListOfListsQueue : public PendingQueue {
  public:
-  explicit ListOfListsQueue(rtsj::RelativeTime capacity);
+  explicit ListOfListsQueue(rtsj::RelativeTime capacity,
+                            common::Arena* arena = nullptr);
 
   void push(Request r) override;
+  // Back to the front of the active instance (batched-dispatch tail).
+  void requeue(Request r) override;
   // Serves only the active instance's list (detached at begin_instance).
   std::optional<Request> pop_fitting(const FitsFn& fits) override;
   bool empty() const override;
@@ -150,15 +179,20 @@ class ListOfListsQueue : public PendingQueue {
 
  private:
   struct Bucket {
-    std::deque<Request> items;
+    RequestDeque items;
     rtsj::RelativeTime load = rtsj::RelativeTime::zero();
+    explicit Bucket(common::ArenaAllocator<Request> alloc)
+        : items(std::move(alloc)) {}
   };
 
   void append(Request r);
 
   rtsj::RelativeTime capacity_;
-  std::deque<Request> active_;  // the instance currently being served
-  std::deque<Bucket> buckets_;  // future instances, in order
+  common::ArenaAllocator<Request> alloc_;
+  RequestDeque active_;  // the instance currently being served
+  // Future instances, in order (the buckets' own deque chunks come from
+  // the same arena as their items).
+  std::deque<Bucket, common::ArenaAllocator<Bucket>> buckets_;
   // Requests whose declared cost exceeds the capacity violate the
   // framework's §4 constraint and can never be served; they are parked here
   // (reported by size()/drain()) instead of wasting a whole instance.

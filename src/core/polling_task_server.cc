@@ -29,14 +29,21 @@ void PollingTaskServer::run(rtsj::RealtimeThread& thread) {
     queue_->begin_instance();
 
     // §7's interruption-avoidance margin keeps headroom between the
-    // declared cost and the budget (zero by default).
-    const FitsFn fits = [this](rtsj::RelativeTime declared_cost) {
+    // declared cost and the budget (zero by default). Followers of a batch
+    // see the burst's cumulative declared cost, so a group obeys exactly
+    // the rule each member would alone.
+    const auto fits = [this](rtsj::RelativeTime declared_cost) {
       return declared_cost + params_.admission_margin() <= remaining_;
     };
-    while (auto request = queue_->pop_fitting(fits)) {
-      // The Timed budget is the remaining capacity: the handler may overrun
+    const auto follow_fits = [this](rtsj::RelativeTime declared_cost,
+                                    rtsj::RelativeTime planned) {
+      return planned + declared_cost + params_.admission_margin() <=
+             remaining_;
+    };
+    while (const std::size_t n = collect_batch(fits, follow_fits)) {
+      // The Timed budget is the remaining capacity: the burst may overrun
       // its declared cost up to the capacity's slack before the AIE fires.
-      const DispatchResult r = dispatch(*request, remaining_);
+      const DispatchResult r = dispatch_batch(n, remaining_);
       remaining_ = common::max(remaining_ - r.elapsed,
                                rtsj::RelativeTime::zero());
       vm_.trace().record(vm_.now(), common::TraceKind::kCapacity,

@@ -26,8 +26,12 @@ void SporadicTaskServer::on_release(const Request& request) {
 void SporadicTaskServer::serve() {
   serving_ = true;
   if (!params_.poll_overhead().is_zero()) vm_.work(params_.poll_overhead());
+  // No batching here: SS replenishment is per-dispatch (the consumed amount
+  // returns one period after each burst began), so grouping dispatches
+  // would change the replenishment schedule itself — batch_limit is
+  // documented as inapplicable to the sporadic policy.
   for (;;) {
-    const FitsFn fits = [this](rtsj::RelativeTime cost) {
+    const auto fits = [this](rtsj::RelativeTime cost) {
       return cost + params_.admission_margin() <= remaining_;
     };
     auto request = queue_->pop_fitting(fits);

@@ -11,8 +11,14 @@ TaskServer::TaskServer(rtsj::vm::VirtualMachine& machine,
              "server " << params_.name() << " needs a positive capacity");
   TSF_ASSERT(params_.period() >= params_.capacity(),
              "server " << params_.name() << " capacity exceeds its period");
-  queue_ = PendingQueue::make(params_.queue_discipline(), params_.capacity());
+  queue_ = PendingQueue::make(params_.queue_discipline(), params_.capacity(),
+                              &arena_);
   remaining_ = params_.capacity();
+  batch_.reserve(static_cast<std::size_t>(params_.batch_limit()));
+}
+
+void TaskServer::reserve(std::size_t expected_requests) {
+  outcomes_.reserve(expected_requests);
 }
 
 void TaskServer::servable_event_released(
@@ -168,6 +174,101 @@ TaskServer::DispatchResult TaskServer::dispatch(const Request& request,
   DispatchResult result;
   result.elapsed = t1 - t0;
   result.served = completed;
+  return result;
+}
+
+std::size_t TaskServer::collect_batch(const FitsFn& head_fits,
+                                      const BatchFitsFn& follow_fits) {
+  batch_.clear();
+  const std::size_t limit = static_cast<std::size_t>(params_.batch_limit());
+  rtsj::RelativeTime planned = rtsj::RelativeTime::zero();
+  while (batch_.size() < limit) {
+    std::optional<Request> r =
+        batch_.empty()
+            ? queue_->pop_fitting(head_fits)
+            : queue_->pop_fitting([&](rtsj::RelativeTime cost) {
+                return follow_fits(cost, planned);
+              });
+    if (!r.has_value()) break;
+    planned += r->handler->cost();
+    batch_.push_back(std::move(*r));
+  }
+  return batch_.size();
+}
+
+TaskServer::DispatchResult TaskServer::dispatch_batch(
+    std::size_t count, rtsj::RelativeTime budget) {
+  TSF_ASSERT(count >= 1 && count <= batch_.size(),
+             "dispatch_batch of " << count << " with " << batch_.size()
+                                  << " collected");
+  // One collected request is exactly the classic path — same call sequence,
+  // same trace, so batch = 1 keeps today's fingerprints bit-for-bit.
+  if (count == 1) return dispatch(batch_[0], budget);
+
+  ++dispatches_;
+  if (!params_.dispatch_overhead().is_zero()) {
+    vm_.work(params_.dispatch_overhead());
+  }
+  const rtsj::AbsoluteTime batch_t0 = vm_.now();
+  std::size_t started = 0;    // members whose label window opened
+  std::size_t completed = 0;  // members whose body ran to the end
+  rtsj::AbsoluteTime member_t0 = batch_t0;
+
+  rtsj::Timed timed(vm_, budget);
+  rtsj::InterruptibleFn body([&](rtsj::Timed& t) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const Request& r = batch_[i];
+      vm_.set_label(r.handler->name());
+      member_t0 = vm_.now();
+      started = i + 1;
+      r.handler->run_logic(t);
+      const rtsj::AbsoluteTime t1 = vm_.now();
+      vm_.set_label(params_.name());
+      model::JobOutcome out;
+      out.name = r.handler->name();
+      out.release = r.release;
+      out.cost = r.handler->cost();
+      out.start = member_t0;
+      out.served = true;
+      out.completion = t1;
+      ++served_;
+      // At the member's true instant, after its label window closed — the
+      // same ordering dispatch() produces.
+      vm_.trace().record(t1, common::TraceKind::kComplete,
+                         r.handler->name(), r.release.ticks());
+      outcomes_.push_back(std::move(out));
+      completed = i + 1;
+    }
+  });
+  const bool all = timed.do_interruptible(body);
+  const rtsj::AbsoluteTime t_end = vm_.now();
+  vm_.set_label(params_.name());
+
+  if (!all) {
+    // The member that was running when the budget expired.
+    TSF_ASSERT(started == completed + 1, "interrupted batch bookkeeping");
+    const Request& r = batch_[completed];
+    model::JobOutcome out;
+    out.name = r.handler->name();
+    out.release = r.release;
+    out.cost = r.handler->cost();
+    out.start = member_t0;
+    out.interrupted = true;
+    ++interrupted_;
+    vm_.trace().record(t_end, common::TraceKind::kAbort,
+                       r.handler->name(), r.release.ticks());
+    outcomes_.push_back(std::move(out));
+    // The unstarted tail never began service: back to the front of the
+    // queue, reverse order restoring the original sequence. Exactly-once
+    // ledgers are untouched — these requests were neither served nor shed.
+    for (std::size_t i = count; i > started; --i) {
+      queue_->requeue(std::move(batch_[i - 1]));
+    }
+  }
+
+  DispatchResult result;
+  result.elapsed = t_end - batch_t0;
+  result.served = all;
   return result;
 }
 

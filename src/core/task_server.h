@@ -140,6 +140,13 @@ class TaskServer : public rtsj::Schedulable, public rtsj::Scheduler {
   rtsj::vm::VirtualMachine& machine() { return vm_; }
   const rtsj::vm::VirtualMachine& machine() const { return vm_; }
 
+ public:
+  // Pre-sizes the outcome ledgers for an expected request count so the
+  // steady-state serve loop never grows a vector mid-run (the zero-alloc
+  // contract the interposer test asserts). Optional; vectors still grow
+  // past the reservation as usual.
+  void reserve(std::size_t expected_requests);
+
  protected:
   struct DispatchResult {
     rtsj::RelativeTime elapsed = rtsj::RelativeTime::zero();
@@ -151,6 +158,25 @@ class TaskServer : public rtsj::Schedulable, public rtsj::Scheduler {
   // the paper's implementation does. Records the outcome.
   DispatchResult dispatch(const Request& request, rtsj::RelativeTime budget);
 
+  // Pops up to params_.batch_limit() requests into batch_: the head via
+  // `head_fits` (the policy's full single-request rule), followers via
+  // `follow_fits`, which sees the batch's cumulative declared cost so the
+  // group as a whole still obeys the capacity rule. Returns batch_.size().
+  using BatchFitsFn =
+      common::FunctionRef<bool(rtsj::RelativeTime declared_cost,
+                               rtsj::RelativeTime planned)>;
+  std::size_t collect_batch(const FitsFn& head_fits,
+                            const BatchFitsFn& follow_fits);
+
+  // Serves batch_[0..count) under ONE Timed(budget) section, charging
+  // dispatch_overhead once for the whole burst — the §7 bind/dispatch
+  // amortization. Each member gets its own label window, start/completion
+  // instants and kComplete record, emitted at its true instant inside the
+  // section. count == 1 is exactly dispatch(). If the section's budget
+  // expires mid-batch, the running member is recorded interrupted and the
+  // unstarted tail goes back to the front of the queue untouched.
+  DispatchResult dispatch_batch(std::size_t count, rtsj::RelativeTime budget);
+
   // Policy hook invoked on every release (after queueing). The Polling
   // Server ignores it; event-driven servers wake up.
   virtual void on_release(const Request& request) = 0;
@@ -161,7 +187,11 @@ class TaskServer : public rtsj::Schedulable, public rtsj::Scheduler {
 
   rtsj::vm::VirtualMachine& vm_;
   TaskServerParameters params_;
+  // Backs the pending queue's request storage; declared before queue_ so
+  // the queue (whose deques deallocate into it) dies first.
+  common::Arena arena_;
   std::unique_ptr<PendingQueue> queue_;
+  std::vector<Request> batch_;  // collect_batch scratch, reused per burst
   rtsj::RelativeTime remaining_ = rtsj::RelativeTime::zero();
   std::uint64_t released_ = 0;
   rtsj::RelativeTime released_cost_ = rtsj::RelativeTime::zero();

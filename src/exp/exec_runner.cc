@@ -58,7 +58,13 @@ std::unique_ptr<core::TaskServer> make_server(
       .set_strict_capacity(spec.strict_capacity)
       .set_admission_margin(spec.admission_margin)
       .set_poll_overhead(options.poll_overhead)
-      .set_dispatch_overhead(options.dispatch_overhead);
+      .set_dispatch_overhead(options.dispatch_overhead)
+      // D-over triages admission per event (its requeue path would re-run
+      // the LST test and double-book the value ledger), so it pins the
+      // per-event dispatch path regardless of the requested batch.
+      .set_batch_limit(options.overload.mode == OverloadMode::kDover
+                           ? 1
+                           : options.batch);
   switch (spec.policy) {
     case model::ServerPolicy::kPolling:
       return std::make_unique<core::PollingTaskServer>(vm, params);
@@ -87,6 +93,21 @@ ExecSystem::ExecSystem(rtsj::vm::VirtualMachine& vm,
   // Periodic tasks.
   threads_.reserve(spec_.periodic_tasks.size());
   for (const auto& t : spec_.periodic_tasks) build_task(t);
+
+  // Steady-state reservations: size every vector that grows during the run
+  // up front, so the epoch loop itself never reallocates (the zero-alloc
+  // hot-path contract asserted by exec_alloc_test). Re-fires and delivered
+  // jobs can exceed these, which merely degrades to amortized growth.
+  std::size_t periodic_outcomes = 0;
+  for (const auto& t : spec_.periodic_tasks) {
+    if (t.period.is_zero() || spec_.horizon <= t.start) continue;
+    periodic_outcomes += static_cast<std::size_t>(
+        (spec_.horizon - t.start).count() / t.period.count()) + 1;
+  }
+  result_.periodic_jobs.reserve(periodic_outcomes);
+  if (server_ != nullptr) {
+    server_->reserve(spec_.aperiodic_jobs.size());
+  }
 
   // Aperiodic jobs: one SAE + SAEH each; a release timer unless the job is
   // triggered (released only by a channel delivery or another job's fire).

@@ -52,6 +52,12 @@ struct ExecOptions {
   // pending queue for the D-over discipline at construction; kShed is acted
   // on by the mp layer's OverloadGovernor at epoch boundaries.
   OverloadConfig overload;
+  // Burst batching ([run] batch): the server dispatches up to this many
+  // pending releases under one Timed section, charging dispatch_overhead
+  // once per batch. 1 reproduces per-event dispatch bit-for-bit. Ignored
+  // under overload = dover (D-over's admission/LST triage is inherently
+  // per-event) and by the sporadic server (per-dispatch replenishment).
+  int batch = 1;
 };
 
 // One job's actual demand under ExecOptions::cost_jitter: the cost scaled

@@ -85,9 +85,9 @@ ShardOutcome run_units(const std::vector<WorkUnit>& units,
                        const ShardOptions& options = {});
 
 // `--jobs N` / `--in-process` from a bench/tool argv. Returns false (with a
-// message on stderr) on a malformed value or an argument it doesn't know —
-// callers with flags of their own must check those *before* delegating here
-// (the way tools/tsf_tables.cc does).
+// message on stderr) on a malformed value or an argument it doesn't know.
+// Bench mains should prefer exp::BenchCli (exp/bench_cli.h), which folds
+// this into the shared flag vocabulary with one usage/error path.
 bool parse_shard_flag(int argc, char** argv, int* i, ShardOptions* options);
 
 }  // namespace tsf::exp

@@ -81,7 +81,7 @@ class ChannelFabric {
 
   std::size_t cores() const { return mailboxes_.size(); }
 
-  // --- wiring (done by MultiVm / run_partitioned_exec before start) ---
+  // --- wiring (done by MultiVm / mp::run before start) ---
 
   // The outbound port handed to core `core`'s ExecSystem.
   exp::CrossCorePort* port(std::size_t core);

@@ -53,9 +53,19 @@ struct StagedFire {
 // by producing core, then per-producer sequence.
 void sort_replay_order(std::vector<StagedFire>* batch);
 
-// Vyukov non-intrusive MPSC queue. push() is safe from any number of
-// threads concurrently; pop() must only ever be called from one consumer
-// thread at a time. Unbounded; nodes are heap-allocated per push.
+// Vyukov non-intrusive MPSC queue with node pooling. push() is safe from
+// any number of threads concurrently; pop() must only ever be called from
+// one consumer thread at a time. Unbounded.
+//
+// Nodes are recycled through a lock-free free stack instead of being
+// heap-allocated per push, so after the first epoch's high-water mark the
+// steady-state loop allocates nothing. The stack is ABA-safe *only* under
+// this file's barrier protocol: producers pop free nodes mid-epoch (pops
+// alone cannot ABA — a popped node is never re-pushed until the barrier),
+// and only the consumer pushes, via recycle(), while every producer is
+// parked at the barrier. pop() therefore stashes spent nodes on a
+// consumer-local list; recycle() publishes the stash when quiescence makes
+// that safe.
 template <typename T>
 class MpscQueue {
  public:
@@ -72,14 +82,18 @@ class MpscQueue {
       delete n;
       n = next;
     }
+    free_list(stash_);
+    free_list(free_head_.load(std::memory_order_relaxed));
   }
 
   MpscQueue(const MpscQueue&) = delete;
   MpscQueue& operator=(const MpscQueue&) = delete;
 
   // Multi-producer: wait-free exchange on the head, then link publication.
+  // Reuses a pooled node when one is available (the value is move-assigned
+  // into it, so e.g. a recycled string's buffer is itself reused).
   void push(T value) {
-    Node* n = new Node();
+    Node* n = acquire_node();
     n->value = std::move(value);
     Node* prev = head_.exchange(n, std::memory_order_acq_rel);
     prev->next.store(n, std::memory_order_release);
@@ -95,8 +109,24 @@ class MpscQueue {
     if (next == nullptr) return false;
     *out = std::move(next->value);
     tail_ = next;
-    delete tail;
+    tail->next.store(stash_, std::memory_order_relaxed);
+    stash_ = tail;
     return true;
+  }
+
+  // Consumer-only, and only while every producer is quiescent (parked at
+  // the epoch barrier): publishes the nodes spent by pop() back onto the
+  // free stack for next epoch's pushes.
+  void recycle() {
+    if (stash_ == nullptr) return;
+    Node* last = stash_;
+    while (Node* next = last->next.load(std::memory_order_relaxed)) {
+      last = next;
+    }
+    last->next.store(free_head_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    free_head_.store(stash_, std::memory_order_release);
+    stash_ = nullptr;
   }
 
  private:
@@ -105,8 +135,35 @@ class MpscQueue {
     T value{};
   };
 
+  Node* acquire_node() {
+    Node* top = free_head_.load(std::memory_order_acquire);
+    while (top != nullptr) {
+      // Benign race: `top` may be concurrently popped and already back in
+      // the live queue, making this ->next read stale — but then the CAS
+      // fails (no push happens mid-epoch, so the head cannot ABA back).
+      Node* next = top->next.load(std::memory_order_relaxed);
+      if (free_head_.compare_exchange_weak(top, next,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        top->next.store(nullptr, std::memory_order_relaxed);
+        return top;
+      }
+    }
+    return new Node();
+  }
+
+  static void free_list(Node* n) {
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
   std::atomic<Node*> head_;  // producers exchange here
   alignas(64) Node* tail_;   // consumer-owned; stub-chasing pointer
+  alignas(64) std::atomic<Node*> free_head_{nullptr};  // pooled nodes
+  Node* stash_ = nullptr;  // consumer-local, published by recycle()
 };
 
 }  // namespace tsf::mp

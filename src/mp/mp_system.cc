@@ -35,6 +35,22 @@ std::optional<ExecBackend> parse_exec_backend(std::string_view name) {
   return std::nullopt;
 }
 
+const char* to_string(RunEngine engine) {
+  switch (engine) {
+    case RunEngine::kSim:
+      return "sim";
+    case RunEngine::kExec:
+      return "exec";
+  }
+  return "?";
+}
+
+std::optional<RunEngine> parse_run_engine(std::string_view name) {
+  if (name == "sim") return RunEngine::kSim;
+  if (name == "exec") return RunEngine::kExec;
+  return std::nullopt;
+}
+
 // Whether a job is handed to the global shared ready pool instead of any
 // core's static assignment: unpinned and released by time (a triggered job
 // has no release of its own — it stays with its routed core so the fire
@@ -234,15 +250,9 @@ MpFeasibility analyze(const model::SystemSpec& spec,
   return out;
 }
 
-MpRunResult run_partitioned_sim(const model::SystemSpec& spec,
-                                const MpRunOptions& options) {
-  return run_partitioned_sim(
-      spec, Partitioner(options.strategy).partition(spec), options);
-}
+namespace {
 
-MpRunResult run_partitioned_sim(const model::SystemSpec& spec,
-                                Partition partition,
-                                const MpRunOptions& options) {
+MpRunResult run_sim(const model::SystemSpec& spec, Partition partition) {
   MpRunResult out;
   out.partition = std::move(partition);
   const auto subs = split_spec(spec, out.partition);
@@ -252,15 +262,8 @@ MpRunResult run_partitioned_sim(const model::SystemSpec& spec,
   return out;
 }
 
-MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
-                                 const MpRunOptions& options) {
-  return run_partitioned_exec(
-      spec, Partitioner(options.strategy).partition(spec), options);
-}
-
-MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
-                                 Partition partition,
-                                 const MpRunOptions& options) {
+MpRunResult run_exec(const model::SystemSpec& spec, Partition partition,
+                     const MpRunOptions& options) {
   TSF_ASSERT(!spec.horizon.is_never(), "exec needs a finite horizon");
   MpRunResult out;
   out.partition = std::move(partition);
@@ -427,6 +430,23 @@ MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
     }
   }
   return out;
+}
+
+}  // namespace
+
+MpRunResult run(const model::SystemSpec& spec, const MpRunOptions& options) {
+  return run(spec, Partitioner(options.strategy).partition(spec), options);
+}
+
+MpRunResult run(const model::SystemSpec& spec, Partition partition,
+                const MpRunOptions& options) {
+  switch (options.engine) {
+    case RunEngine::kSim:
+      return run_sim(spec, std::move(partition));
+    case RunEngine::kExec:
+      return run_exec(spec, std::move(partition), options);
+  }
+  TSF_PANIC("unknown run engine");
 }
 
 }  // namespace tsf::mp

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <optional>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "analysis/partitioned.h"
@@ -45,7 +46,19 @@ enum class ExecBackend { kLockstep, kThreads };
 const char* to_string(ExecBackend backend);
 std::optional<ExecBackend> parse_exec_backend(std::string_view name);
 
+// Which engine mp::run drives per core:
+//  * kSim — one sim::Simulator per core (theoretical policies, resumable
+//    service, no fabric: the static partition is final).
+//  * kExec — one RTSJ-style VM per core (implemented policies, lock-step or
+//    threaded time, channel fabric, policies/rebalance/overload live here).
+enum class RunEngine { kSim, kExec };
+
+const char* to_string(RunEngine engine);
+std::optional<RunEngine> parse_run_engine(std::string_view name);
+
 struct MpRunOptions {
+  // Which per-core engine runs the partition (see RunEngine).
+  RunEngine engine = RunEngine::kExec;
   PackingStrategy strategy = PackingStrategy::kFirstFitDecreasing;
   // How jobs move (or don't) between cores at run time (exec path only;
   // the simulator has no fabric and always runs the static partition).
@@ -149,21 +162,49 @@ struct MpRunResult {
   std::vector<double> overload_utilization;
 };
 
-// One sim::Simulator per core (theoretical policies, resumable service).
-MpRunResult run_partitioned_sim(const model::SystemSpec& spec,
-                                const MpRunOptions& options = {});
+// THE entry point: partition `spec` (or take the caller's partition), run
+// every core on options.engine, merge. The second form lets a driver pack
+// once and reuse the assignment across analysis, sim and exec.
+MpRunResult run(const model::SystemSpec& spec,
+                const MpRunOptions& options = {});
+MpRunResult run(const model::SystemSpec& spec, Partition partition,
+                const MpRunOptions& options = {});
 
-// One VM per core via MultiVm (implemented policies, lock-step time).
-MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
-                                 const MpRunOptions& options = {});
+// --- deprecated spellings (pre-unification): the engine is an option now,
+//     not a function name. Thin wrappers; new code calls mp::run. ---
 
-// Same, on a partition the caller already computed (lets a driver pack
-// once and reuse the assignment across analysis, sim and exec).
-MpRunResult run_partitioned_sim(const model::SystemSpec& spec,
-                                Partition partition,
-                                const MpRunOptions& options = {});
-MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
-                                 Partition partition,
-                                 const MpRunOptions& options = {});
+[[deprecated("use mp::run with options.engine = RunEngine::kSim")]]
+inline MpRunResult run_partitioned_sim(const model::SystemSpec& spec,
+                                       const MpRunOptions& options = {}) {
+  MpRunOptions o = options;
+  o.engine = RunEngine::kSim;
+  return run(spec, o);
+}
+
+[[deprecated("use mp::run with options.engine = RunEngine::kExec")]]
+inline MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
+                                        const MpRunOptions& options = {}) {
+  MpRunOptions o = options;
+  o.engine = RunEngine::kExec;
+  return run(spec, o);
+}
+
+[[deprecated("use mp::run with options.engine = RunEngine::kSim")]]
+inline MpRunResult run_partitioned_sim(const model::SystemSpec& spec,
+                                       Partition partition,
+                                       const MpRunOptions& options = {}) {
+  MpRunOptions o = options;
+  o.engine = RunEngine::kSim;
+  return run(spec, std::move(partition), o);
+}
+
+[[deprecated("use mp::run with options.engine = RunEngine::kExec")]]
+inline MpRunResult run_partitioned_exec(const model::SystemSpec& spec,
+                                        Partition partition,
+                                        const MpRunOptions& options = {}) {
+  MpRunOptions o = options;
+  o.engine = RunEngine::kExec;
+  return run(spec, std::move(partition), o);
+}
 
 }  // namespace tsf::mp

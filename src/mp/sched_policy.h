@@ -54,7 +54,7 @@ std::optional<SchedPolicy> parse_sched_policy(const std::string& text);
 // The ordering key of the pool and the steal chooser is
 // exp::schedules_before (cross_core.h) — shared with the ExecSystem side.
 
-// The epoch-boundary scheduler. Owned by run_partitioned_exec for the
+// The epoch-boundary scheduler. Owned by mp::run (exec engine) for the
 // non-partitioned policies and invoked by MultiVm::run_until right after the
 // fabric drain at every boundary (all VMs paused, queue depths stable).
 // Records every pool dispatch / steal as a ChannelDelivery through the

@@ -114,6 +114,9 @@ void ThreadedRuntime::on_boundary() noexcept {
   replay_.clear();
   StagedFire fire;
   while (staged_.pop(&fire)) replay_.push_back(std::move(fire));
+  // Producers are still parked, so this is the one safe point to publish
+  // the drained nodes back onto the queue's free stack (see mailbox.h).
+  staged_.recycle();
   sort_replay_order(&replay_);
   for (auto& f : replay_) fabric_->post_fire(f.from_core, f.job, f.posted);
 

@@ -6,7 +6,14 @@
 
 namespace tsf::rtsj::vm {
 
-VirtualMachine::VirtualMachine(OverheadModel overhead) : overhead_(overhead) {}
+VirtualMachine::VirtualMachine(OverheadModel overhead) : overhead_(overhead) {
+  // Charged by the event queue right before a taxed (kernel-timer) callback
+  // fires — applied here once instead of wrapped into every scheduled
+  // closure, which would heap-allocate on each timer re-arm.
+  timers_.set_fire_tax([this] {
+    if (!overhead_.timer_fire.is_zero()) add_overhead(overhead_.timer_fire);
+  });
+}
 
 VirtualMachine::~VirtualMachine() {
   shutting_down_ = true;
@@ -68,10 +75,7 @@ VirtualMachine::TimerHandle VirtualMachine::schedule_timer(
     TimePoint at, std::function<void()> fn) {
   TSF_ASSERT(at >= now_, "timer scheduled in the past: " << at << " < "
                                                          << now_);
-  return timers_.schedule(at, [this, fn = std::move(fn)] {
-    if (!overhead_.timer_fire.is_zero()) add_overhead(overhead_.timer_fire);
-    fn();
-  });
+  return timers_.schedule(at, std::move(fn), /*taxed=*/true);
 }
 
 VirtualMachine::TimerHandle VirtualMachine::schedule_silent(

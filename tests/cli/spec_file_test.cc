@@ -419,6 +419,113 @@ TEST(SpecFile, RejectsBadRebalanceValues) {
             std::string::npos);
 }
 
+TEST(SpecFile, UnknownKeySuggestsNearestKnownKey) {
+  // One edit away ("priorty" -> "priority") in a task section.
+  auto bad = parse_spec(
+      "[server]\npolicy=none\n[task t]\nperiod=6\ncost=1\npriorty=3\n"
+      "[run]\nhorizon=9\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors.front().find("did you mean 'priority'"),
+            std::string::npos)
+      << bad.errors.front();
+
+  // A dropped letter in the run section ("bach" -> "batch").
+  bad = parse_spec("[server]\npolicy=none\n[run]\nhorizon=9\nbach=4\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors.front().find("did you mean 'batch'"),
+            std::string::npos)
+      << bad.errors.front();
+
+  // Server and job sections suggest from their own vocabularies.
+  bad = parse_spec(
+      "[server]\npolicy=polling\ncapacity=2\nperiod=6\nmargn=1\n"
+      "[run]\nhorizon=9\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors.front().find("did you mean 'margin'"),
+            std::string::npos);
+  bad = parse_spec(
+      "[server]\npolicy=polling\ncapacity=2\nperiod=6\n"
+      "[job a]\nrelease=1\ncost=1\nmigrat=yes\n[run]\nhorizon=9\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors.front().find("did you mean 'migrate'"),
+            std::string::npos);
+}
+
+TEST(SpecFile, UnknownKeyFarFromEverythingGetsNoSuggestion) {
+  const auto bad = parse_spec(
+      "[server]\npolicy=none\n[run]\nhorizon=9\nzzzzzzzz=1\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.errors.front().find("did you mean"), std::string::npos)
+      << bad.errors.front();
+}
+
+TEST(SpecFile, EnumErrorsListTheValidValues) {
+  const auto policy = parse_spec(
+      "[server]\npolicy=martian\n[run]\nhorizon=9\n");
+  ASSERT_FALSE(policy.ok());
+  EXPECT_NE(policy.errors.front().find(
+                "(none|background|polling|deferrable|sporadic)"),
+            std::string::npos)
+      << policy.errors.front();
+
+  const auto mode = parse_spec(
+      "[server]\npolicy=none\n[run]\nhorizon=9\nmode=sideways\n");
+  ASSERT_FALSE(mode.ok());
+  EXPECT_NE(mode.errors.front().find("(sim|exec|both)"), std::string::npos);
+
+  const auto queue = parse_spec(
+      "[server]\npolicy=polling\ncapacity=2\nperiod=6\nqueue=heap\n"
+      "[run]\nhorizon=9\n");
+  ASSERT_FALSE(queue.ok());
+  EXPECT_NE(queue.errors.front().find("(fifo|first-fit|list-of-lists)"),
+            std::string::npos);
+
+  const auto overheads = parse_spec(
+      "[server]\npolicy=none\n[run]\nhorizon=9\noverheads=cheap\n");
+  ASSERT_FALSE(overheads.ok());
+  EXPECT_NE(overheads.errors.front().find("(ideal|paper)"),
+            std::string::npos);
+}
+
+TEST(SpecFile, ParsesBatchKey) {
+  const auto outcome = parse_spec(
+      "[server]\npolicy=polling\ncapacity=2\nperiod=6\n"
+      "[job a]\nrelease=1\ncost=1\n"
+      "[run]\nhorizon=9\nmode=exec\nbatch=16\n");
+  ASSERT_TRUE(outcome.ok()) << outcome.errors.front();
+  EXPECT_EQ(outcome.config.exec_options.batch, 16);
+  // Default is per-event dispatch.
+  const auto plain = parse_spec(kScenario);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.config.exec_options.batch, 1);
+}
+
+TEST(SpecFile, RejectsBadBatchValues) {
+  auto bad = parse_spec(
+      "[server]\npolicy=none\n[run]\nhorizon=9\nmode=exec\nbatch=0\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors.front().find("batch must be at least 1"),
+            std::string::npos);
+
+  // batch is an execution-engine knob; a sim-only run can't honour it.
+  bad = parse_spec(
+      "[server]\npolicy=none\n[run]\nhorizon=9\nmode=sim\nbatch=4\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors.front().find("batch applies to the execution engine"),
+            std::string::npos);
+}
+
+TEST(SpecFile, BatchSurvivesOverheadsPreset) {
+  // `overheads = paper` replaces the whole ExecOptions block; batch (and
+  // overload) set before it must survive the swap.
+  const auto outcome = parse_spec(
+      "[server]\npolicy=polling\ncapacity=2\nperiod=6\n"
+      "[job a]\nrelease=1\ncost=1\n"
+      "[run]\nhorizon=9\nmode=exec\nbatch=8\noverheads=paper\n");
+  ASSERT_TRUE(outcome.ok()) << outcome.errors.front();
+  EXPECT_EQ(outcome.config.exec_options.batch, 8);
+}
+
 TEST(Report, MultiCoreReportShowsPartitionAndVerdict) {
   auto outcome = parse_spec(kMultiCore);
   ASSERT_TRUE(outcome.ok()) << outcome.errors.front();

@@ -36,7 +36,9 @@ Request req(ServableAsyncEventHandler* h, std::uint64_t seq) {
   return r;
 }
 
-FitsFn fits_under(Duration budget) {
+// Returns the lambda itself (not a FitsFn, which is a non-owning reference
+// and would dangle past this statement); call expressions bind it in place.
+auto fits_under(Duration budget) {
   return [budget](Duration cost) { return cost <= budget; };
 }
 

@@ -111,12 +111,12 @@ RunSignature signature_of(const MpRunResult& run) {
 void expect_equivalent(const model::SystemSpec& spec,
                        MpRunOptions options, const char* label) {
   options.backend = ExecBackend::kLockstep;
-  const auto oracle = signature_of(run_partitioned_exec(spec, options));
+  const auto oracle = signature_of(mp::run(spec, options));
   ASSERT_FALSE(oracle.served.empty()) << label << ": oracle served nothing";
 
   options.backend = ExecBackend::kThreads;
   for (int repeat = 0; repeat < 3; ++repeat) {
-    const auto threads = signature_of(run_partitioned_exec(spec, options));
+    const auto threads = signature_of(mp::run(spec, options));
     SCOPED_TRACE(std::string(label) + " repeat " + std::to_string(repeat));
     // The contract: identical served/missed/shed sets...
     EXPECT_EQ(threads.served, oracle.served);
@@ -200,10 +200,77 @@ TEST(BackendEquivalence, OverloadStormShedding) {
 
       // The storm must actually exercise the policy in both backends.
       options.backend = ExecBackend::kThreads;
-      const auto threads = run_partitioned_exec(spec, options);
+      const auto threads = mp::run(spec, options);
       EXPECT_FALSE(threads.merged.shed_events.empty()) << label;
       EXPECT_TRUE(check_overload_invariants(spec, threads).empty()) << label;
     }
+  }
+}
+
+// Batched dispatch cells: with [run] batch > 1 the servers drain same-
+// priority releases under one Timed section. The contract is unchanged —
+// the threads backend must replay the batched lock-step oracle bit-for-bit,
+// and every job must still land in exactly one of served/missed/shed.
+TEST(BackendEquivalence, BatchedDispatch) {
+  for (const int batch : {4, 16}) {
+    MpRunOptions options;
+    options.exec.batch = batch;
+    const std::string label = "batch=" + std::to_string(batch);
+    expect_equivalent(busy_spec(2), options, label.c_str());
+  }
+}
+
+TEST(BackendEquivalence, BatchedDispatchUnderStealing) {
+  // Stealing moves pending work between cores mid-epoch; a batch collected
+  // on the victim must not double-serve or lose the stolen job.
+  MpRunOptions options;
+  options.policy = SchedPolicy::kSemiPartitioned;
+  options.exec.batch = 4;
+  expect_equivalent(busy_spec(3), options, "batch=4 semi");
+}
+
+TEST(BackendEquivalence, BatchedStormShedding) {
+  // A shedding storm with batching on: aborted batch tails must requeue
+  // identically in both backends, and the ledger stays exactly-once.
+  gen::StormParams params;
+  params.shape = gen::StormShape::kRouterPacketStorm;
+  params.server_capacity = tu(1);
+  params.horizon_periods = 4;
+  params.overload_factor = 4.0;
+  const auto spec = gen::make_storm(params);
+  MpRunOptions options;
+  options.quantum = common::Duration::from_tu(0.5);
+  options.exec.batch = 8;
+  options.exec.overload.mode = exp::OverloadMode::kShed;
+  options.exec.overload.threshold = 0.75;
+  options.exec.overload.period = tu(6);
+  expect_equivalent(spec, options, "storm batch=8 shed");
+
+  options.backend = ExecBackend::kThreads;
+  const auto threads = mp::run(spec, options);
+  EXPECT_FALSE(threads.merged.shed_events.empty());
+  EXPECT_TRUE(check_overload_invariants(spec, threads).empty());
+  // Exactly-once across batch boundaries: every aperiodic job of the spec
+  // shows up exactly once in the merged ledger.
+  std::multiset<std::string> seen;
+  for (const auto& job : threads.merged.jobs) seen.insert(job.name);
+  for (const auto& job : spec.aperiodic_jobs) {
+    EXPECT_EQ(seen.count(job.name), 1u) << job.name;
+  }
+}
+
+TEST(BackendEquivalence, BatchOfOneIsBitIdenticalToDefault) {
+  // batch = 1 is not "a small batch" — it takes the historical per-event
+  // dispatch path verbatim, so the fingerprint must equal the default run's.
+  const auto spec = busy_spec(2);
+  for (const auto backend : {ExecBackend::kLockstep, ExecBackend::kThreads}) {
+    MpRunOptions options;
+    options.backend = backend;
+    const auto baseline = signature_of(mp::run(spec, options));
+    options.exec.batch = 1;
+    const auto explicit_one = signature_of(mp::run(spec, options));
+    EXPECT_EQ(explicit_one.fingerprint, baseline.fingerprint);
+    EXPECT_EQ(explicit_one.served, baseline.served);
   }
 }
 
@@ -214,9 +281,9 @@ TEST(BackendEquivalence, ThreadsBackendIsRunToRunDeterministic) {
   options.policy = SchedPolicy::kGlobal;
   options.backend = ExecBackend::kThreads;
   const auto spec = busy_spec(3);
-  const auto first = signature_of(run_partitioned_exec(spec, options));
+  const auto first = signature_of(mp::run(spec, options));
   for (int repeat = 0; repeat < 2; ++repeat) {
-    const auto again = signature_of(run_partitioned_exec(spec, options));
+    const auto again = signature_of(mp::run(spec, options));
     EXPECT_EQ(again.fingerprint, first.fingerprint) << "repeat " << repeat;
     EXPECT_EQ(again.served, first.served);
   }

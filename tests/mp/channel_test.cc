@@ -1,6 +1,6 @@
 // The cross-core channel fabric: mailbox ordering, routing, latency
 // eligibility, least-loaded migration, and the end-to-end semantics of
-// remote fires through run_partitioned_exec (delivery at epoch boundaries,
+// remote fires through mp::run's exec engine (delivery at epoch boundaries,
 // no fire from an interrupted sender, channel metrics).
 #include "mp/channel.h"
 
@@ -279,7 +279,7 @@ TEST(CrossCoreExec, FireOnCore0ServesTriggeredJobOnCore1) {
   const auto spec = ping_pong_spec();
   MpRunOptions options;
   options.quantum = tu(1);
-  const auto run = run_partitioned_exec(spec, options);
+  const auto run = mp::run(spec, options);
 
   ASSERT_EQ(run.merged.jobs.size(), 2u);
   const auto& ping = run.merged.jobs[0];
@@ -316,7 +316,9 @@ TEST(CrossCoreExec, FireOnCore0ServesTriggeredJobOnCore1) {
 // (regression: the simulator used to release it at t=0).
 TEST(CrossCoreSim, SimulatorLeavesTriggeredJobsUnserved) {
   const auto spec = ping_pong_spec();
-  const auto run = run_partitioned_sim(spec, MpRunOptions{});
+  MpRunOptions sim_options;
+  sim_options.engine = RunEngine::kSim;
+  const auto run = mp::run(spec, sim_options);
   ASSERT_EQ(run.merged.jobs.size(), 2u);
   EXPECT_EQ(run.merged.jobs[0].name, "ping");
   EXPECT_TRUE(run.merged.jobs[0].served);
@@ -329,7 +331,7 @@ TEST(CrossCoreExec, ChannelLatencyDelaysDelivery) {
   spec.channel_latency = tu(3);
   MpRunOptions options;
   options.quantum = tu(1);
-  const auto run = run_partitioned_exec(spec, options);
+  const auto run = mp::run(spec, options);
   ASSERT_EQ(run.channel_deliveries.size(), 1u);
   const auto& d = run.channel_deliveries[0];
   ASSERT_TRUE(d.ok);
@@ -345,7 +347,7 @@ TEST(CrossCoreExec, InterruptedSenderNeverFires) {
   // cannot finish in: the handler is interrupted before reaching the fire.
   spec.aperiodic_jobs[0].cost = tu(4);
   spec.aperiodic_jobs[0].declared_cost = tu(1);
-  const auto run = run_partitioned_exec(spec, MpRunOptions{});
+  const auto run = mp::run(spec, MpRunOptions{});
   const auto& ping = run.merged.jobs[0];
   const auto& pong = run.merged.jobs[1];
   EXPECT_TRUE(ping.interrupted);
@@ -375,7 +377,7 @@ TEST(CrossCoreExec, MigratableJobLandsOnTheQuieterCore) {
 
   MpRunOptions options;
   options.quantum = tu(1);
-  const auto run = run_partitioned_exec(spec, options);
+  const auto run = mp::run(spec, options);
   const exp::ChannelDelivery* migration = nullptr;
   for (const auto& d : run.channel_deliveries) {
     if (d.kind == exp::ChannelDelivery::Kind::kMigrate) migration = &d;

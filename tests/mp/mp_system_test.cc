@@ -24,6 +24,12 @@ TimePoint at_tu(std::int64_t n) {
   return TimePoint::origin() + Duration::time_units(n);
 }
 
+MpRunOptions sim_options() {
+  MpRunOptions o;
+  o.engine = RunEngine::kSim;
+  return o;
+}
+
 // The paper's Table-1 scenario workload scaled to `cores`: per core one
 // Polling Server replica (3/6), one tau1-class task (2/6) and one
 // tau2-class task (1/6) — exactly 1.0 utilization per core — plus two
@@ -258,7 +264,7 @@ TEST(MergeResults, RebalancedJobCompletingOnNewHomeLeavesNoShadow) {
   options.rebalance.mode = RebalanceMode::kDrift;
   options.rebalance.drift = 0.15;
   options.rebalance.period = tu(6);
-  const auto run = run_partitioned_exec(spec, options);
+  const auto run = mp::run(spec, options);
   ASSERT_GT(run.rebalance_migrations, 0u)
       << "the workload must actually trigger rebalance migrations";
 
@@ -303,7 +309,7 @@ TEST(MergeResults, StolenJobHasExactlyOneMergedOutcome) {
   MpRunOptions options;
   options.policy = SchedPolicy::kSemiPartitioned;
   options.quantum = Duration::from_tu(0.5);
-  const auto run = run_partitioned_exec(spec, options);
+  const auto run = mp::run(spec, options);
   ASSERT_GT(run.steals, 0u) << "workload must actually trigger a steal";
   ASSERT_EQ(run.merged.jobs.size(), spec.aperiodic_jobs.size());
   std::set<std::string> names;
@@ -368,14 +374,14 @@ TEST(MpFeasibility, RejectionMakesSystemInfeasible) {
 // engines.
 TEST(MpRun, FourCoreScenarioIsDeterministic) {
   const auto spec = scenario_spec(4);
-  const auto sim1 = run_partitioned_sim(spec);
-  const auto sim2 = run_partitioned_sim(spec);
+  const auto sim1 = mp::run(spec, sim_options());
+  const auto sim2 = mp::run(spec, sim_options());
   EXPECT_EQ(common::fingerprint(sim1.merged.timeline),
             common::fingerprint(sim2.merged.timeline));
   ASSERT_EQ(sim1.merged.jobs.size(), sim2.merged.jobs.size());
 
-  const auto exec1 = run_partitioned_exec(spec);
-  const auto exec2 = run_partitioned_exec(spec);
+  const auto exec1 = mp::run(spec);
+  const auto exec2 = mp::run(spec);
   const auto hash1 = common::fingerprint(exec1.merged.timeline);
   const auto hash2 = common::fingerprint(exec2.merged.timeline);
   EXPECT_NE(exec1.merged.timeline.records().size(), 0u);
@@ -390,7 +396,7 @@ TEST(MpRun, FourCoreScenarioIsDeterministic) {
 
 TEST(MpRun, MergedJobsKeepSpecOrderAndEntitiesAreNamespaced) {
   const auto spec = scenario_spec(2);
-  const auto run = run_partitioned_exec(spec);
+  const auto run = mp::run(spec);
   ASSERT_EQ(run.merged.jobs.size(), spec.aperiodic_jobs.size());
   for (std::size_t i = 0; i < spec.aperiodic_jobs.size(); ++i) {
     EXPECT_EQ(run.merged.jobs[i].name, spec.aperiodic_jobs[i].name);
@@ -409,7 +415,7 @@ TEST(MpRun, MergedJobsKeepSpecOrderAndEntitiesAreNamespaced) {
 // paper's uniprocessor guarantees core-by-core.
 TEST(MpRun, ScenarioPeriodicsMeetDeadlinesOnAllCores) {
   const auto spec = scenario_spec(4);
-  const auto exec = run_partitioned_exec(spec);
+  const auto exec = mp::run(spec);
   EXPECT_FALSE(exec.merged.periodic_jobs.empty());
   for (const auto& p : exec.merged.periodic_jobs) {
     EXPECT_FALSE(p.deadline_missed) << p.task;
@@ -420,7 +426,7 @@ TEST(MpRun, ScenarioPeriodicsMeetDeadlinesOnAllCores) {
 // layer adds routing and namespacing, not behaviour.
 TEST(MpRun, OneCorePartitionedSimMatchesUniprocessorSim) {
   auto spec = scenario_spec(1);
-  const auto mp_run = run_partitioned_sim(spec);
+  const auto mp_run = mp::run(spec, sim_options());
   const auto flat = sim::simulate(spec);
   ASSERT_EQ(mp_run.merged.jobs.size(), flat.jobs.size());
   for (std::size_t i = 0; i < flat.jobs.size(); ++i) {

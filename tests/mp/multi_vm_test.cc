@@ -206,7 +206,7 @@ TEST(MultiVmDeterminism, CrossCoreTrafficIsBitReproducible) {
 
   std::vector<MpRunResult> runs;
   for (int i = 0; i < 3; ++i) {
-    runs.push_back(run_partitioned_exec(spec, options));
+    runs.push_back(mp::run(spec, options));
   }
   // All traffic actually flowed: 3 fires + 1 migration, all delivered.
   ASSERT_EQ(runs[0].channel_deliveries.size(), 4u);
@@ -240,8 +240,8 @@ TEST(MultiVmDeterminism, HandlerDeclarationOrderDoesNotChangeTheRun) {
 
   MpRunOptions options;
   options.quantum = Duration::from_tu(0.5);
-  const auto a = run_partitioned_exec(spec, options);
-  const auto b = run_partitioned_exec(permuted, options);
+  const auto a = mp::run(spec, options);
+  const auto b = mp::run(permuted, options);
 
   EXPECT_EQ(common::fingerprint(a.merged.timeline),
             common::fingerprint(b.merged.timeline))
@@ -269,8 +269,8 @@ TEST(MultiVmDeterminism, EveryQuantumIsSelfReproducible) {
   for (const auto quantum : {Duration::from_tu(0.25), tu(1), tu(5)}) {
     MpRunOptions options;
     options.quantum = quantum;
-    const auto a = run_partitioned_exec(spec, options);
-    const auto b = run_partitioned_exec(spec, options);
+    const auto a = mp::run(spec, options);
+    const auto b = mp::run(spec, options);
     EXPECT_EQ(common::fingerprint(a.merged.timeline),
               common::fingerprint(b.merged.timeline))
         << "quantum " << common::to_string(quantum)
@@ -323,7 +323,7 @@ TEST_P(MultiVmPolicyDeterminism, ThreeRunsAreBitReproducible) {
 
   std::vector<MpRunResult> runs;
   for (int i = 0; i < 3; ++i) {
-    runs.push_back(run_partitioned_exec(spec, options));
+    runs.push_back(mp::run(spec, options));
   }
   // The policy actually moved work: steals under semi, pool dispatches
   // under global (otherwise this suite would pass vacuously).
@@ -364,8 +364,8 @@ TEST_P(MultiVmPolicyDeterminism, JobDeclarationOrderDoesNotChangeTheRun) {
   MpRunOptions options;
   options.policy = GetParam();
   options.quantum = Duration::from_tu(0.5);
-  const auto a = run_partitioned_exec(spec, options);
-  const auto b = run_partitioned_exec(permuted, options);
+  const auto a = mp::run(spec, options);
+  const auto b = mp::run(permuted, options);
 
   // The pool / steal ordering key is (value, release, name) — never the
   // declaration index — so the machine must be identical.

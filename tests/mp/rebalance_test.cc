@@ -72,9 +72,9 @@ MpRunOptions drift_options(RebalanceMode mode) {
 TEST(Rebalance, DriftRunsAreFingerprintIdenticalAcrossThreeRuns) {
   const auto spec = drift_spec(8);
   const auto options = drift_options(RebalanceMode::kDrift);
-  const auto a = run_partitioned_exec(spec, options);
-  const auto b = run_partitioned_exec(spec, options);
-  const auto c = run_partitioned_exec(spec, options);
+  const auto a = mp::run(spec, options);
+  const auto b = mp::run(spec, options);
+  const auto c = mp::run(spec, options);
   ASSERT_GT(a.rebalance_migrations, 0u)
       << "the drift workload must actually trigger migrations";
   EXPECT_GT(a.rebalance_passes, 0u);
@@ -88,7 +88,7 @@ TEST(Rebalance, DriftRunsAreFingerprintIdenticalAcrossThreeRuns) {
 TEST(Rebalance, EveryMigrationAppearsExactlyOnceInTheLedger) {
   const auto spec = drift_spec(8);
   const auto run =
-      run_partitioned_exec(spec, drift_options(RebalanceMode::kDrift));
+      mp::run(spec, drift_options(RebalanceMode::kDrift));
   ASSERT_GT(run.rebalance_migrations, 0u);
 
   std::uint64_t records = 0;
@@ -130,9 +130,9 @@ TEST(Rebalance, EveryMigrationAppearsExactlyOnceInTheLedger) {
 TEST(Rebalance, DriftModeImprovesTailResponseOverStatic) {
   const auto spec = drift_spec(8);
   const auto off =
-      run_partitioned_exec(spec, drift_options(RebalanceMode::kOff));
+      mp::run(spec, drift_options(RebalanceMode::kOff));
   const auto drift =
-      run_partitioned_exec(spec, drift_options(RebalanceMode::kDrift));
+      mp::run(spec, drift_options(RebalanceMode::kDrift));
   const auto off_d = exp::compute_response_distribution({off.merged});
   const auto drift_d = exp::compute_response_distribution({drift.merged});
   EXPECT_LT(drift_d.p99_tu, off_d.p99_tu)
@@ -146,9 +146,9 @@ TEST(Rebalance, OffIsTheExistingPartitionedBaseline) {
   MpRunOptions plain;
   plain.strategy = PackingStrategy::kWorstFitDecreasing;
   plain.quantum = tu(0.5);
-  const auto baseline = run_partitioned_exec(spec, plain);
+  const auto baseline = mp::run(spec, plain);
   const auto off =
-      run_partitioned_exec(spec, drift_options(RebalanceMode::kOff));
+      mp::run(spec, drift_options(RebalanceMode::kOff));
   EXPECT_EQ(common::fingerprint(baseline.merged.timeline),
             common::fingerprint(off.merged.timeline));
   EXPECT_EQ(off.rebalance_migrations, 0u);
@@ -196,7 +196,7 @@ TEST(Rebalance, AdmitsRejectedTaskOnceHeadroomAppears) {
   ASSERT_EQ(partition.rejected.size(), 1u)
       << "the scenario must start with exactly one offline rejection";
 
-  const auto run = run_partitioned_exec(spec, partition, options);
+  const auto run = mp::run(spec, partition, options);
   EXPECT_EQ(run.rebalance_admissions, 1u);
   EXPECT_EQ(run.rebalance_still_rejected, 0u);
 
@@ -224,7 +224,7 @@ TEST(Rebalance, AdmitsRejectedTaskOnceHeadroomAppears) {
   EXPECT_GT(completions, 0u) << rejected_name << " never ran after admission";
 
   // Deterministic like everything else at the boundaries.
-  const auto rerun = run_partitioned_exec(spec, partition, options);
+  const auto rerun = mp::run(spec, partition, options);
   EXPECT_EQ(common::fingerprint(run.merged.timeline),
             common::fingerprint(rerun.merged.timeline));
   const auto ch =

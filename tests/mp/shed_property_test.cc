@@ -67,7 +67,7 @@ TEST(ShedProperty, StormSeedsUnderAllModesKeepTheContract) {
                    gen::to_string(params.shape) + " mode " +
                    exp::to_string(mode));
       const auto options = storm_options(mode);
-      const auto run = run_partitioned_exec(spec, options);
+      const auto run = mp::run(spec, options);
 
       // Machine-checked forbidden behaviors, straight off the trace.
       const auto violations = check_overload_invariants(spec, run);
@@ -106,7 +106,7 @@ TEST(ShedProperty, StormSeedsUnderAllModesKeepTheContract) {
       if (i % 10 == 0) {
         const auto fp = common::fingerprint(run.merged.timeline);
         for (int repeat = 0; repeat < 2; ++repeat) {
-          const auto again = run_partitioned_exec(spec, options);
+          const auto again = mp::run(spec, options);
           EXPECT_EQ(common::fingerprint(again.merged.timeline), fp)
               << "repeat " << repeat;
         }

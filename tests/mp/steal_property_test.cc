@@ -180,7 +180,7 @@ TEST(StealProperty, InvariantsHoldOnSeededRandomSystems) {
       MpRunOptions options;
       options.policy = policy;
       options.quantum = Duration::from_tu(0.5);
-      const auto run = run_partitioned_exec(spec, options);
+      const auto run = mp::run(spec, options);
       const std::string label =
           "seed " + std::to_string(seed) + ", " + to_string(policy);
       check_invariants(spec, run, label);
@@ -226,7 +226,7 @@ TEST(StealProperty, BoundaryCoincidentReleasesAreNeverStolenMidBind) {
   MpRunOptions options;
   options.policy = SchedPolicy::kSemiPartitioned;
   options.quantum = Duration::from_tu(0.5);
-  const auto run = run_partitioned_exec(spec, options);
+  const auto run = mp::run(spec, options);
   ASSERT_GT(run.steals, 0u) << "the clustered workload must trigger steals";
   for (const auto& d : run.channel_deliveries) {
     if (d.kind != exp::ChannelDelivery::Kind::kSteal) continue;
@@ -249,7 +249,7 @@ TEST(StealProperty, NoJobLostOrInvented) {
     MpRunOptions options;
     options.policy = SchedPolicy::kSemiPartitioned;
     options.quantum = Duration::from_tu(0.5);
-    const auto run = run_partitioned_exec(spec, options);
+    const auto run = mp::run(spec, options);
     std::set<std::string> names;
     for (const auto& o : run.merged.jobs) {
       EXPECT_TRUE(names.insert(o.name).second)

@@ -73,7 +73,7 @@ void expect_streams_match(const model::SystemSpec& spec,
     prints.push_back(std::make_unique<common::StreamingFingerprint>());
     options.core_trace_sinks.push_back(prints.back().get());
   }
-  const auto run = run_partitioned_exec(spec, options);
+  const auto run = mp::run(spec, options);
   ASSERT_EQ(run.per_core.size(), prints.size());
   for (std::size_t c = 0; c < prints.size(); ++c) {
     EXPECT_EQ(prints[c]->digest(),
@@ -113,7 +113,7 @@ TEST(StreamEquivalence, StreamingMetricsAgreeWithBusyIntervals) {
   MpRunOptions options;
   common::StreamingTraceMetrics metrics;
   options.core_trace_sinks.push_back(&metrics);
-  const auto run = run_partitioned_exec(spec, options);
+  const auto run = mp::run(spec, options);
   metrics.finish();
 
   const auto& timeline = run.per_core[0].timeline;

@@ -113,7 +113,7 @@ int main() {
 
   // The oracle signature, computed once on the deterministic backend.
   options.backend = tsf::mp::ExecBackend::kLockstep;
-  const auto oracle = signature_of(tsf::mp::run_partitioned_exec(spec, options));
+  const auto oracle = signature_of(tsf::mp::run(spec, options));
   if (oracle.served.empty()) {
     std::cerr << "stress: oracle served nothing — spec is broken\n";
     return 1;
@@ -126,7 +126,7 @@ int main() {
   while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
              .count() < budget_seconds) {
-    const auto threads = signature_of(tsf::mp::run_partitioned_exec(spec, options));
+    const auto threads = signature_of(tsf::mp::run(spec, options));
     ++runs;
     if (!(threads == oracle)) {
       ++divergences;

@@ -1,0 +1,146 @@
+// Global operator new/delete interposer for the zero-allocation tests.
+//
+// Include this from EXACTLY ONE translation unit per test binary (the
+// replacement operators are definitions, not declarations — a second
+// including TU is an ODR violation the linker will reject). The interposer
+// routes every C++ heap allocation through malloc and counts it, so a test
+// can snapshot tsf::testing::alloc_count() around a steady-state window and
+// assert the delta is zero.
+//
+// Under ASan/TSan the sanitizer runtime owns the allocator and interposing
+// on top of it is asking for trouble, so the interposer compiles itself out
+// (TSF_ALLOC_INTERPOSER_ACTIVE == 0) and tests should GTEST_SKIP.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define TSF_ALLOC_INTERPOSER_ACTIVE 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define TSF_ALLOC_INTERPOSER_ACTIVE 0
+#else
+#define TSF_ALLOC_INTERPOSER_ACTIVE 1
+#endif
+#else
+#define TSF_ALLOC_INTERPOSER_ACTIVE 1
+#endif
+
+namespace tsf::testing {
+
+// Total operator-new calls (all forms) since process start. Monotonic;
+// tests compare before/after snapshots, never absolute values.
+inline std::atomic<std::uint64_t>& alloc_counter() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+inline std::uint64_t alloc_count() {
+  return alloc_counter().load(std::memory_order_relaxed);
+}
+
+inline constexpr bool alloc_interposer_active() {
+  return TSF_ALLOC_INTERPOSER_ACTIVE != 0;
+}
+
+}  // namespace tsf::testing
+
+#if TSF_ALLOC_INTERPOSER_ACTIVE
+
+#include <execinfo.h>
+#include <unistd.h>
+
+namespace tsf::testing {
+
+// Diagnostic aid: while true, every counted allocation dumps a raw
+// backtrace to stderr (addresses only — pipe through addr2line/llvm-
+// symbolizer). Off by default; tests flip it only when hunting a failure.
+inline std::atomic<bool>& alloc_trace() {
+  static std::atomic<bool> on{false};
+  return on;
+}
+
+}  // namespace tsf::testing
+
+namespace tsf::testing::detail {
+
+inline void dump_backtrace() {
+  void* frames[24];
+  const int n = ::backtrace(frames, 24);
+  ::backtrace_symbols_fd(frames, n, STDERR_FILENO);
+  const char nl = '\n';
+  (void)!::write(STDERR_FILENO, &nl, 1);
+}
+
+inline void* counted_alloc(std::size_t size) {
+  alloc_counter().fetch_add(1, std::memory_order_relaxed);
+  if (alloc_trace().load(std::memory_order_relaxed)) dump_backtrace();
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+inline void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  alloc_counter().fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size > 0 ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace tsf::testing::detail
+
+// Replacement functions ([new.delete.single] / [new.delete.array]); the
+// array and nothrow forms forward so every path is counted.
+void* operator new(std::size_t size) {
+  return tsf::testing::detail::counted_alloc(size);
+}
+void* operator new[](std::size_t size) {
+  return tsf::testing::detail::counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return tsf::testing::detail::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return tsf::testing::detail::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return tsf::testing::detail::counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return tsf::testing::detail::counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // TSF_ALLOC_INTERPOSER_ACTIVE

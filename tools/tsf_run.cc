@@ -2,9 +2,10 @@
 // runtime and print outcomes, metrics and Gantt charts.
 //
 // Usage:   tsf_run <spec-file> [--mode sim|exec|both]
-//                  [--backend lockstep|threads] [--no-gantt]
+//                  [--backend lockstep|threads] [--batch N] [--no-gantt]
 //                  [--vcd FILE] [--trace FILE] [--metrics-json FILE]
 // See examples/specs/ for spec files and src/cli/spec_file.h for the format.
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
@@ -14,8 +15,8 @@
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: tsf_run <spec-file> [--mode sim|exec|both]"
-                 " [--backend lockstep|threads] [--no-gantt] [--vcd <file>]"
-                 " [--trace <file>] [--metrics-json <file>]\n";
+                 " [--backend lockstep|threads] [--batch <n>] [--no-gantt]"
+                 " [--vcd <file>] [--trace <file>] [--metrics-json <file>]\n";
     return 2;
   }
   auto outcome = tsf::cli::load_spec_file(argv[1]);
@@ -39,6 +40,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       outcome.config.backend = *backend;
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      const int batch = std::atoi(argv[++i]);
+      if (batch < 1) {
+        std::cerr << "--batch needs a positive count, got '" << argv[i]
+                  << "'\n";
+        return 2;
+      }
+      outcome.config.exec_options.batch = batch;
     } else if (std::strcmp(argv[i], "--no-gantt") == 0) {
       outcome.config.gantt = false;
     } else if (std::strcmp(argv[i], "--vcd") == 0 && i + 1 < argc) {

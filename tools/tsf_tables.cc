@@ -30,6 +30,7 @@
 
 #include "common/json_writer.h"
 #include "common/sketch.h"
+#include "exp/bench_cli.h"
 #include "exp/shard.h"
 
 namespace {
@@ -66,8 +67,7 @@ std::string hex_digest(std::uint64_t d) {
 
 int main(int argc, char** argv) {
   std::vector<int> selected = {2, 3, 4, 5};
-  exp::ShardOptions shard;
-  std::string json_path;
+  exp::BenchCli cli(exp::BenchCli::kJson | exp::BenchCli::kShard);
   bool text = true;
 
   for (int i = 1; i < argc; ++i) {
@@ -89,16 +89,14 @@ int main(int argc, char** argv) {
         std::cerr << "--tables needs at least one table id\n";
         return 2;
       }
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--no-text") == 0) {
       text = false;
-    } else if (!exp::parse_shard_flag(argc, argv, &i, &shard)) {
-      std::cerr << "usage: tsf_tables [--tables 2,3,4,5] [--jobs N]"
-                   " [--json FILE] [--in-process] [--no-text]\n";
-      return 2;
+    } else if (!cli.consume(argc, argv, &i)) {
+      return cli.fail("tsf_tables", " [--tables 2,3,4,5] [--no-text]");
     }
   }
+  const exp::ShardOptions& shard = cli.shard;
+  const std::string& json_path = cli.json_path;
 
   // One flat unit list across every selected table, so the worker pool
   // balances sim cells (cheap) against exec cells (expensive).
