@@ -45,6 +45,8 @@ Arena::Slab* Arena::new_slab(std::size_t min_capacity) {
   const std::size_t capacity =
       min_capacity > slab_bytes_ ? min_capacity : slab_bytes_;
   const std::size_t total = round_up(header + capacity, kSlabAlign);
+  // TSF_LINT_ALLOW[rt-alloc]: slab growth point — warm arenas serve every
+  // request from the freelists/bump pointer and never reach this line.
   void* raw = ::operator new(total, std::align_val_t{kSlabAlign});
   Slab* slab = static_cast<Slab*>(raw);
   slab->next = slabs_;

@@ -17,6 +17,8 @@
 // once for epoch-style reuse; it invalidates all outstanding blocks.
 #pragma once
 
+#include "common/annotations.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <new>
@@ -42,10 +44,10 @@ class Arena {
   // class are always aligned to min(class size, 4096), so any type whose
   // alignment does not exceed its (rounded) size — i.e. every type — is
   // served correctly, including over-aligned ones.
-  void* allocate(std::size_t bytes, std::size_t align);
+  TSF_NO_ALLOC void* allocate(std::size_t bytes, std::size_t align);
   // Returns the block to its size class's freelist. `bytes` and `align`
   // must match the allocate() call (the std::allocator contract).
-  void deallocate(void* p, std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+  TSF_NO_ALLOC void deallocate(void* p, std::size_t bytes, std::size_t align = alignof(std::max_align_t));
 
   // Recycles every slab wholesale: freelists are dropped, bump pointers
   // rewind, slabs are retained. All outstanding blocks become invalid.
@@ -79,7 +81,7 @@ class Arena {
     return std::size_t{1} << (cls + kMinShift);
   }
 
-  void* bump(std::size_t bytes, std::size_t align);
+  TSF_NO_ALLOC void* bump(std::size_t bytes, std::size_t align);
   Slab* new_slab(std::size_t min_capacity);
 
   std::size_t slab_bytes_;
@@ -110,18 +112,21 @@ class ArenaAllocator {
   ArenaAllocator(const ArenaAllocator<U>& other) noexcept
       : arena_(other.arena()) {}
 
-  T* allocate(std::size_t n) {
+  TSF_NO_ALLOC T* allocate(std::size_t n) {
     const std::size_t bytes = n * sizeof(T);
     if (arena_ != nullptr) {
       return static_cast<T*>(arena_->allocate(bytes, alignof(T)));
     }
+    // TSF_LINT_ALLOW[rt-alloc]: null-arena degradation path — containers
+    // constructed before their owner has an arena; never on the hot path.
     return static_cast<T*>(::operator new(bytes, std::align_val_t{alignof(T)}));
   }
-  void deallocate(T* p, std::size_t n) noexcept {
+  TSF_NO_ALLOC void deallocate(T* p, std::size_t n) noexcept {
     if (arena_ != nullptr) {
       arena_->deallocate(p, n * sizeof(T), alignof(T));
       return;
     }
+    // TSF_LINT_ALLOW[rt-alloc]: null-arena degradation path, see allocate().
     ::operator delete(p, n * sizeof(T), std::align_val_t{alignof(T)});
   }
 

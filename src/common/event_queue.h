@@ -23,6 +23,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/time.h"
 
 namespace tsf::common {
@@ -38,8 +39,8 @@ class EventQueue {
    public:
     Handle() = default;
     // Cancelling an already-fired or empty handle is a no-op.
-    void cancel();
-    bool active() const;
+    TSF_REALTIME void cancel();
+    TSF_REALTIME bool active() const;
 
    private:
     friend class EventQueue;
@@ -54,21 +55,21 @@ class EventQueue {
   // every scheduled callback in a capturing closure (the wrapper held a
   // std::function by value — past the small-buffer limit, so it was a heap
   // allocation on every timer re-arm).
-  Handle schedule(TimePoint at, Callback cb, bool taxed = false);
+  TSF_REALTIME Handle schedule(TimePoint at, Callback cb, bool taxed = false);
 
   // The tax run before taxed entries' callbacks. One per queue, set once by
   // the owning engine.
   void set_fire_tax(Callback tax) { fire_tax_ = std::move(tax); }
 
   // True when no live (non-cancelled) events remain.
-  bool empty();
+  TSF_REALTIME bool empty();
 
   // Time of the earliest live event; TimePoint::never() when empty.
-  TimePoint next_time();
+  TSF_REALTIME TimePoint next_time();
 
   // Pops the earliest live event and runs its callback. Must not be called
   // on an empty queue.
-  void pop_and_run();
+  TSF_REALTIME void pop_and_run();
 
   std::size_t scheduled_count() const { return scheduled_count_; }
 
@@ -93,11 +94,11 @@ class EventQueue {
   };
 
   // Discards cancelled entries from the top of the heap.
-  void purge();
+  TSF_REALTIME void purge();
   // Returns a pooled (or fresh) entry ready for reuse.
   Entry* acquire();
   // Invalidates outstanding handles and returns the entry to the pool.
-  void recycle(Entry* e);
+  TSF_NO_ALLOC void recycle(Entry* e);
 
   // priority_queue with the underlying vector's reserve exposed, so
   // acquire() can keep capacity >= pool size (see below).

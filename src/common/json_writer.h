@@ -8,6 +8,8 @@
 // zeros, no whitespace options beyond the fixed two-space pretty-printer.
 #pragma once
 
+#include "common/annotations.h"
+
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -18,6 +20,7 @@ namespace tsf::common {
 // `s` with JSON string escapes applied (quotes, backslash, \b \f \n \r \t,
 // \u00XX for the remaining control bytes). Non-ASCII bytes pass through
 // untouched: the writer treats strings as UTF-8 and never re-encodes.
+TSF_DETERMINISM_CRITICAL
 std::string json_escape(std::string_view s);
 
 // Inverse of json_escape over well-formed escapes, \uXXXX included:
@@ -29,6 +32,7 @@ bool json_unescape(std::string_view s, std::string* out);
 
 // Shortest representation that parses back to exactly `x`. Emits digits in
 // to_chars general format; nan/inf (not valid JSON) are emitted as null.
+TSF_DETERMINISM_CRITICAL
 std::string json_double(double x);
 
 // Streaming writer building a pretty-printed document in memory.

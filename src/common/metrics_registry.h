@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/sketch.h"
 #include "common/stats.h"
 
@@ -46,6 +47,7 @@ class MetricsRegistry {
   //                       "p50": ..., "p95": ..., "p99": ... }, ... ]
   //   }
   // Entries appear in first-touch order.
+  TSF_DETERMINISM_CRITICAL
   std::string to_json() const;
 
  private:
@@ -66,6 +68,10 @@ class MetricsRegistry {
   std::vector<Counter> counters_;
   std::vector<Gauge> gauges_;
   std::vector<Histogram> histograms_;
+  // Determinism audit: the three index maps are lookup-only (find/emplace,
+  // never iterated). to_json() walks the vectors above, which preserve
+  // first-touch order — that invariant is pinned by
+  // tests/common/determinism_order_test.cc.
   std::unordered_map<std::string, std::size_t> counter_index_;
   std::unordered_map<std::string, std::size_t> gauge_index_;
   std::unordered_map<std::string, std::size_t> histogram_index_;

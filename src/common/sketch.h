@@ -13,6 +13,8 @@
 // here) land in a dedicated zero bucket and report as 0.0.
 #pragma once
 
+#include "common/annotations.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -31,6 +33,7 @@ class LogSketch {
   void add(double x);
 
   // Adds every bucket of `other`; both sketches must share the accuracy.
+  TSF_DETERMINISM_CRITICAL
   void merge(const LogSketch& other);
 
   std::size_t count() const { return total_; }
@@ -49,6 +52,7 @@ class LogSketch {
   // Deterministic single-line text form for the shard result pipe:
   //   "sketch <alpha-hexfloat> <zero-count> <n> <idx>:<count> ..."
   // with buckets in ascending index order. Exact round trip via decode.
+  TSF_DETERMINISM_CRITICAL
   std::string encode() const;
   static bool decode(std::string_view text, LogSketch* out);
 

@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/time.h"
 
 namespace tsf::common {
@@ -160,6 +161,7 @@ inline std::uint64_t fnv1a_str(std::uint64_t h, std::string_view s) {
 }
 
 // Folds one trace record: (ticks, kind, who, value, note).
+TSF_DETERMINISM_CRITICAL
 std::uint64_t fnv1a_record(std::uint64_t h, TimePoint at, TraceKind kind,
                            std::string_view who, std::int64_t value,
                            std::string_view note);
@@ -168,6 +170,7 @@ std::uint64_t fnv1a_record(std::uint64_t h, TimePoint at, TraceKind kind,
 // a deterministic engine must produce equal fingerprints; the mp tests and
 // the scaling bench use this to assert bit-reproducibility of multi-core
 // runs without storing full traces.
+TSF_DETERMINISM_CRITICAL
 std::uint64_t fingerprint(const Timeline& timeline);
 
 // Identifier of the i-th VCD signal: bijective base-94 over the printable

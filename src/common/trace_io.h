@@ -28,6 +28,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/annotations.h"
 #include "common/trace.h"
 
 namespace tsf::common {
@@ -41,11 +42,13 @@ class BinaryTraceWriter final : public TraceSink {
  public:
   explicit BinaryTraceWriter(std::ostream& out);
 
+  TSF_DETERMINISM_CRITICAL
   void record(TimePoint at, TraceKind kind, std::string_view who,
               std::int64_t value = 0, std::string_view note = {}) override;
 
   // Appends a tombstone. The writer cannot know whether a matching record
   // exists downstream; it reports true and lets replay decide.
+  TSF_DETERMINISM_CRITICAL
   bool retract(TimePoint at, TraceKind kind, std::string_view who) override;
 
   std::uint64_t bytes_written() const { return bytes_; }
@@ -58,6 +61,10 @@ class BinaryTraceWriter final : public TraceSink {
   void put_bytes(const void* data, std::size_t n);
 
   std::ostream& out_;
+  // Determinism audit: lookup-only intern table (find/emplace, never
+  // iterated). Entity ids are assigned by arrival order of first use, and
+  // the emitted stream is ordered by the record stream itself, so the
+  // unordered bucket order never reaches any output.
   std::unordered_map<std::string, std::uint64_t> ids_;
   std::int64_t last_ticks_ = 0;
   std::uint64_t bytes_ = 0;

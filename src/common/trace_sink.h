@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/trace.h"
 
 namespace tsf::common {
@@ -49,11 +50,13 @@ class TeeSink final : public TraceSink {
 // bounded by the records of the current instant, not the trace length.
 class StreamingFingerprint final : public TraceSink {
  public:
+  TSF_DETERMINISM_CRITICAL
   void record(TimePoint at, TraceKind kind, std::string_view who,
               std::int64_t value = 0, std::string_view note = {}) override;
 
   // Honoured only at the buffered (current) instant — the only retraction
   // the engines perform. Returns false for older instants.
+  TSF_DETERMINISM_CRITICAL
   bool retract(TimePoint at, TraceKind kind, std::string_view who) override;
 
   // Records folded or buffered so far (post-retraction).
@@ -61,6 +64,7 @@ class StreamingFingerprint final : public TraceSink {
 
   // The fingerprint of everything seen so far. Folds a copy of the pending
   // instant, so the sink stays usable afterwards.
+  TSF_DETERMINISM_CRITICAL
   std::uint64_t digest() const;
 
  private:

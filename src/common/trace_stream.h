@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/sketch.h"
 #include "common/stats.h"
 #include "common/trace.h"
@@ -30,11 +31,14 @@ class StreamingVcd final : public TraceSink {
  public:
   explicit StreamingVcd(std::ostream& body) : body_(body) {}
 
+  TSF_DETERMINISM_CRITICAL
   void record(TimePoint at, TraceKind kind, std::string_view who,
               std::int64_t value = 0, std::string_view note = {}) override;
+  TSF_DETERMINISM_CRITICAL
   bool retract(TimePoint at, TraceKind kind, std::string_view who) override;
 
   // Flushes the final instant. Call once, before header().
+  TSF_DETERMINISM_CRITICAL
   void finish();
 
   // Declarations + the #0 zero-initialization block; prepend to the body.
@@ -56,6 +60,9 @@ class StreamingVcd final : public TraceSink {
 
   std::ostream& body_;
   std::vector<Entity> entities_;
+  // Determinism audit: lookup-only intern table; iteration and all output
+  // ordering go through `entities_` (insertion-ordered), so bucket order is
+  // unobservable.
   std::unordered_map<std::string, std::size_t> ids_;
   std::int64_t cur_at_ = 0;
   bool have_instant_ = false;
@@ -72,12 +79,15 @@ class StreamingTraceMetrics final : public TraceSink {
   explicit StreamingTraceMetrics(double sketch_accuracy = 0.01)
       : response_sketch_(sketch_accuracy) {}
 
+  TSF_DETERMINISM_CRITICAL
   void record(TimePoint at, TraceKind kind, std::string_view who,
               std::int64_t value = 0, std::string_view note = {}) override;
+  TSF_DETERMINISM_CRITICAL
   bool retract(TimePoint at, TraceKind kind, std::string_view who) override;
 
   // Folds the final instant into the aggregates. Call once, after the
   // stream ends.
+  TSF_DETERMINISM_CRITICAL
   void finish();
 
   std::uint64_t records() const { return records_; }
@@ -119,6 +129,8 @@ class StreamingTraceMetrics final : public TraceSink {
   LogSketch response_sketch_;
   Accumulator response_stats_;
   std::vector<Entity> entities_;
+  // Determinism audit: lookup-only intern table, same contract as
+  // StreamingVcd::ids_ — aggregates and reports read `entities_` only.
   std::unordered_map<std::string, std::size_t> ids_;
   std::int64_t cur_at_ = 0;
   bool have_instant_ = false;

@@ -60,13 +60,17 @@ class DOverQueue : public PendingQueue {
 
   explicit DOverQueue(Config config);
 
+  TSF_REALTIME
   void push(Request r) override;
   // Earliest-deadline privileged entry that satisfies `fits` (EDF with
   // first-fit skipping, mirroring the paper's chooseNextEvent adaptation).
+  TSF_REALTIME
   std::optional<Request> pop_fitting(const FitsFn& fits) override;
   bool empty() const override { return entries_.empty(); }
   std::size_t size() const override { return entries_.size(); }
+  TSF_BARRIER_ONLY
   std::vector<Request> drain() override;
+  TSF_BARRIER_ONLY
   std::optional<Request> steal(const StealEligibleFn& eligible,
                                const StealBeforeFn& before) override;
   void visit(const std::function<void(const Request&)>& fn) const override;

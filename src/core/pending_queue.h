@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/arena.h"
 #include "common/function_ref.h"
 #include "model/spec.h"
@@ -53,19 +54,27 @@ class PendingQueue {
  public:
   virtual ~PendingQueue() = default;
 
+  // push / requeue / pop_fitting / begin_instance run inside the serve
+  // loop (every release, every activation): TSF_REALTIME — arena-backed
+  // storage keeps the steady state off the heap. drain / steal only run at
+  // epoch boundaries or end-of-run: TSF_BARRIER_ONLY.
+  TSF_REALTIME
   virtual void push(Request r) = 0;
   // Returns a popped-but-unserved request to the *front* of the service
   // order (the batched dispatcher's interrupted-tail path: requests behind
   // an interrupted batch member never started and must not lose their
   // place). Call in reverse pop order to restore the original sequence.
   // Default: plain push (disciplines without a meaningful front).
+  TSF_REALTIME
   virtual void requeue(Request r) { push(std::move(r)); }
   // Removes and returns the next dispatchable request, or nullopt when no
   // queued request satisfies `fits`.
+  TSF_REALTIME
   virtual std::optional<Request> pop_fitting(const FitsFn& fits) = 0;
   virtual bool empty() const = 0;
   virtual std::size_t size() const = 0;
   // Removes and returns everything still pending (end-of-run accounting).
+  TSF_BARRIER_ONLY
   virtual std::vector<Request> drain() = 0;
   // Removes and returns the request that `before` ranks first among those
   // `eligible`, or nullopt when none is eligible — the victim side of the
@@ -75,6 +84,7 @@ class PendingQueue {
   // boundary), with the home server's wake-up for it still in flight —
   // TaskServer::steal_pending_request therefore excludes boundary-
   // coincident releases from `eligible` before delegating here.
+  TSF_BARRIER_ONLY
   virtual std::optional<Request> steal(const StealEligibleFn& eligible,
                                        const StealBeforeFn& before) = 0;
   // Read-only walk over every request steal() could reach, in queue order
@@ -85,6 +95,7 @@ class PendingQueue {
   virtual void visit(const std::function<void(const Request&)>& fn) const = 0;
   // Called by instance-based servers at each activation; only the
   // list-of-lists queue reacts (it rotates to the next instance bucket).
+  TSF_REALTIME
   virtual void begin_instance() {}
 
   // `arena`, when non-null, backs the queue's request storage (one arena
@@ -99,12 +110,17 @@ class StrictFifoQueue : public PendingQueue {
  public:
   explicit StrictFifoQueue(common::Arena* arena = nullptr)
       : q_(common::ArenaAllocator<Request>(arena)) {}
+  TSF_REALTIME
   void push(Request r) override { q_.push_back(std::move(r)); }
+  TSF_REALTIME
   void requeue(Request r) override { q_.push_front(std::move(r)); }
+  TSF_REALTIME
   std::optional<Request> pop_fitting(const FitsFn& fits) override;
   bool empty() const override { return q_.empty(); }
   std::size_t size() const override { return q_.size(); }
+  TSF_BARRIER_ONLY
   std::vector<Request> drain() override;
+  TSF_BARRIER_ONLY
   std::optional<Request> steal(const StealEligibleFn& eligible,
                                const StealBeforeFn& before) override;
   void visit(const std::function<void(const Request&)>& fn) const override;
@@ -118,12 +134,17 @@ class FifoFirstFitQueue : public PendingQueue {
  public:
   explicit FifoFirstFitQueue(common::Arena* arena = nullptr)
       : q_(common::ArenaAllocator<Request>(arena)) {}
+  TSF_REALTIME
   void push(Request r) override { q_.push_back(std::move(r)); }
+  TSF_REALTIME
   void requeue(Request r) override { q_.push_front(std::move(r)); }
+  TSF_REALTIME
   std::optional<Request> pop_fitting(const FitsFn& fits) override;
   bool empty() const override { return q_.empty(); }
   std::size_t size() const override { return q_.size(); }
+  TSF_BARRIER_ONLY
   std::vector<Request> drain() override;
+  TSF_BARRIER_ONLY
   std::optional<Request> steal(const StealEligibleFn& eligible,
                                const StealBeforeFn& before) override;
   void visit(const std::function<void(const Request&)>& fn) const override;
@@ -145,18 +166,23 @@ class ListOfListsQueue : public PendingQueue {
   explicit ListOfListsQueue(rtsj::RelativeTime capacity,
                             common::Arena* arena = nullptr);
 
+  TSF_REALTIME
   void push(Request r) override;
   // Back to the front of the active instance (batched-dispatch tail).
+  TSF_REALTIME
   void requeue(Request r) override;
   // Serves only the active instance's list (detached at begin_instance).
+  TSF_REALTIME
   std::optional<Request> pop_fitting(const FitsFn& fits) override;
   bool empty() const override;
   std::size_t size() const override;
+  TSF_BARRIER_ONLY
   std::vector<Request> drain() override;
   // Scans the active list and every future bucket (bucket loads are
   // adjusted; an underfull bucket is harmless). Unservable requests are
   // excluded — the thief's server replica has the same capacity, so they
   // could not be served there either.
+  TSF_BARRIER_ONLY
   std::optional<Request> steal(const StealEligibleFn& eligible,
                                const StealBeforeFn& before) override;
   // Active list, then every future bucket; parked unservable requests are
@@ -164,6 +190,7 @@ class ListOfListsQueue : public PendingQueue {
   void visit(const std::function<void(const Request&)>& fn) const override;
   // Rotates: unserved leftovers of the active list are re-registered, then
   // the first future bucket becomes the active list.
+  TSF_REALTIME
   void begin_instance() override;
 
   // --- the §7 prediction interface ---

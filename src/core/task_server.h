@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "core/dover_queue.h"
 #include "core/pending_queue.h"
 #include "core/servable_async_event_handler.h"
@@ -39,6 +40,10 @@ class TaskServer : public rtsj::Schedulable, public rtsj::Scheduler {
   virtual void start() = 0;
 
   // Called by ServableAsyncEvent::fire() for each bound servable handler.
+  // Release is the hot path: it runs at every event fire, inside the fiber
+  // quantum, and must neither block nor allocate past the reserve() mark.
+  // (Annotations merge across overloads of the same name.)
+  TSF_WORKER_PHASE TSF_REALTIME
   void servable_event_released(ServableAsyncEventHandler* handler);
   // Same, but the request carries an explicit release instant instead of
   // the VM clock — the delivery half of cross-core pool dispatch / work
@@ -57,6 +62,7 @@ class TaskServer : public rtsj::Schedulable, public rtsj::Scheduler {
   // it), and the server's own wake-up for it is still in flight — stealing
   // it mid-bind would leave the home core reacting to a request that no
   // longer exists. Only strictly earlier releases can be taken.
+  TSF_BARRIER_ONLY
   std::optional<Request> steal_pending_request(const StealEligibleFn& eligible,
                                                const StealBeforeFn& before);
 
@@ -85,6 +91,7 @@ class TaskServer : public rtsj::Schedulable, public rtsj::Scheduler {
   // pending request matching (job, release) — removed from the queue,
   // outcome marked shed, kShed trace record and ledger event emitted with
   // reason "overload". Returns false when no such request is pending.
+  TSF_BARRIER_ONLY
   bool shed_pending_request(const std::string& job,
                             rtsj::AbsoluteTime release);
 
@@ -156,6 +163,7 @@ class TaskServer : public rtsj::Schedulable, public rtsj::Scheduler {
   // Runs one request under Timed(budget) in the calling fiber (the server's
   // own thread), measuring elapsed wall-clock virtual time exactly the way
   // the paper's implementation does. Records the outcome.
+  TSF_REALTIME
   DispatchResult dispatch(const Request& request, rtsj::RelativeTime budget);
 
   // Pops up to params_.batch_limit() requests into batch_: the head via
@@ -165,6 +173,7 @@ class TaskServer : public rtsj::Schedulable, public rtsj::Scheduler {
   using BatchFitsFn =
       common::FunctionRef<bool(rtsj::RelativeTime declared_cost,
                                rtsj::RelativeTime planned)>;
+  TSF_REALTIME
   std::size_t collect_batch(const FitsFn& head_fits,
                             const BatchFitsFn& follow_fits);
 
@@ -175,6 +184,7 @@ class TaskServer : public rtsj::Schedulable, public rtsj::Scheduler {
   // section. count == 1 is exactly dispatch(). If the section's budget
   // expires mid-batch, the running member is recorded interrupted and the
   // unstarted tail goes back to the front of the queue untouched.
+  TSF_REALTIME
   DispatchResult dispatch_batch(std::size_t count, rtsj::RelativeTime budget);
 
   // Policy hook invoked on every release (after queueing). The Polling

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/time.h"
 #include "model/spec.h"
 
@@ -88,9 +89,16 @@ class CoreEndpoint {
   virtual ~CoreEndpoint() = default;
   // Fires the local event of `job`. Returns false when this core hosts no
   // such event (the fabric counts the message as undeliverable).
+  //
+  // Every mutating endpoint hook below is TSF_BARRIER_ONLY: the fabric and
+  // the boundary policies (sched_policy, rebalance, overload) may only call
+  // in while all VMs are paused at an epoch boundary. tsf_lint enforces
+  // that no TSF_WORKER_PHASE code can reach them.
+  TSF_BARRIER_ONLY
   virtual bool deliver_fire(const std::string& job) = 0;
   // Instantiates a migrated job on this core (handler + event bound to the
   // local server) and releases it immediately.
+  TSF_BARRIER_ONLY
   virtual void deliver_migrated(const MigratedJob& job) = 0;
   // Whether this core has an aperiodic server (migration targets only
   // serving cores).
@@ -106,12 +114,14 @@ class CoreEndpoint {
   // carrying the given original release instant. Unlike deliver_migrated the
   // outcome keeps the job's true release, so its response time includes the
   // time spent waiting in the shared pool or the victim's queue.
+  TSF_BARRIER_ONLY
   virtual void deliver_job(const MigratedJob& job, common::TimePoint release) {
     (void)release;
     deliver_migrated(job);
   }
   // Removes and returns the highest-priority *stealable* pending request
   // (unpinned job, not currently being served), or nullopt when none exists.
+  TSF_BARRIER_ONLY
   virtual std::optional<StolenJob> steal_pending() { return std::nullopt; }
 
   // --- load sensing / online admission (mp::Rebalancer; defaults keep
@@ -122,9 +132,11 @@ class CoreEndpoint {
   // in queue order. The rebalancer packs from this snapshot and then
   // removes, via steal_exact, only the requests that actually move — so an
   // unplaceable request is never popped and re-released.
+  TSF_BARRIER_ONLY
   virtual std::vector<StolenJob> stealable_snapshot() const { return {}; }
   // Removes the specific pending request the snapshot promised (matched by
   // (job, release)), or nullopt if it is no longer there.
+  TSF_BARRIER_ONLY
   virtual std::optional<StolenJob> steal_exact(const std::string& job,
                                                common::TimePoint release) {
     (void)job;
@@ -142,6 +154,7 @@ class CoreEndpoint {
   // (rebalance = admit): builds the task's thread on this core and starts
   // it. The task's `start` must be at or after the core's current virtual
   // instant. Returns false when this endpoint cannot host periodic tasks.
+  TSF_BARRIER_ONLY
   virtual bool admit_task(const model::PeriodicTaskSpec& task) {
     (void)task;
     return false;
@@ -162,11 +175,13 @@ class CoreEndpoint {
   // Read-only copies of every pending request the governor could shed right
   // now: firm (non-zero relative deadline), released strictly before the
   // current instant, and not currently being served. Queue order.
+  TSF_BARRIER_ONLY
   virtual std::vector<ShedCandidate> shed_candidates() const { return {}; }
   // Drops the specific pending request the snapshot promised (matched by
   // (job, release)): removes it from the queue, records the shed outcome,
   // the kShed trace record and the ledger event. Returns false if the
   // request is no longer pending.
+  TSF_BARRIER_ONLY
   virtual bool shed_exact(const std::string& job, common::TimePoint release) {
     (void)job;
     (void)release;

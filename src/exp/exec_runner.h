@@ -121,20 +121,30 @@ class ExecSystem : public CoreEndpoint {
   model::RunResult collect();
 
   // --- CoreEndpoint (called by mp::ChannelFabric / the scheduling-policy
-  //     engine at epoch boundaries) ---
+  //     engine at epoch boundaries; TSF_BARRIER_ONLY mirrors the interface
+  //     contract in exp/cross_core.h) ---
+  TSF_BARRIER_ONLY
   bool deliver_fire(const std::string& job) override;
+  TSF_BARRIER_ONLY
   void deliver_migrated(const MigratedJob& job) override;
   bool serves_aperiodics() const override;
   std::size_t queue_depth() const override;
+  TSF_BARRIER_ONLY
   void deliver_job(const MigratedJob& job,
                    common::TimePoint release) override;
+  TSF_BARRIER_ONLY
   std::optional<StolenJob> steal_pending() override;
+  TSF_BARRIER_ONLY
   std::vector<StolenJob> stealable_snapshot() const override;
+  TSF_BARRIER_ONLY
   std::optional<StolenJob> steal_exact(const std::string& job,
                                        common::TimePoint release) override;
   common::Duration released_cost() const override;
+  TSF_BARRIER_ONLY
   bool admit_task(const model::PeriodicTaskSpec& task) override;
+  TSF_BARRIER_ONLY
   std::vector<ShedCandidate> shed_candidates() const override;
+  TSF_BARRIER_ONLY
   bool shed_exact(const std::string& job,
                   common::TimePoint release) override;
 

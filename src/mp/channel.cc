@@ -30,6 +30,12 @@ std::vector<Mailbox::Message> Mailbox::take_due(TimePoint boundary) {
 struct ChannelFabric::PortImpl : exp::CrossCorePort {
   PortImpl(ChannelFabric* fabric, std::size_t core)
       : fabric(fabric), core(core) {}
+  // Worker-phase by contract (handlers fire mid-epoch), yet it reaches the
+  // barrier-only post_fire directly: under the lock-step backend exactly
+  // one VM runs at a time, so mid-epoch fabric writes are unracy. The
+  // threads backend swaps this port for ThreadedRuntime::StagedPort. This
+  // is the reviewed phase-order waiver in tools/tsf_lint.allow.
+  TSF_WORKER_PHASE
   void fire_remote(const std::string& job, TimePoint now) override {
     fabric->post_fire(core, job, now);
   }

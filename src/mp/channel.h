@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/time.h"
 #include "exp/cross_core.h"
 
@@ -58,6 +59,7 @@ class Mailbox {
     std::uint64_t seq = 0;
   };
 
+  TSF_BARRIER_ONLY
   void push(Message m) { in_flight_.push_back(std::move(m)); }
   bool empty() const { return in_flight_.empty(); }
   std::size_t size() const { return in_flight_.size(); }
@@ -66,6 +68,7 @@ class Mailbox {
   // (seq) order among the taken. The whole queue is scanned: post order is
   // host core order, not virtual-time order, so due times are not monotone
   // along the deque and a due message may sit behind a not-yet-due one.
+  TSF_BARRIER_ONLY
   std::vector<Message> take_due(common::TimePoint boundary);
 
  private:
@@ -107,13 +110,19 @@ class ChannelFabric {
 
   // Posts a remote fire (normally reached via port(core)). The target core
   // comes from the routing table; an unbound name is recorded as a failed
-  // delivery immediately.
+  // delivery immediately. Barrier-only: the fabric's containers are plain —
+  // under the threads backend, fires reach here via the staged-replay path
+  // (mp/mailbox.h), never directly from a worker. The lock-step backend's
+  // direct PortImpl -> post_fire call is the one reviewed exception (see
+  // tools/tsf_lint.allow).
+  TSF_BARRIER_ONLY
   void post_fire(std::size_t from_core, const std::string& job,
                  common::TimePoint posted);
 
   // The epoch hook: delivers every due message into its endpoint, in
   // (core, post-order) for fires and registration order for migrations.
   // All VMs must be paused at `boundary`. Returns messages delivered.
+  TSF_BARRIER_ONLY
   std::size_t drain(common::TimePoint boundary);
 
   // Appends a terminal record to deliveries() — how the scheduling-policy

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/time.h"
 
 namespace tsf::mp {
@@ -51,6 +52,7 @@ struct StagedFire {
 
 // Sorts an epoch's drained batch into the lock-step oracle's post order:
 // by producing core, then per-producer sequence.
+TSF_DETERMINISM_CRITICAL
 void sort_replay_order(std::vector<StagedFire>* batch);
 
 // Vyukov non-intrusive MPSC queue with node pooling. push() is safe from
@@ -92,6 +94,7 @@ class MpscQueue {
   // Multi-producer: wait-free exchange on the head, then link publication.
   // Reuses a pooled node when one is available (the value is move-assigned
   // into it, so e.g. a recycled string's buffer is itself reused).
+  TSF_WORKER_PHASE TSF_REALTIME
   void push(T value) {
     Node* n = acquire_node();
     n->value = std::move(value);
@@ -103,6 +106,7 @@ class MpscQueue {
   // not yet published (a producer paused between exchange and publish);
   // callers that need a complete drain must only rely on it after
   // synchronizing with every producer.
+  TSF_BARRIER_ONLY TSF_NO_ALLOC
   bool pop(T* out) {
     Node* tail = tail_;
     Node* next = tail->next.load(std::memory_order_acquire);
@@ -117,6 +121,7 @@ class MpscQueue {
   // Consumer-only, and only while every producer is quiescent (parked at
   // the epoch barrier): publishes the nodes spent by pop() back onto the
   // free stack for next epoch's pushes.
+  TSF_BARRIER_ONLY TSF_NO_ALLOC
   void recycle() {
     if (stash_ == nullptr) return;
     Node* last = stash_;
@@ -149,6 +154,8 @@ class MpscQueue {
         return top;
       }
     }
+    // TSF_LINT_ALLOW[rt-alloc]: pool-growth point, reached only until the
+    // first epoch's high-water mark; steady-state pushes pop the free stack.
     return new Node();
   }
 

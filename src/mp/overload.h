@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/invariant_checker.h"
 #include "common/time.h"
 #include "exp/overload.h"
@@ -57,6 +58,7 @@ class OverloadGovernor {
 
   // The boundary hook: sample loads, then (rate-limited) shed overshoot.
   // Invoked last at every epoch boundary, while every VM is paused there.
+  TSF_BARRIER_ONLY
   void on_epoch(common::TimePoint boundary);
 
   // --- results ---

@@ -53,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/time.h"
 #include "model/spec.h"
 #include "mp/partition.h"
@@ -94,6 +95,7 @@ class Rebalancer {
   // The boundary hook: sample loads, then (rate-limited) migrate / admit.
   // Invoked by MultiVm::run_until after the fabric drain and the
   // scheduling-policy engine, while every VM is paused at `boundary`.
+  TSF_BARRIER_ONLY
   void on_epoch(common::TimePoint boundary);
 
   // --- results ---

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/time.h"
 #include "exp/cross_core.h"
 
@@ -71,6 +72,7 @@ class SchedPolicyEngine {
 
   // The boundary hook: drains the due part of the pool (global) or runs one
   // steal pass (semi-partitioned). Deterministic in (specs, quantum).
+  TSF_BARRIER_ONLY
   void on_epoch(common::TimePoint boundary);
 
   // --- results ---

@@ -47,6 +47,7 @@ static bool pin_current_thread(std::size_t core) {
 struct ThreadedRuntime::StagedPort : exp::CrossCorePort {
   StagedPort(ThreadedRuntime* runtime, std::size_t core)
       : runtime(runtime), core(core) {}
+  TSF_WORKER_PHASE
   void fire_remote(const std::string& job, TimePoint now) override {
     runtime->staged_.push(StagedFire{job, core, now, next_seq++});
   }

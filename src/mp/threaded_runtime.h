@@ -34,6 +34,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/metrics_registry.h"
 #include "common/time.h"
 #include "common/trace_sink.h"
@@ -111,6 +112,7 @@ class ThreadedRuntime {
   // The barrier completion step: staged-fire replay in oracle order, fabric
   // drain, policy engine, rebalancer, overload governor, metrics. Runs on
   // one worker thread while every other worker is parked at the barrier.
+  TSF_BARRIER_ONLY
   void on_boundary() noexcept;
   void record_failure(std::exception_ptr error);
 

@@ -133,6 +133,10 @@ void VirtualMachine::work(Duration d) {
   for (;;) {
     if (self->interrupt_pending_ && self->interruptible_depth_ > 0) {
       self->interrupt_pending_ = false;
+      // TSF_LINT_ALLOW[rt-throw]: this is the RTSJ AIE emulation itself —
+      // Timed/interrupt() delivers AsynchronouslyInterruptedException by
+      // unwinding the fiber, exactly the semantics the paper's timed
+      // dispatch relies on. The handler boundary catches it by design.
       throw AsyncInterrupt{};
     }
     if (Fiber* top = pick_ready();
@@ -322,6 +326,9 @@ void VirtualMachine::yield_to_scheduler(Fiber* self) {
   }
   if (finished) return;
   self->sem_.acquire();
+  // TSF_LINT_ALLOW[rt-throw]: teardown-only unwind — FiberShutdown is
+  // thrown exactly once per fiber, at VM destruction, to collapse the
+  // fiber's stack; it can never fire during a live run_until.
   if (shutting_down_) throw FiberShutdown{};
   TSF_ASSERT(current_ == self, "woke without the baton: " << self->name_);
 }

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/event_queue.h"
 #include "common/time.h"
 #include "common/trace.h"
@@ -147,7 +148,9 @@ class VirtualMachine {
   // Consume `d` units of CPU service. Yields to higher-priority fibers,
   // absorbs kernel overhead, and throws AsyncInterrupt if an interrupt is
   // delivered at an interruptible point. work(zero) is a pure
-  // preemption/interruption point.
+  // preemption/interruption point. TSF_REALTIME: this is the innermost
+  // service loop — every handler tick passes through here.
+  TSF_REALTIME
   void work(Duration d);
   void sleep_until(TimePoint t);
   // Park until another context calls unblock(). Not an interruptible point.

@@ -1,0 +1,93 @@
+// Pins the determinism contract behind the TSF_DETERMINISM_CRITICAL
+// annotation on MetricsRegistry::to_json (src/common/metrics_registry.h):
+// emitted documents follow first-touch insertion order, never the bucket
+// order of the lookup-only unordered index maps. If someone "simplifies"
+// the registry to iterate its maps, these tests fail before the static
+// audit comment goes stale.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json_reader.h"
+#include "common/metrics_registry.h"
+
+namespace {
+
+using tsf::common::JsonValue;
+using tsf::common::MetricsRegistry;
+
+// Names chosen to collide with no natural ordering: lexicographic order,
+// length order and hash order all disagree with first-touch order.
+const char* kNames[] = {"zz.last.alphabetically", "a", "m.mid", "b.early",
+                        "zz.twin", "c"};
+
+std::vector<std::string> keys_of(const JsonValue& object) {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : object.members()) keys.push_back(key);
+  return keys;
+}
+
+TEST(DeterminismOrder, CountersEmitInFirstTouchOrder) {
+  MetricsRegistry registry;
+  for (const char* name : kNames) registry.add_counter(name);
+  // Re-touching an existing counter must not move it.
+  registry.add_counter("m.mid", 5);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(tsf::common::json_parse(registry.to_json(), &doc, &error))
+      << error;
+  const JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(keys_of(*counters),
+            std::vector<std::string>(std::begin(kNames), std::end(kNames)));
+}
+
+TEST(DeterminismOrder, GaugesAndHistogramsEmitInFirstTouchOrder) {
+  MetricsRegistry registry;
+  double v = 0.5;
+  for (const char* name : kNames) registry.set_gauge(name, v += 1.0);
+  for (const char* name : kNames) registry.observe(name, v += 1.0);
+  registry.set_gauge("b.early", -1.0);  // re-touch: order must not change
+  registry.observe("zz.twin", 0.25);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(tsf::common::json_parse(registry.to_json(), &doc, &error))
+      << error;
+
+  const JsonValue* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(keys_of(*gauges),
+            std::vector<std::string>(std::begin(kNames), std::end(kNames)));
+
+  const JsonValue* histograms = doc.find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  ASSERT_TRUE(histograms->is_array());
+  std::vector<std::string> names;
+  for (const JsonValue& h : histograms->as_array()) {
+    names.push_back(h.find("name")->as_string());
+  }
+  EXPECT_EQ(names,
+            std::vector<std::string>(std::begin(kNames), std::end(kNames)));
+}
+
+TEST(DeterminismOrder, DocumentIsByteStableAcrossIdenticalRuns) {
+  // The full tsf-metrics/1 document — not just key order — must be
+  // byte-identical for identical touch sequences; this is what lets CI
+  // diff metrics artifacts across reruns.
+  auto build = [] {
+    MetricsRegistry registry;
+    for (const char* name : kNames) {
+      registry.add_counter(name, 3);
+      registry.set_gauge(name, 1.25);
+      registry.observe(name, 2.5);
+      registry.observe(name, 40.0);
+    }
+    return registry.to_json();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace

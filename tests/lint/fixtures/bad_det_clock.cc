@@ -1,0 +1,14 @@
+// Seeded violation: a wall-clock read inside a TSF_DETERMINISM_CRITICAL
+// body. Expected findings: det-clock.
+#include <chrono>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+TSF_DETERMINISM_CRITICAL
+long stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

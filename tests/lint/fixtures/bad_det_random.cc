@@ -1,0 +1,14 @@
+// Seeded violation: ambient randomness inside a TSF_DETERMINISM_CRITICAL
+// body. Expected findings: det-random.
+#include <cstdlib>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+TSF_DETERMINISM_CRITICAL
+long jitter() {
+  return rand() % 7;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Seeded violation: range-for over an unordered container inside a
+// TSF_DETERMINISM_CRITICAL body — the bucket order leaks into the result.
+// Expected findings: det-unordered-iter.
+#include <string>
+#include <unordered_map>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+struct Registry {
+  std::unordered_map<std::string, int> index_;
+
+  TSF_DETERMINISM_CRITICAL
+  int checksum() const {
+    int sum = 0;
+    for (const auto& kv : index_) sum += kv.second;
+    return sum;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Seeded violation: direct heap traffic inside a TSF_NO_ALLOC body.
+// Expected findings: rt-alloc (one per operator, on separate lines).
+#include "common/annotations.h"
+
+namespace fixture {
+
+TSF_NO_ALLOC
+void absorb() {
+  int* p = new int(7);
+  delete p;
+}
+
+}  // namespace fixture

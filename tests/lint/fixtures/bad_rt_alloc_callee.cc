@@ -1,0 +1,27 @@
+// Seeded violation one hop away: the TSF_REALTIME entry point itself is
+// clean, but its direct (unannotated, same-class) callee allocates through
+// a template-argument call — make_unique<T>() has `<` after the identifier,
+// the shape that once slipped past a parenthesis-only call check.
+// Expected findings: rt-alloc, attributed to the annotated caller.
+#include <memory>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+struct Entry {
+  int value = 0;
+};
+
+struct Pool {
+  std::unique_ptr<Entry> storage_;
+
+  void grow() { storage_ = std::make_unique<Entry>(); }
+
+  TSF_REALTIME
+  void schedule() {
+    grow();
+  }
+};
+
+}  // namespace fixture

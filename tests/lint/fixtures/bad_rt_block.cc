@@ -1,0 +1,21 @@
+// Seeded violation: lock acquisition inside a TSF_REALTIME body.
+// Expected findings: rt-block (lock_guard and the mutex template argument
+// both match, same line).
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+struct Shared {
+  std::mutex mu_;
+  int value_ = 0;
+
+  TSF_REALTIME
+  void update(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    value_ = v;
+  }
+};
+
+}  // namespace fixture

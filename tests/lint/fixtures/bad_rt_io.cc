@@ -1,0 +1,14 @@
+// Seeded violation: console IO inside a TSF_REALTIME body.
+// Expected findings: rt-io.
+#include <cstdio>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+TSF_REALTIME
+void log_sample(long v) {
+  printf("%ld\n", v);
+}
+
+}  // namespace fixture

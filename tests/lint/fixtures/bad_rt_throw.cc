@@ -1,0 +1,13 @@
+// Seeded violation: a throw on the TSF_REALTIME path.
+// Expected findings: rt-throw.
+#include "common/annotations.h"
+
+namespace fixture {
+
+TSF_REALTIME
+int check(int margin) {
+  if (margin < 0) throw margin;
+  return margin;
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Seeded suppression misuse: a misspelled rule name and a justification-free
+// allow. Neither silences anything — the unknown rule and the missing
+// justification are findings themselves, and the underlying rt-alloc still
+// fires. Expected findings: allow-unknown-rule, allow-missing-justification,
+// rt-alloc.
+#include "common/annotations.h"
+
+namespace fixture {
+
+TSF_NO_ALLOC
+int* grow() {
+  // TSF_LINT_ALLOW[rt-allocate]: the rule is spelled rt-alloc
+  // TSF_LINT_ALLOW[rt-alloc]:
+  return new int(7);
+}
+
+}  // namespace fixture

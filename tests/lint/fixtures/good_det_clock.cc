@@ -1,0 +1,14 @@
+// Legal twin of bad_det_clock.cc: virtual time is threaded in as a
+// parameter, never read from an ambient clock. Expected findings: none.
+#include <cstdint>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+TSF_DETERMINISM_CRITICAL
+long stamp(std::int64_t virtual_now) {
+  return static_cast<long>(virtual_now);
+}
+
+}  // namespace fixture

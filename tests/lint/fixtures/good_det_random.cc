@@ -1,0 +1,15 @@
+// Legal twin of bad_det_random.cc: a seeded counter-based draw — the
+// deterministic pattern common/rng.h uses. Expected findings: none.
+#include <cstdint>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+TSF_DETERMINISM_CRITICAL
+long jitter(std::uint64_t* state) {
+  *state = *state * 6364136223846793005ULL + 1442695040888963407ULL;
+  return static_cast<long>(*state >> 61);
+}
+
+}  // namespace fixture

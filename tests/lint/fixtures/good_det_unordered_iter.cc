@@ -1,0 +1,29 @@
+// Legal twin of bad_det_unordered_iter.cc: the unordered map is a
+// lookup-only index (the pattern the src/common audit comments document);
+// emission walks the insertion-ordered vector. Expected findings: none.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+struct Registry {
+  std::unordered_map<std::string, int> index_;
+  std::vector<int> values_;
+
+  TSF_DETERMINISM_CRITICAL
+  int checksum() const {
+    int sum = 0;
+    for (const auto& v : values_) sum += v;
+    return sum;
+  }
+
+  int lookup(const std::string& name) const {
+    const auto it = index_.find(name);
+    return it == index_.end() ? -1 : it->second;
+  }
+};
+
+}  // namespace fixture

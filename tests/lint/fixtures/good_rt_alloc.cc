@@ -1,0 +1,15 @@
+// Legal twin of bad_rt_alloc.cc: the hot body only touches a caller-owned
+// buffer; the allocation happens in an unannotated setup function the
+// annotated body never calls. Expected findings: none.
+#include "common/annotations.h"
+
+namespace fixture {
+
+int* make_buffer() { return new int[16]; }
+
+TSF_NO_ALLOC
+void absorb(int* buffer) {
+  buffer[0] = 7;
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Legal twin of bad_rt_block.cc: the real-time path is single-writer by
+// contract and touches a plain field; the locked path is a separate,
+// unannotated maintenance function. Expected findings: none.
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+struct Shared {
+  int value_ = 0;
+  int audit_ = 0;
+
+  TSF_REALTIME
+  void update(int v) {
+    value_ = v;
+  }
+
+  void audit(std::mutex& mu) {
+    std::lock_guard<std::mutex> lock(mu);
+    audit_ = value_;
+  }
+};
+
+}  // namespace fixture

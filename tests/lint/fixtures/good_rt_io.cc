@@ -1,0 +1,19 @@
+// Legal twin of bad_rt_io.cc: the real-time path records into a
+// caller-owned ring; an unannotated flush does the IO later.
+// Expected findings: none.
+#include <cstdio>
+
+#include "common/annotations.h"
+
+namespace fixture {
+
+TSF_REALTIME
+void log_sample(long* ring, int slot, long v) {
+  ring[slot] = v;
+}
+
+void flush(const long* ring, int n) {
+  for (int i = 0; i < n; ++i) printf("%ld\n", ring[i]);
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Legal twin of bad_rt_throw.cc: the real-time path reports failure by
+// return value. Expected findings: none.
+#include "common/annotations.h"
+
+namespace fixture {
+
+TSF_REALTIME
+bool check(int margin, int* out) {
+  if (margin < 0) return false;
+  *out = margin;
+  return true;
+}
+
+}  // namespace fixture

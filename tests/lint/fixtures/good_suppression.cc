@@ -1,0 +1,17 @@
+// Legal twin of bad_suppression.cc: a well-formed, justified suppression of
+// the pool-growth pattern (the same shape src/common/event_queue.cc and
+// src/mp/mailbox.h carry). Expected findings: none; the report records the
+// suppression with used = true.
+#include "common/annotations.h"
+
+namespace fixture {
+
+TSF_NO_ALLOC
+int* pool_grow() {
+  // TSF_LINT_ALLOW[rt-alloc]: fixture twin of the pool-growth pattern —
+  // reached only until the high-water mark, steady state pops the free
+  // stack.
+  return new int(7);
+}
+
+}  // namespace fixture

@@ -1,0 +1,202 @@
+#include "tsf_lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace tsf::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-char punctuators the analyzer cares about distinguishing. Anything
+// else becomes a single-char punct token.
+bool starts_with(std::string_view s, std::size_t i, std::string_view p) {
+  return s.compare(i, p.size(), p) == 0;
+}
+
+// Parses a `TSF_LINT_ALLOW[rule]: justification` body out of a comment's
+// text; returns false when the comment is not a suppression.
+bool parse_suppression(std::string_view comment, int line, Suppression* out) {
+  const std::size_t at = comment.find("TSF_LINT_ALLOW[");
+  if (at == std::string_view::npos) return false;
+  // Only a comment that *is* a suppression counts — documentation that
+  // quotes the marker mid-sentence (or a nested `// TSF_LINT_ALLOW`
+  // example) must not create one.
+  for (std::size_t p = 0; p < at; ++p) {
+    if (!std::isspace(static_cast<unsigned char>(comment[p]))) return false;
+  }
+  std::size_t i = at + std::string_view("TSF_LINT_ALLOW[").size();
+  const std::size_t close = comment.find(']', i);
+  if (close == std::string_view::npos) return false;
+  out->line = line;
+  out->rule = std::string(comment.substr(i, close - i));
+  std::size_t j = close + 1;
+  if (j < comment.size() && comment[j] == ':') ++j;
+  while (j < comment.size() &&
+         std::isspace(static_cast<unsigned char>(comment[j]))) {
+    ++j;
+  }
+  std::size_t end = comment.size();
+  while (end > j &&
+         std::isspace(static_cast<unsigned char>(comment[end - 1]))) {
+    --end;
+  }
+  out->justification = std::string(comment.substr(j, end - j));
+  return true;
+}
+
+}  // namespace
+
+LexedFile lex(std::string path, std::string_view src) {
+  LexedFile out;
+  out.path = std::move(path);
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto skip_line_remainder = [&]() {
+    // Consumes to end-of-line honoring backslash continuations (so a whole
+    // macro definition is skipped, not just its first line).
+    while (i < n) {
+      if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+        i += 2;
+        ++line;
+        continue;
+      }
+      if (src[i] == '\n') return;  // leave the newline for the main loop
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: only when '#' is the first non-space on the
+    // line, which is guaranteed here because '#' is not part of any token
+    // we emit — a mid-line '#' only occurs inside skipped directives.
+    if (c == '#') {
+      skip_line_remainder();
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t start = i + 2;
+      skip_line_remainder();
+      Suppression s;
+      if (parse_suppression(src.substr(start, i - start), line, &s)) {
+        s.end_line = s.line;
+        out.suppressions.push_back(std::move(s));
+      } else if (!out.suppressions.empty()) {
+        // A full-line `//` comment directly under a suppression comment
+        // continues its block (wrapped justifications anchor to the code
+        // line below the whole block).
+        Suppression& prev = out.suppressions.back();
+        const int last_token_line =
+            out.tokens.empty() ? 0 : out.tokens.back().line;
+        if (prev.end_line == line - 1 && last_token_line < line) {
+          prev.end_line = line;
+        }
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t start = i + 2;
+      const int start_line = line;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      const std::size_t end = i;
+      i = (i + 1 < n) ? i + 2 : n;
+      Suppression s;
+      if (parse_suppression(src.substr(start, end - start), start_line, &s)) {
+        s.end_line = line;  // a /* */ block may span lines
+        out.suppressions.push_back(std::move(s));
+      }
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && src[j] != '\n' &&
+             delim.size() <= 16) {
+        delim.push_back(src[j++]);
+      }
+      if (j < n && src[j] == '(') {
+        const std::string closer = ")" + delim + "\"";
+        std::size_t k = src.find(closer, j + 1);
+        if (k == std::string_view::npos) k = n;
+        for (std::size_t p = i; p < k && p < n; ++p) {
+          if (src[p] == '\n') ++line;
+        }
+        out.tokens.push_back({TokKind::kString, "\"\"", line});
+        i = (k == n) ? n : k + closer.size();
+        continue;
+      }
+      // Not actually a raw string; fall through to identifier handling.
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') ++line;  // tolerate unterminated literals
+        ++i;
+      }
+      if (i < n) ++i;
+      out.tokens.push_back({TokKind::kString, "\"\"", line});
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(src[j])) ++j;
+      out.tokens.push_back(
+          {TokKind::kIdent, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      // Good enough for C++ numeric literals incl. hex/exponents/quotes.
+      while (j < n && (is_ident_char(src[j]) || src[j] == '.' ||
+                       src[j] == '\'' ||
+                       ((src[j] == '+' || src[j] == '-') &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kNumber, "0", line});
+      i = j;
+      continue;
+    }
+    // Punctuation. Only '::' and '->' need to stay whole for the analyzer.
+    if (starts_with(src, i, "::") || starts_with(src, i, "->")) {
+      out.tokens.push_back({TokKind::kPunct, std::string(src.substr(i, 2)),
+                            line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace tsf::lint

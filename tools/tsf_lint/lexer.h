@@ -1,0 +1,54 @@
+// Token stream for tsf_lint's rule passes.
+//
+// This is deliberately a lexer, not a compiler front end: it strips
+// comments, collapses string/char literals, skips preprocessor directives
+// (so macro *definitions* are never misread as code — only their use sites
+// are seen), and keeps line numbers. The analyzer's function/call/scope
+// recognition is heuristic over this stream; the rules it feeds are token
+// rules (forbidden identifiers, keywords, annotation markers), which is
+// exactly the level at which the TSF_* contracts are written.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsf::lint {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kPunct,    // operators and punctuation, one string per token ("::", "->")
+  kNumber,   // numeric literals (collapsed)
+  kString,   // string/char literals (collapsed; contents dropped)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+// One `// TSF_LINT_ALLOW[rule]: justification` comment. Suppresses findings
+// of `rule` on its own line or on the line directly below the comment block
+// it opens (directly-following full-line `//` comments extend the block, so
+// a justification may wrap). An empty justification is invalid and reported
+// as a finding by the analyzer.
+struct Suppression {
+  int line = 0;      // line of the TSF_LINT_ALLOW comment itself
+  int end_line = 0;  // last line of the comment block it opens
+  std::string rule;
+  std::string justification;
+  mutable bool used = false;
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+};
+
+// Lexes `source`. Never fails: unterminated constructs are closed at EOF
+// (the lint must degrade gracefully on any input it is pointed at).
+LexedFile lex(std::string path, std::string_view source);
+
+}  // namespace tsf::lint
